@@ -1,0 +1,79 @@
+// Ablation: chunk compression (paper §V: compression "can be easily
+// integrated into EnviroMic to further reduce the data volume to be stored
+// in network").
+//
+// A voice-like workload with real pauses, tight flash, cooperative-only
+// mode: compression stretches the effective storage capacity, visible as a
+// lower miss ratio at the end of the run and fewer stored bytes per second
+// of audio.
+#include <iostream>
+#include <memory>
+
+#include "enviromic.h"
+
+using namespace enviromic;
+
+namespace {
+
+struct Outcome {
+  double miss = 0.0;
+  double stored_bytes_per_s = 0.0;
+  double covered_s = 0.0;
+};
+
+Outcome run_one(storage::CodecKind codec, std::uint64_t seed) {
+  core::WorldConfig wc;
+  wc.seed = seed;
+  wc.background_level = 0.002;  // quiet habitat: silence compresses
+  wc.node_defaults = core::paper_node_params(core::Mode::kCooperativeOnly, 2.0);
+  wc.node_defaults.flash.store_payloads = true;
+  wc.node_defaults.flash.capacity_bytes = 96 * 1024;  // tight storage
+  wc.node_defaults.protocol.chunk_codec = codec;
+  core::World world(wc);
+  core::grid_deployment(world, 8, 6, 2.0);
+
+  // Voice-like events (birdsong with pauses) at one generator.
+  sim::Rng rng(seed ^ 0xC0DEC);
+  double t = 15.0;
+  while (t < 1800.0) {
+    const double dur = rng.uniform(4.0, 8.0);
+    world.add_source(
+        std::make_shared<acoustic::StaticTrajectory>(sim::Position{5, 3}),
+        std::make_shared<acoustic::VoiceWave>(rng.next_u64()),
+        sim::Time::seconds(t), sim::Time::seconds(t + dur), 1.0, 2.0);
+    t += rng.uniform(15.0, 30.0);
+  }
+  world.start();
+  world.run_until(sim::Time::seconds_i(1800));
+
+  Outcome out;
+  const auto snap = world.snapshot();
+  out.miss = snap.miss_ratio;
+  out.covered_s = snap.covered_unique.to_seconds();
+  std::uint64_t stored = 0;
+  for (std::size_t i = 0; i < world.node_count(); ++i) {
+    stored += world.node(i).store().used_payload_bytes();
+  }
+  const double stored_time = snap.stored_total.to_seconds();
+  out.stored_bytes_per_s =
+      stored_time > 0 ? static_cast<double>(stored) / stored_time : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: chunk compression under tight flash\n\n";
+  util::Table table({"codec", "bytes_per_audio_s", "covered_s", "miss"});
+  for (auto codec : {storage::CodecKind::kNone, storage::CodecKind::kRle,
+                     storage::CodecKind::kDelta}) {
+    const auto o = run_one(codec, 7001);
+    table.add_row({storage::codec_name(codec),
+                   util::fmt(o.stored_bytes_per_s, 1), util::fmt(o.covered_s, 1),
+                   util::fmt(o.miss)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(expected: delta coding stores fewer bytes per second of "
+               "audio, postponing overflow => lower miss; raw 2730 B/s)\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: the prelude optimization (paper §II-A.1).
+//
+// Leader election takes ~0.7 s, so the beginning of every event is lost
+// unless nodes record a short prelude locally before coordinating. The
+// paper predicts: "the length of the prelude can be chosen such that
+// short-term events are fully recorded with high probability". We sweep
+// event duration and report gap-based miss with the prelude on and off.
+#include <iostream>
+
+#include "enviromic.h"
+
+using namespace enviromic;
+
+namespace {
+
+double run_one(double duration_s, bool prelude, std::uint64_t seed) {
+  core::WorldConfig wc;
+  wc.seed = seed;
+  wc.node_defaults = core::paper_node_params(core::Mode::kCooperativeOnly, 2.0);
+  wc.node_defaults.protocol.prelude_enabled = prelude;
+  core::World world(wc);
+  core::grid_deployment(world, 4, 4, 2.0);
+  world.add_source(
+      std::make_shared<acoustic::StaticTrajectory>(sim::Position{3, 3}),
+      std::make_shared<acoustic::ConstantWave>(1.0), sim::Time::seconds_i(5),
+      sim::Time::seconds(5.0 + duration_s), 1.0, 2.0);
+  world.start();
+  world.run_until(sim::Time::seconds(12.0 + duration_s));
+
+  util::IntervalSet recorded;
+  for (const auto& act : world.metrics().recording_log()) {
+    if (act.appended) recorded.add(act.start, act.end);
+  }
+  const double covered =
+      recorded
+          .measure_within(sim::Time::seconds_i(5),
+                          sim::Time::seconds(5.0 + duration_s))
+          .to_seconds();
+  return 1.0 - covered / duration_s;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: prelude recording vs startup miss\n"
+               "(paper SII-A.1: the prelude eliminates the election-delay "
+               "miss, most valuable for short events)\n\n";
+  util::Table table({"event(s)", "miss_no_prelude", "miss_prelude", "runs"});
+  constexpr int kRuns = 15;
+  for (double dur : {1.0, 2.0, 3.0, 5.0, 9.0, 15.0}) {
+    std::vector<double> off, on;
+    for (int r = 0; r < kRuns; ++r) {
+      const auto seed = 3000 + static_cast<std::uint64_t>(r);
+      off.push_back(run_one(dur, false, seed));
+      on.push_back(run_one(dur, true, seed));
+    }
+    table.add_row({util::fmt(dur, 1), util::fmt(util::mean(off)),
+                   util::fmt(util::mean(on)),
+                   util::fmt(static_cast<long long>(kRuns))});
+  }
+  table.print(std::cout);
+  std::cout << "\n(expected: without the prelude, miss ~ election_delay/"
+               "duration — severe for 1-2 s events; with it, near zero "
+               "everywhere)\n";
+  return 0;
+}

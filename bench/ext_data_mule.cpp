@@ -1,0 +1,87 @@
+// Extension: data-mule retrieval (paper §I/§II-C — "data retrieval is done
+// either by occasionally sending data mules into the field or by physically
+// collecting the sensor nodes").
+//
+// Tight per-node flash with a steady event workload: without visits the
+// network saturates and loses data; periodic mule sweeps harvest (and free)
+// stored chunks, so total retrieved coverage keeps growing. Sweeps the
+// visit cadence.
+#include <iostream>
+#include <memory>
+
+#include "enviromic.h"
+
+using namespace enviromic;
+
+namespace {
+
+struct Outcome {
+  double miss_with_haul = 0.0;   //!< counting the mule's haul as retrieved
+  double in_network_miss = 0.0;  //!< counting only what is still stored
+  std::uint64_t harvested_bytes = 0;
+  std::size_t visits = 0;
+};
+
+Outcome run_one(int visit_count, std::uint64_t seed) {
+  core::WorldConfig wc;
+  wc.seed = seed;
+  wc.node_defaults = core::paper_node_params(core::Mode::kCooperativeOnly, 2.0);
+  wc.node_defaults.flash.capacity_bytes = 48 * 1024;  // ~18 s audio/node
+  core::World world(wc);
+  core::grid_deployment(world, 8, 6, 2.0);
+  core::IndoorEventPlanConfig events;
+  events.horizon = sim::Time::seconds_i(2400);
+  events.generators = {{5, 3}, {11, 7}};
+  core::schedule_indoor_events(world, events, world.rng().fork("plan"));
+
+  std::vector<std::unique_ptr<core::DataMule>> mules;
+  for (int v = 0; v < visit_count; ++v) {
+    core::MuleConfig mc;
+    mc.mule_id = static_cast<net::NodeId>(60000 + v);
+    mc.speed_ft_s = 1.5;
+    const double at = 2400.0 * (v + 1) / (visit_count + 1);
+    // The mule sweeps an S through both source regions.
+    mules.push_back(std::make_unique<core::DataMule>(
+        world,
+        std::vector<sim::Position>{{-3, 3}, {15, 3}, {15, 7}, {-3, 7}},
+        sim::Time::seconds(at), mc));
+  }
+
+  world.start();
+  for (auto& m : mules) m->start();
+  world.run_until(sim::Time::seconds_i(2400));
+
+  Outcome out;
+  out.visits = mules.size();
+  std::vector<storage::ChunkMeta> collected;
+  for (const auto& m : mules) {
+    collected.insert(collected.end(), m->collected_metas().begin(),
+                     m->collected_metas().end());
+    out.harvested_bytes += m->bytes_collected();
+  }
+  out.in_network_miss = world.snapshot().miss_ratio;
+  out.miss_with_haul = world.snapshot_with(collected).miss_ratio;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Extension: data-mule visits vs retrieved coverage\n"
+               "(48 KB flash per node — ~18 s of audio — over a 40 min "
+               "workload)\n\n";
+  util::Table table({"visits", "retrieved_miss", "in_network_miss",
+                     "harvested_KB"});
+  for (int visits : {0, 1, 2, 4, 8}) {
+    const auto o = run_one(visits, 8001);
+    table.add_row({util::fmt(static_cast<long long>(visits)),
+                   util::fmt(o.miss_with_haul), util::fmt(o.in_network_miss),
+                   util::fmt(static_cast<double>(o.harvested_bytes) / 1024.0,
+                             1)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(expected: with no visits the tight flash saturates; each "
+               "sweep drains the hot nodes, so total retrieved coverage "
+               "improves with visit frequency)\n";
+  return 0;
+}

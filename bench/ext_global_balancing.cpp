@@ -1,0 +1,78 @@
+// Extension: global (gossip) vs local-greedy storage balancing — the
+// paper's named future work (§VI: "more intelligent storage balancing
+// algorithms, such as ... global (as opposed to local greedy)
+// load-balancing").
+//
+// A clustered hot region (both generators close together in one corner)
+// stresses the local rule: the hot nodes' immediate ring fills too, and
+// pairwise TTL comparisons see little slack nearby. The gossip strategy
+// estimates the network-wide mean free space and keeps pushing outward.
+#include <cmath>
+#include <iostream>
+
+#include "enviromic.h"
+
+using namespace enviromic;
+
+namespace {
+
+struct Outcome {
+  double miss = 0.0;
+  double spread_cv = 0.0;  //!< cv of used bytes over all nodes (lower=flatter)
+  std::uint64_t messages = 0;
+};
+
+Outcome run_one(core::BalanceStrategy strategy, std::uint64_t seed) {
+  core::WorldConfig wc;
+  wc.seed = seed;
+  wc.node_defaults = core::paper_node_params(core::Mode::kFull, 2.0);
+  wc.node_defaults.protocol.balance_strategy = strategy;
+  wc.node_defaults.flash.capacity_bytes = 128 * 1024;
+  core::World world(wc);
+  core::grid_deployment(world, 8, 6, 2.0);
+  core::IndoorEventPlanConfig events;
+  events.horizon = sim::Time::seconds_i(2400);
+  // Hot corner: both generators in the lower-left quadrant.
+  events.generators = {{3, 3}, {5, 3}};
+  core::schedule_indoor_events(world, events, world.rng().fork("plan"));
+  world.start();
+  world.run_until(sim::Time::seconds_i(2400));
+
+  Outcome out;
+  const auto snap = world.snapshot();
+  out.miss = snap.miss_ratio;
+  out.messages = snap.total_messages;
+  std::vector<double> used;
+  for (auto v : snap.per_node_used_bytes) used.push_back(static_cast<double>(v));
+  const double mean = util::mean(used);
+  out.spread_cv = mean > 0 ? util::stddev(used) / mean : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Extension: local-greedy vs global-gossip balancing\n"
+               "(clustered hot corner, 128 KB flash, 40 min workload)\n\n";
+  util::Table table({"strategy", "miss", "storage_spread_cv", "messages"});
+  constexpr int kRuns = 3;
+  for (auto strategy : {core::BalanceStrategy::kLocalGreedy,
+                        core::BalanceStrategy::kGlobalGossip}) {
+    Outcome acc;
+    for (int r = 0; r < kRuns; ++r) {
+      const auto o = run_one(strategy, 9000 + static_cast<std::uint64_t>(r));
+      acc.miss += o.miss / kRuns;
+      acc.spread_cv += o.spread_cv / kRuns;
+      acc.messages += o.messages / kRuns;
+    }
+    table.add_row({core::strategy_name(strategy), util::fmt(acc.miss),
+                   util::fmt(acc.spread_cv),
+                   util::fmt(static_cast<long long>(acc.messages))});
+  }
+  table.print(std::cout);
+  std::cout << "\n(expected: comparable or lower miss at markedly lower "
+               "message cost — the global estimate sheds only when truly "
+               "over-loaded; the pairwise rule keeps diffusing data outward, "
+               "so it spreads flatter but pays for it in traffic)\n";
+  return 0;
+}

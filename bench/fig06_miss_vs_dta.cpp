@@ -1,0 +1,39 @@
+// Fig 6: recording miss ratio vs expected task assignment delay D_ta for
+// task periods T_rc in {0.5, 1.0, 1.5} s. Mobile acoustic source crossing
+// the 8x6 testbed at one grid length per second, 9 s event, sensing range
+// about one grid length; 15 runs per point with 90% confidence intervals.
+//
+// Expected shape (paper §IV-A): miss decreases with D_ta, levels off near
+// D_ta = 70 ms at ~8% (the initial election delay of ~0.7 s over the 9 s
+// event); short T_rc suffers most at small D_ta.
+#include <iostream>
+
+#include "enviromic.h"
+
+using namespace enviromic;
+
+int main() {
+  std::cout << "Fig 6 reproduction: recording miss ratio vs D_ta\n";
+  util::Table table({"Trc(s)", "Dta(ms)", "miss_ratio", "ci90", "runs"});
+  constexpr int kRuns = 15;
+  for (double trc : {0.5, 1.0, 1.5}) {
+    for (int dta : {10, 30, 50, 70, 90, 110, 130}) {
+      std::vector<double> misses;
+      for (int run = 0; run < kRuns; ++run) {
+        core::MobileRunConfig cfg;
+        cfg.seed = 1000 + static_cast<std::uint64_t>(run);
+        cfg.task_period = sim::Time::seconds(trc);
+        cfg.task_assign_delay = sim::Time::millis(dta);
+        misses.push_back(core::run_mobile(cfg).miss_ratio);
+      }
+      table.add_row({util::fmt(trc, 1), util::fmt(static_cast<long long>(dta)),
+                     util::fmt(util::mean(misses)),
+                     util::fmt(util::ci90_halfwidth(misses)),
+                     util::fmt(static_cast<long long>(kRuns))});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n(paper: curves level off by Dta=70ms at ~0.08; at small "
+               "Dta shorter task periods miss more)\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig 7: one instance of recording a mobile acoustic object — which node
+// records during which interval, with T_rc = 1 s and D_ta = 70 ms.
+// Recordings hand over seamlessly from node to node as the source moves;
+// the only gap is the initial leader-election phase.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "enviromic.h"
+
+using namespace enviromic;
+
+int main() {
+  std::cout << "Fig 7 reproduction: task timeline for one mobile event\n";
+  core::MobileRunConfig cfg;
+  cfg.seed = 4242;
+  auto res = core::run_mobile(cfg);
+
+  std::sort(res.recordings.begin(), res.recordings.end(),
+            [](const auto& a, const auto& b) { return a.start < b.start; });
+
+  printf("event: %.2fs .. %.2fs (duration %.1fs)\n",
+         res.event_start.to_seconds(), res.event_end.to_seconds(),
+         (res.event_end - res.event_start).to_seconds());
+  printf("\n%-6s %-10s %-10s\n", "node", "start(s)", "end(s)");
+  for (const auto& r : res.recordings) {
+    printf("%-6u %-10.2f %-10.2f\n", r.node, r.start.to_seconds(),
+           r.end.to_seconds());
+  }
+
+  // ASCII Gantt: one row per participating node, '#' while recording.
+  std::vector<net::NodeId> nodes;
+  for (const auto& r : res.recordings) {
+    if (std::find(nodes.begin(), nodes.end(), r.node) == nodes.end())
+      nodes.push_back(r.node);
+  }
+  const double t0 = 0.0;
+  const double t1 = res.event_end.to_seconds() + 2.0;
+  const int cols = 90;
+  printf("\ntimeline ('#'=recording, '|' marks event start/end), %0.1fs..%0.1fs\n",
+         t0, t1);
+  for (net::NodeId node : nodes) {
+    std::string row(cols, '.');
+    for (const auto& r : res.recordings) {
+      if (r.node != node) continue;
+      int a = static_cast<int>((r.start.to_seconds() - t0) / (t1 - t0) * cols);
+      int b = static_cast<int>((r.end.to_seconds() - t0) / (t1 - t0) * cols);
+      for (int c = std::max(0, a); c < std::min(cols, b); ++c) row[c] = '#';
+    }
+    auto mark = [&](sim::Time t) {
+      int c = static_cast<int>((t.to_seconds() - t0) / (t1 - t0) * cols);
+      if (c >= 0 && c < cols && row[c] == '.') row[c] = '|';
+    };
+    mark(res.event_start);
+    mark(res.event_end);
+    printf("node %2u %s\n", node, row.c_str());
+  }
+  printf("\nmiss ratio (gaps/duration): %.3f  (paper: startup-only miss with "
+         "Dta=70ms)\n",
+         res.miss_ratio);
+  return 0;
+}

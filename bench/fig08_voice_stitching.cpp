@@ -1,0 +1,69 @@
+// Fig 8: recording the voice of a moving human — a synthesized syllabic
+// "voice" source walks across a 7x4 grid at one grid length per second
+// while reading; (a) a reference mote held by the speaker records ground
+// truth, (b) EnviroMic nodes record cooperatively and the chunks are
+// stitched together by timestamp. The figures' visual similarity becomes an
+// envelope-correlation number plus two ASCII waveform envelope plots.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "enviromic.h"
+
+using namespace enviromic;
+
+namespace {
+
+// Render a 0..255-centred waveform as an ASCII envelope (rows = amplitude).
+void render(const std::vector<std::uint8_t>& samples, double rate,
+            const char* title) {
+  printf("\n%s (%zu samples @ %.0f Hz)\n", title, samples.size(), rate);
+  const int cols = 96;
+  const int rows = 8;
+  const std::size_t per_col = samples.size() / cols + 1;
+  std::vector<double> env(cols, 0.0);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto c = std::min<std::size_t>(i / per_col, cols - 1);
+    env[c] = std::max(env[c], std::abs(static_cast<double>(samples[i]) - 128.0));
+  }
+  for (int r = rows; r >= 1; --r) {
+    std::string line(cols, ' ');
+    for (int c = 0; c < cols; ++c) {
+      if (env[c] / 127.0 * rows >= r) line[c] = '#';
+    }
+    printf("|%s|\n", line.c_str());
+  }
+  printf("+%s+\n", std::string(cols, '-').c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig 8 reproduction: voice of a moving human\n";
+  core::VoiceRunConfig cfg;
+  cfg.seed = 77;
+  auto res = core::run_voice(cfg);
+
+  render(res.reference, cfg.sample_rate_hz, "(a) recorded by a single held mote");
+  render(res.stitched, cfg.sample_rate_hz, "(b) recorded by EnviroMic (stitched)");
+
+  printf("\nstitched coverage of event samples: %.1f%%\n",
+         res.stitched_coverage * 100.0);
+  printf("envelope correlation (50 ms windows): %.3f\n",
+         res.envelope_correlation);
+
+  // Export both traces as playable WAV files, like the clips the authors
+  // published alongside the paper.
+  util::WavData ref{static_cast<std::uint32_t>(cfg.sample_rate_hz),
+                    res.reference};
+  util::WavData stitched{static_cast<std::uint32_t>(cfg.sample_rate_hz),
+                         res.stitched};
+  if (util::wav_write_file("fig08_reference.wav", ref) &&
+      util::wav_write_file("fig08_enviromic.wav", stitched)) {
+    printf("wrote fig08_reference.wav / fig08_enviromic.wav (8-bit PCM)\n");
+  }
+  printf("(paper: 'the visual similarity of the two figures is obvious')\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig 14: spatial distribution of load-transfer overhead — the number of
+// messages each node sent — at t = 1500 s, 3000 s and 4400 s (beta_max=2).
+//
+// Expected shape (paper §IV-B): nodes near the event sources send far more
+// messages than the rest (they record the most and shed the most data), and
+// per-node message counts correlate with storage occupancy.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "enviromic.h"
+
+using namespace enviromic;
+
+int main() {
+  std::cout << "Fig 14 reproduction: spatial message overhead, beta_max=2\n";
+  core::IndoorRunConfig cfg;
+  cfg.mode = core::Mode::kFull;
+  cfg.beta_max = 2.0;
+  cfg.seed = 7;
+  auto res = core::run_indoor(cfg);
+
+  const double snap_times[] = {1500.0, 3000.0, 4400.0};
+  for (double want : snap_times) {
+    const core::Metrics::Snapshot* snap = nullptr;
+    for (const auto& s : res.series) {
+      if (std::abs(s.t.to_seconds() - want) < 31.0) snap = &s;
+    }
+    if (!snap) snap = &res.series.back();
+    util::Grid grid(static_cast<std::size_t>(res.grid_nx),
+                    static_cast<std::size_t>(res.grid_ny));
+    for (std::size_t i = 0; i < snap->per_node_packets_sent.size(); ++i) {
+      const std::size_t gx = i % res.grid_nx;
+      const std::size_t gy = i / res.grid_nx;
+      grid.at(gx, gy) = static_cast<double>(snap->per_node_packets_sent[i]);
+    }
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "(t = %.0fs) packets sent per node, total %.0f",
+                  snap->t.to_seconds(), grid.total());
+    std::cout << '\n';
+    util::render_contour(std::cout, grid, title);
+    util::render_values(std::cout, grid, "  per-node packets sent:");
+  }
+  std::cout << "\n(paper: nodes near sources generate significantly more "
+               "messages; message counts correlate with storage occupancy)\n";
+  return 0;
+}

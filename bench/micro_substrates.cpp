@@ -1,0 +1,96 @@
+// Engineering micro-benchmarks (google-benchmark) for the substrates the
+// protocol stack runs on: the event scheduler, the flash chunk store, the
+// RNG, interval arithmetic, and the end-to-end simulation rate. These are
+// sanity benchmarks for the simulator itself, not paper figures.
+#include <benchmark/benchmark.h>
+
+#include "enviromic.h"
+
+using namespace enviromic;
+
+namespace {
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    const int n = static_cast<int>(state.range(0));
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      sched.at(sim::Time::millis(i % 1000), [&fired] { ++fired; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerThroughput)->Arg(1000)->Arg(100000);
+
+void BM_ChunkStoreAppendPop(benchmark::State& state) {
+  storage::FlashConfig fc;
+  fc.capacity_bytes = 512 * 1024;
+  for (auto _ : state) {
+    storage::Flash flash(fc);
+    storage::Eeprom eeprom;
+    storage::ChunkStore store(flash, eeprom);
+    // Fill and drain the ring twice.
+    for (int round = 0; round < 2; ++round) {
+      while (store.can_fit(2730)) {
+        storage::Chunk c;
+        c.meta.key = store.next_key(1);
+        c.meta.bytes = 2730;
+        store.append(std::move(c));
+      }
+      while (store.pop_head()) {
+      }
+    }
+    benchmark::DoNotOptimize(store.chunk_count());
+  }
+}
+BENCHMARK(BM_ChunkStoreAppendPop);
+
+void BM_RngUniform(benchmark::State& state) {
+  sim::Rng rng(42);
+  double acc = 0;
+  for (auto _ : state) {
+    acc += rng.uniform();
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_IntervalSetMerge(benchmark::State& state) {
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    util::IntervalSet set;
+    for (int i = 0; i < 1000; ++i) {
+      const auto a = sim::Time::millis(rng.uniform_int(0, 100000));
+      set.add(a, a + sim::Time::millis(rng.uniform_int(1, 2000)));
+    }
+    benchmark::DoNotOptimize(set.measure());
+  }
+}
+BENCHMARK(BM_IntervalSetMerge);
+
+void BM_EndToEndSimulationRate(benchmark::State& state) {
+  // Simulated seconds per wall second for the full indoor stack.
+  for (auto _ : state) {
+    core::WorldConfig wc;
+    wc.seed = 11;
+    wc.node_defaults = core::paper_node_params(core::Mode::kFull, 2.0);
+    core::World world(wc);
+    core::grid_deployment(world, 8, 6, 2.0);
+    core::IndoorEventPlanConfig ev;
+    ev.horizon = sim::Time::seconds_i(120);
+    ev.generators = {{5, 3}, {11, 7}};
+    core::schedule_indoor_events(world, ev, world.rng().fork("p"));
+    world.start();
+    world.run_until(sim::Time::seconds_i(120));
+    benchmark::DoNotOptimize(world.sched().executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 120);  // simulated seconds
+}
+BENCHMARK(BM_EndToEndSimulationRate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

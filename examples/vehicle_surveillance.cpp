@@ -1,0 +1,91 @@
+// Audio surveillance of (military) targets — the paper's second motivating
+// application. A line of motes monitors a road; vehicles pass at different
+// speeds and loudness. The network records cooperatively; afterwards we
+// reconstruct a per-vehicle log (time, direction, duration) from the
+// distributed files, as an analyst at the basestation would.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "enviromic.h"
+
+using namespace enviromic;
+
+int main() {
+  core::WorldConfig config;
+  config.seed = 1717;
+  config.channel.comm_range = 50.0;
+  config.node_defaults = core::paper_node_params(core::Mode::kFull, 2.0);
+  core::World world(config);
+
+  // 12 motes in a picket line 25 ft apart along the road (x axis).
+  for (int i = 0; i < 12; ++i) {
+    world.add_node(sim::Position{25.0 * i, 10.0});
+  }
+
+  // Vehicles over 20 minutes: alternating directions, varied speed/loudness.
+  struct VehicleTruth {
+    double t_start;
+    bool eastbound;
+    double speed;
+  };
+  std::vector<VehicleTruth> truth;
+  sim::Rng rng = world.rng().fork("vehicles");
+  double t = 20.0;
+  while (t < 1200.0) {
+    const bool eastbound = rng.chance(0.5);
+    const double speed = rng.uniform(30.0, 60.0);  // ft/s
+    const double span = 11 * 25.0 + 120.0;
+    const double dur = span / speed;
+    const sim::Position start =
+        eastbound ? sim::Position{-60.0, 0.0} : sim::Position{11 * 25.0 + 60.0, 0.0};
+    world.add_source(
+        std::make_shared<acoustic::LinearTrajectory>(
+            start, eastbound ? speed : -speed, 0.0),
+        std::make_shared<acoustic::RumbleWave>(rng.next_u64()),
+        sim::Time::seconds(t), sim::Time::seconds(t + dur),
+        rng.uniform(0.8, 1.3), rng.uniform(35.0, 55.0));
+    truth.push_back({t, eastbound, speed});
+    t += rng.exponential(70.0);
+  }
+  std::printf("ground truth: %zu vehicle passes over 20 minutes\n",
+              truth.size());
+
+  world.start();
+  world.run_until(sim::Time::seconds_i(1260));
+
+  // Analyst view: reassemble files, infer passes from chunk timelines.
+  const auto files = world.drain_all();
+  std::printf("retrieved %zu files (%zu chunks)\n\n", files.file_count(),
+              files.chunk_count());
+  std::printf("%-8s %-10s %-10s %-8s %-10s %-9s\n", "file", "start(s)",
+              "dur(s)", "chunks", "recorders", "direction");
+  std::size_t matched = 0;
+  for (const auto& event : files.events()) {
+    const auto s = files.summarize(event);
+    if (s.covered.to_seconds() < 2.0) continue;  // noise blips
+    // Direction: do recorder node ids (west->east placement order) trend
+    // up or down over the chunks?
+    const auto chunks = files.chunks_of(event);
+    double trend = 0;
+    for (std::size_t i = 1; i < chunks.size(); ++i) {
+      trend += static_cast<double>(chunks[i].recorded_by) -
+               static_cast<double>(chunks[i - 1].recorded_by);
+    }
+    const char* dir = trend > 0 ? "eastbound" : trend < 0 ? "westbound" : "?";
+    std::printf("%-8s %-10.1f %-10.1f %-8zu %-10zu %-9s\n",
+                event.valid() ? event.str().c_str() : "(local)",
+                s.first_start.to_seconds(),
+                (s.last_end - s.first_start).to_seconds(), s.chunk_count,
+                s.recorders.size(), dir);
+    ++matched;
+  }
+  std::printf("\nreconstructed %zu vehicle tracks from %zu true passes\n",
+              matched, truth.size());
+
+  const auto snap = world.snapshot();
+  std::printf("coverage: %.1f%% of hearable vehicle audio captured\n",
+              100.0 * (1.0 - snap.miss_ratio));
+  return 0;
+}

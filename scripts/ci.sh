@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full CI pass: configure, build, run the test suite, smoke-run every
+# benchmark and example, and exercise the CLI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  echo "== bench: $(basename "$b")"
+  "$b" > /dev/null
+done
+
+for e in build/examples/*; do
+  echo "== example: $(basename "$e")"
+  "$e" > /dev/null
+done
+
+echo "== cli smoke"
+./build/tools/enviromic_cli --scenario mobile --runs 3 > /dev/null
+./build/tools/enviromic_cli --scenario indoor --horizon 300 --sample 300 > /dev/null
+./build/tools/enviromic_cli --scenario voice > /dev/null
+
+echo "CI OK"

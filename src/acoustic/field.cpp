@@ -1,0 +1,43 @@
+#include "acoustic/field.h"
+
+namespace enviromic::acoustic {
+
+const Source& SoundField::add_source(Source s) {
+  sources_.push_back(std::move(s));
+  return sources_.back();
+}
+
+double SoundField::signal_at(const sim::Position& where, sim::Time t) const {
+  double sum = 0.0;
+  for (const auto& s : sources_) sum += s.amplitude_at(where, t);
+  return sum;
+}
+
+double SoundField::level_at(const sim::Position& where, sim::Time t) const {
+  return background_ + signal_at(where, t);
+}
+
+std::vector<const Source*> SoundField::audible_at(const sim::Position& where,
+                                                  sim::Time t) const {
+  std::vector<const Source*> out;
+  for (const auto& s : sources_) {
+    if (s.audible_from(where, t)) out.push_back(&s);
+  }
+  return out;
+}
+
+const Source* SoundField::dominant_at(const sim::Position& where,
+                                      sim::Time t) const {
+  const Source* best = nullptr;
+  double best_amp = 0.0;
+  for (const auto& s : sources_) {
+    const double a = s.amplitude_at(where, t);
+    if (a > best_amp) {
+      best_amp = a;
+      best = &s;
+    }
+  }
+  return best;
+}
+
+}  // namespace enviromic::acoustic

@@ -1,0 +1,47 @@
+// The sound field: all sources plus ambient background noise.
+//
+// Microphones sample the field; the ground-truth tracker also consults it to
+// know which nodes *could* hear each event (the denominator of the paper's
+// miss/redundancy metrics).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "acoustic/source.h"
+#include "sim/geometry.h"
+#include "sim/time.h"
+
+namespace enviromic::acoustic {
+
+class SoundField {
+ public:
+  explicit SoundField(double background_level = 0.02)
+      : background_(background_level) {}
+
+  /// Register a source; returns its id for ground-truth bookkeeping.
+  const Source& add_source(Source s);
+
+  const std::vector<Source>& sources() const { return sources_; }
+  double background_level() const { return background_; }
+
+  /// Total signal amplitude at a position (sum of active sources; no
+  /// background). Sound superposition is approximated additively.
+  double signal_at(const sim::Position& where, sim::Time t) const;
+
+  /// Signal plus ambient background.
+  double level_at(const sim::Position& where, sim::Time t) const;
+
+  /// Sources audible from `where` at `t`.
+  std::vector<const Source*> audible_at(const sim::Position& where,
+                                        sim::Time t) const;
+
+  /// The loudest audible source at `where` (nullptr if silent).
+  const Source* dominant_at(const sim::Position& where, sim::Time t) const;
+
+ private:
+  double background_;
+  std::vector<Source> sources_;
+};
+
+}  // namespace enviromic::acoustic

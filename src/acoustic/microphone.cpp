@@ -1,0 +1,19 @@
+#include "acoustic/microphone.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace enviromic::acoustic {
+
+std::uint8_t Microphone::sample(sim::Time t) const {
+  const double env = std::min(1.0, level(t));
+  const double carrier =
+      std::sin(2.0 * std::numbers::pi * cfg_.carrier_hz * t.to_seconds());
+  const double v = cfg_.adc_center + (cfg_.adc_max - cfg_.adc_center) * env * carrier;
+  const int clipped =
+      std::clamp(static_cast<int>(std::lround(v)), 0, cfg_.adc_max);
+  return static_cast<std::uint8_t>(clipped);
+}
+
+}  // namespace enviromic::acoustic

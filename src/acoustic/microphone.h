@@ -1,0 +1,57 @@
+// The microphone + ADC model (MTS300-like: 8-bit samples centered at 128).
+//
+// Two views of the same physical signal:
+//  * `envelope(t)` — the rectified signal level the detector thresholds;
+//  * `sample(t)`   — an 8-bit ADC reading, the envelope modulated on a
+//    carrier, which is what recorded traces contain (Fig 8's y-axis is
+//    0..256 sensor readings).
+#pragma once
+
+#include <cstdint>
+
+#include "acoustic/field.h"
+#include "sim/geometry.h"
+#include "sim/time.h"
+
+namespace enviromic::acoustic {
+
+struct MicrophoneConfig {
+  double gain = 1.0;
+  /// Carrier used to synthesize oscillating ADC samples from the envelope.
+  double carrier_hz = 420.0;
+  /// ADC midpoint and full-scale, 8-bit.
+  int adc_center = 128;
+  int adc_max = 255;
+};
+
+class Microphone {
+ public:
+  Microphone(const SoundField& field, sim::Position pos,
+             MicrophoneConfig cfg = {})
+      : field_(&field), pos_(pos), cfg_(cfg) {}
+
+  void set_position(const sim::Position& p) { pos_ = p; }
+  const sim::Position& position() const { return pos_; }
+
+  /// Rectified signal level (signal only, no background), after gain.
+  double envelope(sim::Time t) const {
+    return cfg_.gain * field_->signal_at(pos_, t);
+  }
+
+  /// Signal + ambient background, after gain; what an energy detector sees.
+  double level(sim::Time t) const {
+    return cfg_.gain * field_->level_at(pos_, t);
+  }
+
+  /// One 8-bit ADC sample at absolute time t.
+  std::uint8_t sample(sim::Time t) const;
+
+  const SoundField& field() const { return *field_; }
+
+ private:
+  const SoundField* field_;
+  sim::Position pos_;
+  MicrophoneConfig cfg_;
+};
+
+}  // namespace enviromic::acoustic

@@ -1,0 +1,30 @@
+#include "acoustic/mobility.h"
+
+#include <cassert>
+
+namespace enviromic::acoustic {
+
+WaypointTrajectory::WaypointTrajectory(std::vector<sim::Position> waypoints,
+                                       double speed_per_s)
+    : pts_(std::move(waypoints)), speed_(speed_per_s) {
+  assert(!pts_.empty());
+  assert(speed_ > 0.0);
+  arrival_.resize(pts_.size());
+  arrival_[0] = 0.0;
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    arrival_[i] = arrival_[i - 1] + sim::distance(pts_[i - 1], pts_[i]) / speed_;
+  }
+}
+
+sim::Position WaypointTrajectory::position(double t) const {
+  if (t <= 0.0) return pts_.front();
+  if (t >= arrival_.back()) return pts_.back();
+  // Find the active segment.
+  std::size_t i = 1;
+  while (arrival_[i] < t) ++i;
+  const double seg = arrival_[i] - arrival_[i - 1];
+  const double frac = seg > 0.0 ? (t - arrival_[i - 1]) / seg : 0.0;
+  return sim::lerp(pts_[i - 1], pts_[i], frac);
+}
+
+}  // namespace enviromic::acoustic

@@ -1,0 +1,58 @@
+// Trajectories for acoustic sources (and, in principle, mobile nodes).
+// The indoor experiments move a source through the grid at one grid length
+// per second; the outdoor workload has vehicles passing on a road and
+// walkers on a trail.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/geometry.h"
+#include "sim/time.h"
+
+namespace enviromic::acoustic {
+
+class Trajectory {
+ public:
+  virtual ~Trajectory() = default;
+  /// Position `t` seconds after the trajectory's epoch.
+  virtual sim::Position position(double t) const = 0;
+};
+
+class StaticTrajectory : public Trajectory {
+ public:
+  explicit StaticTrajectory(sim::Position p) : p_(p) {}
+  sim::Position position(double) const override { return p_; }
+
+ private:
+  sim::Position p_;
+};
+
+/// Constant-velocity straight line from `start` with per-second velocity.
+class LinearTrajectory : public Trajectory {
+ public:
+  LinearTrajectory(sim::Position start, double vx_per_s, double vy_per_s)
+      : start_(start), vx_(vx_per_s), vy_(vy_per_s) {}
+  sim::Position position(double t) const override {
+    return {start_.x + vx_ * t, start_.y + vy_ * t};
+  }
+
+ private:
+  sim::Position start_;
+  double vx_, vy_;
+};
+
+/// Piecewise-linear motion through waypoints at a fixed speed; holds at the
+/// final waypoint.
+class WaypointTrajectory : public Trajectory {
+ public:
+  WaypointTrajectory(std::vector<sim::Position> waypoints, double speed_per_s);
+  sim::Position position(double t) const override;
+
+ private:
+  std::vector<sim::Position> pts_;
+  std::vector<double> arrival_;  //!< seconds at which each waypoint is reached
+  double speed_;
+};
+
+}  // namespace enviromic::acoustic

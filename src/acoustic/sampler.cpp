@@ -1,0 +1,63 @@
+#include "acoustic/sampler.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace enviromic::acoustic {
+
+std::uint64_t Sampler::bytes_for(sim::Time duration) const {
+  assert(!duration.is_negative());
+  const double samples = duration.to_seconds() * cfg_.sample_rate_hz;
+  return static_cast<std::uint64_t>(std::llround(samples)) * cfg_.bytes_per_sample;
+}
+
+sim::Time Sampler::duration_for(std::uint64_t bytes) const {
+  const double samples =
+      static_cast<double>(bytes) / static_cast<double>(cfg_.bytes_per_sample);
+  return sim::Time::seconds(samples / cfg_.sample_rate_hz);
+}
+
+std::vector<std::uint8_t> Sampler::capture(const Microphone& mic,
+                                           sim::Time start,
+                                           sim::Time end) const {
+  std::vector<std::uint8_t> out;
+  if (end <= start) return out;
+  const auto n = bytes_for(end - start) / cfg_.bytes_per_sample;
+  out.reserve(n);
+  const double dt = 1.0 / cfg_.sample_rate_hz;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const sim::Time t = start + sim::Time::seconds(static_cast<double>(i) * dt);
+    out.push_back(mic.sample(t));
+  }
+  return out;
+}
+
+void JitterSampler::note_radio_activity(sim::Time start, sim::Time end) {
+  busy_.emplace_back(start, end + cfg_.processing_tail);
+}
+
+bool JitterSampler::contended(sim::Time a, sim::Time b) const {
+  for (const auto& [s, e] : busy_) {
+    if (e > a && s < b) return true;
+  }
+  return false;
+}
+
+std::vector<std::int64_t> JitterSampler::observe_intervals(sim::Time t0, int n) {
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  sim::Time prev = t0;
+  for (int i = 0; i < n; ++i) {
+    const sim::Time nominal_next = prev + sim::Time::jiffies(cfg_.nominal_jiffies);
+    std::int64_t interval = cfg_.nominal_jiffies;
+    if (contended(prev, nominal_next)) {
+      interval = rng_.uniform_int(cfg_.contended_min_jiffies,
+                                  cfg_.contended_max_jiffies);
+    }
+    out.push_back(interval);
+    prev += sim::Time::jiffies(interval);
+  }
+  return out;
+}
+
+}  // namespace enviromic::acoustic

@@ -1,0 +1,59 @@
+#include "acoustic/waveform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace enviromic::acoustic {
+
+using std::numbers::pi;
+
+ToneWave::ToneWave(double carrier_hz, double tremolo_hz, double depth)
+    : carrier_hz_(carrier_hz), tremolo_hz_(tremolo_hz), depth_(depth) {}
+
+double ToneWave::amplitude(double t) const {
+  const double carrier = std::abs(std::sin(2.0 * pi * carrier_hz_ * t));
+  const double tremolo = 1.0 - depth_ * 0.5 * (1.0 + std::sin(2.0 * pi * tremolo_hz_ * t));
+  return carrier * tremolo;
+}
+
+VoiceWave::VoiceWave(std::uint64_t seed, double syllable_rate_hz)
+    : syllable_rate_hz_(syllable_rate_hz) {
+  // Precompute 256 syllables worth of levels; enough for > 70 s of speech.
+  sim::Rng rng(seed ^ 0x501CEDBEEFULL);
+  levels_.reserve(256);
+  for (int i = 0; i < 256; ++i) {
+    if (rng.chance(0.18)) {
+      levels_.push_back(0.0);  // pause between words
+    } else {
+      levels_.push_back(rng.uniform(0.45, 1.0));
+    }
+  }
+}
+
+double VoiceWave::amplitude(double t) const {
+  if (t < 0.0) return 0.0;
+  const double s = t * syllable_rate_hz_;
+  const auto idx = static_cast<std::size_t>(s) % levels_.size();
+  const double frac = s - std::floor(s);
+  // Raised-cosine syllable envelope with a pseudo-random micro-structure so
+  // the waveform is not a pure tone.
+  const double envelope = 0.5 * (1.0 - std::cos(2.0 * pi * frac));
+  const double micro =
+      0.75 + 0.25 * std::sin(2.0 * pi * (137.0 * t + 17.0 * std::sin(3.0 * t)));
+  return levels_[idx] * envelope * micro;
+}
+
+RumbleWave::RumbleWave(std::uint64_t seed) {
+  sim::Rng rng(seed ^ 0x4D8CAFEULL);
+  for (auto& p : phase_) p = rng.uniform(0.0, 2.0 * pi);
+}
+
+double RumbleWave::amplitude(double t) const {
+  const double v = 0.70 + 0.12 * std::sin(2.0 * pi * 0.7 * t + phase_[0]) +
+                   0.10 * std::sin(2.0 * pi * 1.9 * t + phase_[1]) +
+                   0.08 * std::sin(2.0 * pi * 4.3 * t + phase_[2]);
+  return std::clamp(v, 0.0, 1.0);
+}
+
+}  // namespace enviromic::acoustic

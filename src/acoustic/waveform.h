@@ -1,0 +1,75 @@
+// Waveform generators for synthetic acoustic events.
+//
+// The paper plays audio clips (bird song, human voice) through laptops; we
+// synthesize envelopes with comparable structure: tonal bursts, noise, and a
+// syllabic "voice" used to reproduce Fig 8. A waveform maps seconds-since-
+// event-start to a normalized amplitude in [0, 1].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace enviromic::acoustic {
+
+/// Normalized amplitude envelope of an event, as a function of the time (s)
+/// since the event began. Implementations must be deterministic.
+class Waveform {
+ public:
+  virtual ~Waveform() = default;
+  /// Amplitude in [0, 1] at `t` seconds after event start (t >= 0).
+  virtual double amplitude(double t) const = 0;
+};
+
+/// Constant-envelope event (e.g. machine hum); the simplest detectable shape.
+class ConstantWave : public Waveform {
+ public:
+  explicit ConstantWave(double level = 1.0) : level_(level) {}
+  double amplitude(double) const override { return level_; }
+
+ private:
+  double level_;
+};
+
+/// Amplitude-modulated tone: |sin| carrier with a slow tremolo, resembling a
+/// sustained bird song.
+class ToneWave : public Waveform {
+ public:
+  ToneWave(double carrier_hz, double tremolo_hz, double depth = 0.3);
+  double amplitude(double t) const override;
+
+ private:
+  double carrier_hz_;
+  double tremolo_hz_;
+  double depth_;
+};
+
+/// Syllabic "voice": a deterministic sequence of syllable bursts separated
+/// by short gaps, each burst a raised-cosine envelope over a pseudo-random
+/// micro-structure. Used for the Fig 8 reproduction (a person reading the
+/// paper title while walking).
+class VoiceWave : public Waveform {
+ public:
+  /// `seed` fixes the syllable pattern; `syllable_rate_hz` ~ 3-4 for speech.
+  VoiceWave(std::uint64_t seed, double syllable_rate_hz = 3.5);
+  double amplitude(double t) const override;
+
+ private:
+  double syllable_rate_hz_;
+  // Precomputed per-syllable peak levels and voicing flags (gaps).
+  std::vector<double> levels_;
+};
+
+/// Band-limited-noise-like envelope (vehicle / machinery): slowly varying
+/// positive level built from a few incommensurate sinusoids.
+class RumbleWave : public Waveform {
+ public:
+  explicit RumbleWave(std::uint64_t seed);
+  double amplitude(double t) const override;
+
+ private:
+  double phase_[3];
+};
+
+}  // namespace enviromic::acoustic

@@ -1,0 +1,209 @@
+#include "core/balancer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bulk_transfer.h"
+#include "core/node.h"
+#include "sim/log.h"
+
+namespace enviromic::core {
+
+Balancer::Balancer(Node& node)
+    : node_(node),
+      rate_(node.cfg().ewma_alpha, node.cfg().initial_rate_bytes_per_s) {}
+
+void Balancer::start() {
+  if (started_) return;
+  started_ = true;
+  last_rate_update_ = node_.sched().now();
+  // Stagger ticks across nodes so beacons do not synchronize.
+  const auto stagger = sim::Time::ticks(node_.rng().uniform_int(
+      0, node_.cfg().beacon_period.raw_ticks()));
+  node_.sched().after(stagger, [this] { tick(); });
+}
+
+void Balancer::note_recorded_bytes(std::uint64_t bytes) {
+  bytes_this_period_ += bytes;
+  update_rate_if_due();
+}
+
+void Balancer::update_rate_if_due() {
+  const sim::Time now = node_.sched().now();
+  const sim::Time period = node_.cfg().rate_update_period;
+  // R(t) measures input "over the (waking) interval during which recording
+  // took place" (paper §II-B): normalize by awake time so duty cycling
+  // leaves the TTL bottleneck unchanged.
+  const double duty = std::clamp(node_.cfg().duty_cycle, 0.05, 1.0);
+  while (now - last_rate_update_ >= period) {
+    const double r = static_cast<double>(bytes_this_period_) /
+                     (period.to_seconds() * duty);
+    rate_.update(r);
+    bytes_this_period_ = 0;
+    last_rate_update_ += period;
+  }
+}
+
+double Balancer::ttl_storage_seconds() const {
+  const auto free = node_.store().free_bytes();
+  if (free == 0) return 0.0;
+  const double r =
+      std::max(rate_.value(), node_.cfg().rate_floor_bytes_per_s);
+  if (r < 1e-9) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(free) / r;
+}
+
+double Balancer::ttl_energy_seconds() const {
+  return node_.energy().ttl_energy_seconds(rate_.value());
+}
+
+double Balancer::beta() const {
+  const double ttl = ttl_storage_seconds();
+  const double ref = node_.cfg().ttl_reference_s;
+  const double frac = std::isinf(ttl) ? 1.0 : std::min(1.0, ttl / ref);
+  return 1.0 + (node_.cfg().beta_max - 1.0) * frac;
+}
+
+void Balancer::handle(const net::StateBeacon& m) {
+  auto& n = neighbors_[m.sender];
+  n.ttl_storage_s = m.ttl_storage_s;
+  n.ttl_energy_s = m.ttl_energy_s;
+  n.free_bytes = m.free_bytes;
+  n.est_mean_free = m.est_mean_free > 0.0 ? m.est_mean_free : -1.0;
+  n.last_heard = node_.sched().now();
+}
+
+double Balancer::estimated_mean_free() const {
+  if (est_mean_free_ >= 0.0) return est_mean_free_;
+  return static_cast<double>(node_.store().free_bytes());
+}
+
+void Balancer::note_neighbor(net::NodeId id, double ttl_storage_s,
+                             std::uint64_t free_bytes) {
+  auto& n = neighbors_[id];
+  n.ttl_storage_s = ttl_storage_s;
+  n.free_bytes = free_bytes;
+  n.last_heard = node_.sched().now();
+}
+
+void Balancer::tick() {
+  node_.sched().after(node_.cfg().beacon_period, [this] { tick(); });
+  if (node_.cfg().mode != Mode::kFull) return;
+  update_rate_if_due();
+  node_.energy().advance(node_.sched().now());
+
+  if (node_.cfg().balance_strategy == BalanceStrategy::kGlobalGossip) {
+    // DeGroot averaging: blend the local free space with the fresh
+    // neighbours' estimates; repeated exchange converges toward the
+    // network-wide mean.
+    const sim::Time now = node_.sched().now();
+    const sim::Time freshness = node_.cfg().beacon_period * 3;
+    double sum = static_cast<double>(node_.store().free_bytes());
+    int n = 1;
+    for (const auto& [id, st] : neighbors_) {
+      if (now - st.last_heard > freshness) continue;
+      sum += st.est_mean_free >= 0.0 ? st.est_mean_free
+                                     : static_cast<double>(st.free_bytes);
+      ++n;
+    }
+    est_mean_free_ = sum / n;
+  }
+
+  net::StateBeacon b;
+  b.sender = node_.id();
+  b.ttl_storage_s = ttl_storage_seconds();
+  b.ttl_energy_s = ttl_energy_seconds();
+  b.free_bytes = node_.store().free_bytes();
+  b.est_mean_free = est_mean_free_ >= 0.0 ? est_mean_free_ : 0.0;
+  node_.nb().send_lazy(b);
+  ++stats_.beacons_sent;
+
+  evaluate();
+}
+
+void Balancer::evaluate() {
+  if (node_.cfg().mode != Mode::kFull) return;
+  if (node_.bulk().sending() || node_.is_recording()) return;
+  // "Acoustic events are likely to be sporadic allowing for migration in
+  // between occurrences" (paper §II-B): defer shedding while an event is in
+  // progress locally so bulk traffic does not disturb task management.
+  if (node_.group().hearing()) return;
+  if (node_.sched().now() - last_session_end_ < node_.cfg().session_cooldown)
+    return;
+  if (node_.store().chunk_count() == 0) return;
+  if (node_.energy().battery().depleted()) return;
+
+  const double my_ttl = ttl_storage_seconds();
+  if (std::isinf(my_ttl)) return;  // nothing flowing in; nothing to shed
+
+  // The paper's energy gate: migrate only while storage, not energy, is the
+  // bottleneck.
+  if (ttl_energy_seconds() <= my_ttl) return;
+
+  const double my_beta = beta();
+  const sim::Time now = node_.sched().now();
+  const sim::Time freshness = node_.cfg().beacon_period * 3;
+  const std::uint32_t min_space = node_.flash().block_size() * 4;
+
+  net::NodeId best = net::kInvalidNode;
+  if (node_.cfg().balance_strategy == BalanceStrategy::kGlobalGossip) {
+    // Global trigger: shed when the network-mean free space exceeds beta
+    // times ours (we are globally over-loaded), to the neighbour with the
+    // most free space.
+    const auto my_free = static_cast<double>(node_.store().free_bytes());
+    if (!(estimated_mean_free() > my_beta * std::max(1.0, my_free))) return;
+    std::uint64_t best_free = min_space;
+    for (const auto& [id, st] : neighbors_) {
+      if (now - st.last_heard > freshness) continue;
+      if (st.free_bytes >= best_free &&
+          static_cast<double>(st.free_bytes) > my_free) {
+        best_free = st.free_bytes;
+        best = id;
+      }
+    }
+  } else {
+    double best_ttl = 0.0;
+    for (const auto& [id, st] : neighbors_) {
+      if (now - st.last_heard > freshness) continue;
+      if (st.free_bytes < min_space) continue;
+      const double ratio = my_ttl <= 0.0
+                               ? std::numeric_limits<double>::infinity()
+                               : st.ttl_storage_s / my_ttl;
+      if (!(ratio > my_beta)) continue;
+      if (st.ttl_storage_s > best_ttl) {
+        best_ttl = st.ttl_storage_s;
+        best = id;
+      }
+    }
+  }
+  if (best == net::kInvalidNode) return;
+
+  ++stats_.sessions_started;
+  sim::LogStream(sim::LogLevel::kDebug, node_.sched().now(), "balance")
+      << "node " << node_.id() << " sheds to " << best << " (ttl="
+      << my_ttl << "s beta=" << my_beta << ")";
+  node_.bulk().start_session(best, node_.cfg().max_chunks_per_session);
+}
+
+void Balancer::on_session_end(net::NodeId to, std::uint64_t bytes_moved) {
+  stats_.bytes_pushed += bytes_moved;
+  last_session_end_ = node_.sched().now();
+  // Update our estimate of the receiver so the trigger does not fire again
+  // before its next beacon.
+  auto it = neighbors_.find(to);
+  if (it != neighbors_.end() && bytes_moved > 0) {
+    auto& st = it->second;
+    const double rate_est =
+        st.ttl_storage_s > 0.0 && !std::isinf(st.ttl_storage_s)
+            ? static_cast<double>(st.free_bytes) / st.ttl_storage_s
+            : 0.0;
+    st.free_bytes -= std::min(st.free_bytes, bytes_moved);
+    if (rate_est > 1e-9) {
+      st.ttl_storage_s = static_cast<double>(st.free_bytes) / rate_est;
+    }
+  }
+  // Keep shedding while the trigger still holds.
+  evaluate();
+}
+
+}  // namespace enviromic::core

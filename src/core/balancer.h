@@ -1,0 +1,93 @@
+// Distributed storage balancing (paper §II-B).
+//
+// Every node tracks its data acquisition rate R(t) with an EWMA, computes
+// TTL_storage = C(t)/R(t) and TTL_energy = E(t)/D(R(t)), beacons its state,
+// and — when a neighbour's TTL exceeds its own by the sensitivity factor
+// beta_i (linear in the current TTL between 1 and beta_max) while energy is
+// not the bottleneck — migrates chunks from the head of its queue to that
+// neighbour via the bulk-transfer component. Received data may be pushed
+// further on later evaluations, letting hot-spot data diffuse outward
+// (paper Fig 13/18).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+
+#include "core/config.h"
+#include "net/message.h"
+#include "sim/event_queue.h"
+#include "sim/time.h"
+#include "util/stats.h"
+
+namespace enviromic::core {
+
+class Node;
+
+struct BalancerStats {
+  std::uint32_t beacons_sent = 0;
+  std::uint32_t sessions_started = 0;
+  std::uint64_t bytes_pushed = 0;
+  std::uint64_t bytes_accepted = 0;
+};
+
+class Balancer {
+ public:
+  explicit Balancer(Node& node);
+
+  void start();
+
+  /// Recorder reports freshly acquired audio (attempted, whether or not the
+  /// store had room — R measures environmental input while awake).
+  void note_recorded_bytes(std::uint64_t bytes);
+
+  /// Paper metrics -------------------------------------------------------
+  double acquisition_rate() const { return rate_.value(); }
+  /// TTL_storage = C(t)/R(t); +inf when R ~ 0, 0 when the store is full.
+  double ttl_storage_seconds() const;
+  double ttl_energy_seconds() const;
+  /// beta_i = 1 + (beta_max - 1) * min(1, TTL_i / ttl_reference).
+  double beta() const;
+
+  // Neighbour state (from STATE_BEACON and SENSING soft state).
+  void handle(const net::StateBeacon& m);
+  void note_neighbor(net::NodeId id, double ttl_storage_s,
+                     std::uint64_t free_bytes);
+
+  /// Bulk transfer completion callback: update local estimates & re-check.
+  void on_session_end(net::NodeId to, std::uint64_t bytes_moved);
+
+  /// Re-evaluate the migration trigger now (also runs on every tick).
+  void evaluate();
+
+  /// Current gossip estimate of the network-mean free bytes (global
+  /// strategy; falls back to the local free space before any exchange).
+  double estimated_mean_free() const;
+
+  const BalancerStats& stats() const { return stats_; }
+
+ private:
+  void tick();
+  void update_rate_if_due();
+
+  Node& node_;
+  std::uint64_t bytes_this_period_ = 0;
+  sim::Time last_rate_update_;
+  util::Ewma rate_;
+
+  struct NeighborState {
+    double ttl_storage_s = std::numeric_limits<double>::infinity();
+    double ttl_energy_s = std::numeric_limits<double>::infinity();
+    std::uint64_t free_bytes = 0;
+    double est_mean_free = -1.0;  //!< <0: sender runs local-greedy
+    sim::Time last_heard;
+  };
+  std::map<net::NodeId, NeighborState> neighbors_;
+  /// Gossip estimate of network-mean free bytes (global strategy).
+  double est_mean_free_ = -1.0;
+  sim::Time last_session_end_;
+  bool started_ = false;
+  BalancerStats stats_;
+};
+
+}  // namespace enviromic::core

@@ -1,0 +1,271 @@
+#include "core/bulk_transfer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/balancer.h"
+#include "sim/log.h"
+#include "core/metrics.h"
+#include "core/node.h"
+
+namespace enviromic::core {
+
+namespace {
+constexpr std::size_t kCompletedMemory = 128;
+}
+
+BulkTransfer::BulkTransfer(Node& node) : node_(node) {}
+
+void BulkTransfer::start_session(net::NodeId to, int max_chunks) {
+  if (tx_ || max_chunks <= 0) return;
+  if (node_.store().chunk_count() == 0) return;
+  tx_ = SendSession{};
+  tx_->to = to;
+  tx_->chunks_left = max_chunks;
+  ++stats_.sessions;
+  send_offer();
+}
+
+void BulkTransfer::send_offer() {
+  net::TransferOffer offer;
+  offer.sender = node_.id();
+  offer.to = tx_->to;
+  // Offer what this session could move at most.
+  std::uint64_t bytes = 0;
+  int counted = 0;
+  node_.store().for_each([&](const storage::ChunkMeta& m) {
+    if (counted++ < tx_->chunks_left) bytes += m.bytes;
+  });
+  // A zero-byte chunk still needs a non-empty grant window.
+  offer.bytes = std::max<std::uint64_t>(1, bytes);
+  node_.nb().send_to(tx_->to, offer);
+  // Grant timeout: the neighbour may be recording or unreachable.
+  ack_timer_ = node_.sched().after(node_.cfg().transfer_ack_timeout * 4, [this] {
+    if (tx_ && !tx_->grant_received) end_session(/*aborted=*/true);
+  });
+}
+
+void BulkTransfer::handle(const net::TransferOffer& m) {
+  if (m.to != node_.id()) return;
+  if (node_.cfg().mode != Mode::kFull) return;
+  const std::uint64_t free = node_.store().free_bytes();
+  if (free < node_.flash().block_size()) return;  // cannot absorb anything
+  net::TransferGrant g;
+  g.sender = node_.id();
+  g.to = m.sender;
+  // Leave one block of headroom for our own next recording.
+  g.bytes = std::min<std::uint64_t>(m.bytes, free - node_.flash().block_size());
+  if (g.bytes == 0) return;
+  node_.nb().send_to(m.sender, g);
+}
+
+void BulkTransfer::handle(const net::TransferGrant& m) {
+  if (m.to != node_.id()) return;
+  if (!tx_ || tx_->grant_received || m.sender != tx_->to) return;
+  ack_timer_.cancel();
+  tx_->grant_received = true;
+  tx_->granted_bytes = m.bytes;
+  next_chunk();
+}
+
+void BulkTransfer::next_chunk() {
+  assert(tx_);
+  if (tx_->chunks_left <= 0) {
+    end_session(/*aborted=*/false);
+    return;
+  }
+  const storage::ChunkMeta* head = node_.store().head_meta();
+  if (!head || head->bytes > tx_->granted_bytes) {
+    end_session(/*aborted=*/false);
+    return;
+  }
+  storage::Chunk c;
+  c.meta = *head;
+  c.payload = node_.store().read_payload(head->key);
+  tx_->current = std::move(c);
+  const std::uint32_t frag = node_.cfg().transfer_fragment_bytes;
+  tx_->frag_count = std::max<std::uint32_t>(1, (tx_->current->meta.bytes + frag - 1) / frag);
+  tx_->frag_index = 0;
+  tx_->retries = 0;
+  send_fragment();
+}
+
+void BulkTransfer::send_fragment() {
+  // Pace fragments: the bulk stream shares the channel with live control
+  // traffic, so it trickles rather than bursts.
+  node_.sched().after(node_.cfg().transfer_fragment_spacing,
+                      [this] { do_send_fragment(); });
+}
+
+void BulkTransfer::do_send_fragment() {
+  if (!tx_ || !tx_->current) return;
+  const auto& meta = tx_->current->meta;
+  const std::uint32_t frag_size = node_.cfg().transfer_fragment_bytes;
+  net::TransferData d;
+  d.sender = node_.id();
+  d.to = tx_->to;
+  d.chunk_key = meta.key;
+  d.frag_index = tx_->frag_index;
+  d.frag_count = tx_->frag_count;
+  const std::uint64_t off =
+      static_cast<std::uint64_t>(tx_->frag_index) * frag_size;
+  d.payload_bytes = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(frag_size, meta.bytes - std::min<std::uint64_t>(meta.bytes, off)));
+  if (d.payload_bytes == 0) d.payload_bytes = 1;  // zero-byte chunk edge
+  if (d.frag_index == 0) {
+    d.event = meta.event;
+    d.start = meta.start;
+    d.end = meta.end;
+    d.recorded_by = meta.recorded_by;
+    d.chunk_bytes = meta.bytes;
+    d.is_prelude = meta.is_prelude;
+  }
+  if (!tx_->current->payload.empty() && off < tx_->current->payload.size()) {
+    const auto len = std::min<std::size_t>(
+        d.payload_bytes, tx_->current->payload.size() - off);
+    d.payload.assign(tx_->current->payload.begin() + static_cast<std::ptrdiff_t>(off),
+                     tx_->current->payload.begin() + static_cast<std::ptrdiff_t>(off + len));
+  }
+  if (!node_.nb().send_to(tx_->to, std::move(d))) {
+    end_session(/*aborted=*/true);
+    return;
+  }
+  arm_ack_timer();
+}
+
+void BulkTransfer::arm_ack_timer() {
+  ack_timer_ = node_.sched().after(node_.cfg().transfer_ack_timeout, [this] {
+    if (!tx_ || !tx_->current) return;
+    if (++tx_->retries > node_.cfg().transfer_max_retries) {
+      // Give up: keep the chunk locally. If the receiver actually completed
+      // it (our acks were the losses), both sides now store a copy — the
+      // incidental replication the paper describes.
+      ++stats_.duplicate_risks;
+      end_session(/*aborted=*/true);
+      return;
+    }
+    ++stats_.fragments_retried;
+    send_fragment();
+  });
+}
+
+void BulkTransfer::handle(const net::TransferAck& m) {
+  if (m.to != node_.id()) return;
+  if (!tx_ || !tx_->current || m.sender != tx_->to) return;
+  if (m.chunk_key != tx_->current->meta.key || m.frag_index != tx_->frag_index)
+    return;
+  ack_timer_.cancel();
+  tx_->retries = 0;
+  if (tx_->frag_index + 1 < tx_->frag_count) {
+    ++tx_->frag_index;
+    send_fragment();
+    return;
+  }
+  // Chunk fully delivered: remove it locally.
+  const std::uint32_t moved = tx_->current->meta.bytes;
+  auto popped = node_.store().pop_head();
+  assert(popped && popped->meta.key == tx_->current->meta.key);
+  (void)popped;
+  tx_->granted_bytes -= std::min<std::uint64_t>(tx_->granted_bytes, moved);
+  tx_->bytes_moved += moved;
+  tx_->chunks_left -= 1;
+  ++stats_.chunks_sent;
+  stats_.bytes_sent += moved;
+  if (node_.metrics()) {
+    node_.metrics()->note_migration(node_.id(), tx_->to, moved);
+  }
+  tx_->current.reset();
+  next_chunk();
+}
+
+void BulkTransfer::handle(const net::TransferData& m) {
+  if (m.to != node_.id()) return;
+  if (completed_.count(m.chunk_key)) {
+    // Re-ack idempotently: the sender missed our earlier ack.
+    send_ack(m.sender, m.chunk_key, m.frag_index);
+    return;
+  }
+  auto it = rx_.find(m.chunk_key);
+  if (it == rx_.end()) {
+    RecvState st;
+    st.from = m.sender;
+    rx_.emplace(m.chunk_key, std::move(st));
+    it = rx_.find(m.chunk_key);
+  }
+  RecvState& st = it->second;
+  st.frag_count = m.frag_count;
+  if (m.frag_index == 0) {
+    st.meta.key = m.chunk_key;
+    st.meta.event = m.event;
+    st.meta.start = m.start;
+    st.meta.end = m.end;
+    st.meta.recorded_by = m.recorded_by;
+    st.meta.bytes = m.chunk_bytes;
+    st.meta.is_prelude = m.is_prelude;
+  }
+  if (!m.payload.empty()) {
+    const std::size_t off = static_cast<std::size_t>(m.frag_index) *
+                            node_.cfg().transfer_fragment_bytes;
+    if (st.payload.size() < off + m.payload.size())
+      st.payload.resize(off + m.payload.size());
+    std::copy(m.payload.begin(), m.payload.end(),
+              st.payload.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+  st.got.insert(m.frag_index);
+
+  if (st.got.size() < st.frag_count || !st.got.count(0)) {
+    send_ack(m.sender, m.chunk_key, m.frag_index);
+    return;
+  }
+
+  // This fragment completes the chunk. Store it BEFORE acknowledging: an
+  // acked final fragment makes the sender delete its copy, so acking a
+  // failed append would destroy data.
+  storage::Chunk c;
+  c.meta = st.meta;
+  c.payload = std::move(st.payload);
+  const std::uint32_t bytes = st.meta.bytes;
+  rx_.erase(m.chunk_key);
+  if (!node_.store().append(std::move(c))) {
+    // No room after all (we filled up since granting); stay silent so the
+    // sender keeps the chunk and eventually aborts.
+    return;
+  }
+  ++stats_.chunks_received;
+  stats_.bytes_received += bytes;
+  completed_.insert(m.chunk_key);
+  completed_order_.push_back(m.chunk_key);
+  while (completed_order_.size() > kCompletedMemory) {
+    completed_.erase(completed_order_.front());
+    completed_order_.pop_front();
+  }
+  // Received data may make us the new hot spot; the balancer re-checks the
+  // trigger on its next tick.
+  send_ack(m.sender, m.chunk_key, m.frag_index);
+}
+
+void BulkTransfer::send_ack(net::NodeId to, std::uint64_t key,
+                            std::uint32_t frag) {
+  net::TransferAck a;
+  a.sender = node_.id();
+  a.to = to;
+  a.chunk_key = key;
+  a.frag_index = frag;
+  node_.nb().send_to(to, a);
+}
+
+void BulkTransfer::end_session(bool aborted) {
+  if (!tx_) return;
+  if (aborted) ++stats_.aborts;
+  sim::LogStream(sim::LogLevel::kTrace, node_.sched().now(), "bulk")
+      << "node " << node_.id() << (aborted ? " aborts" : " finishes")
+      << " session to " << tx_->to << " after " << tx_->bytes_moved
+      << " bytes";
+  const net::NodeId to = tx_->to;
+  const std::uint64_t moved = tx_->bytes_moved;
+  ack_timer_.cancel();
+  tx_.reset();
+  node_.balancer().on_session_end(to, moved);
+}
+
+}  // namespace enviromic::core

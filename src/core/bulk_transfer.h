@@ -1,0 +1,96 @@
+// Local reliable bulk transfer (paper §III-A) used by storage balancing.
+//
+// Stop-and-wait fragment protocol: OFFER -> GRANT, then chunks stream as
+// acknowledged fragments; a chunk is popped from the sender's store only
+// after its final fragment is acked. An aborted session (retries exhausted)
+// can leave a completed copy at the receiver while the sender keeps its own
+// — the "incidental replication" the paper observes as residual redundancy
+// under aggressive balancing (Fig 11).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/config.h"
+#include "net/message.h"
+#include "sim/event_queue.h"
+#include "sim/time.h"
+#include "storage/chunk.h"
+
+namespace enviromic::core {
+
+class Node;
+
+struct TransferStats {
+  std::uint32_t sessions = 0;
+  std::uint32_t aborts = 0;
+  std::uint32_t chunks_sent = 0;
+  std::uint32_t chunks_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint32_t fragments_retried = 0;
+  std::uint32_t duplicate_risks = 0;  //!< aborted with receiver state unknown
+};
+
+class BulkTransfer {
+ public:
+  explicit BulkTransfer(Node& node);
+
+  bool sending() const { return tx_.has_value(); }
+
+  /// Start migrating up to `max_chunks` chunks (head-of-queue first) to
+  /// `to`. No-op if a session is already active.
+  void start_session(net::NodeId to, int max_chunks);
+
+  void handle(const net::TransferOffer& m);
+  void handle(const net::TransferGrant& m);
+  void handle(const net::TransferData& m);
+  void handle(const net::TransferAck& m);
+
+  const TransferStats& stats() const { return stats_; }
+
+ private:
+  struct SendSession {
+    net::NodeId to;
+    int chunks_left;
+    std::uint64_t granted_bytes = 0;
+    bool grant_received = false;
+    std::uint64_t bytes_moved = 0;
+    // Current chunk in flight.
+    std::optional<storage::Chunk> current;
+    std::uint32_t frag_index = 0;
+    std::uint32_t frag_count = 0;
+    int retries = 0;
+  };
+
+  struct RecvState {
+    net::NodeId from;
+    storage::ChunkMeta meta;
+    std::uint32_t frag_count = 0;
+    std::set<std::uint32_t> got;
+    std::vector<std::uint8_t> payload;
+  };
+
+  void send_offer();
+  void next_chunk();
+  void send_fragment();
+  void do_send_fragment();
+  void arm_ack_timer();
+  void end_session(bool aborted);
+  void send_ack(net::NodeId to, std::uint64_t key, std::uint32_t frag);
+
+  Node& node_;
+  std::optional<SendSession> tx_;
+  sim::EventHandle ack_timer_;
+  std::map<std::uint64_t, RecvState> rx_;
+  /// Recently completed chunk keys, re-acked idempotently.
+  std::deque<std::uint64_t> completed_order_;
+  std::set<std::uint64_t> completed_;
+  TransferStats stats_;
+};
+
+}  // namespace enviromic::core

@@ -1,0 +1,22 @@
+#include "core/config.h"
+
+namespace enviromic::core {
+
+const char* strategy_name(BalanceStrategy s) {
+  switch (s) {
+    case BalanceStrategy::kLocalGreedy: return "local-greedy";
+    case BalanceStrategy::kGlobalGossip: return "global-gossip";
+  }
+  return "?";
+}
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kUncoordinated: return "uncoordinated";
+    case Mode::kCooperativeOnly: return "cooperative-only";
+    case Mode::kFull: return "full";
+  }
+  return "?";
+}
+
+}  // namespace enviromic::core

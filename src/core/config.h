@@ -1,0 +1,143 @@
+// Protocol configuration for an EnviroMic node.
+//
+// Defaults follow the paper's evaluation settings (§IV): T_rc = 1 s,
+// D_ta = 70 ms, 2.730 kHz sampling, 0.5 MB flash. The run mode selects
+// between the paper's two baselines and the full system.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+#include "storage/codec.h"
+
+namespace enviromic::core {
+
+/// Paper §IV-B's three compared configurations.
+enum class Mode {
+  kUncoordinated,    //!< baseline: every hearer records independently
+  kCooperativeOnly,  //!< cooperative recording, no storage balancing
+  kFull,             //!< cooperative recording + TTL-based balancing
+};
+
+const char* mode_name(Mode m);
+
+/// Storage-balancing trigger strategy. The paper ships the local greedy
+/// pairwise-TTL rule and names "global (as opposed to local greedy)
+/// load-balancing" as future work (§VI); the gossip strategy implements it
+/// with DeGroot-style averaging of free space over the beacon exchange.
+enum class BalanceStrategy {
+  kLocalGreedy,   //!< paper §II-B: migrate when TTL_j / TTL_i > beta_i
+  kGlobalGossip,  //!< migrate when the gossiped network-mean free space
+                  //!< exceeds beta_i times the local free space
+};
+
+const char* strategy_name(BalanceStrategy s);
+
+/// Which group member the leader picks for the next recording task
+/// (paper §II-A.2 suggests either).
+enum class RecorderPolicy {
+  kHighestTtl,   //!< member with the most remaining storage lifetime
+  kBestSignal,   //!< member with the best reception of the acoustic signal
+};
+
+struct ProtocolConfig {
+  Mode mode = Mode::kFull;
+
+  // --- Cooperative recording -------------------------------------------
+  sim::Time task_period = sim::Time::seconds_i(1);     //!< T_rc
+  sim::Time task_assign_delay = sim::Time::millis(70); //!< D_ta
+  /// Leader election back-off window after detecting a leaderless event.
+  /// Paper §IV-A: election + group creation + first task assignment take
+  /// ~0.7 s on average ("up to one second"); U(0, 1 s) back-off plus
+  /// detection and control latencies lands there.
+  sim::Time election_backoff = sim::Time::millis(1000);
+  /// Hand-off election back-off after a RESIGN (soft state exists, so the
+  /// paper calls this "very quick").
+  sim::Time handoff_backoff = sim::Time::millis(80);
+  /// SENSING heartbeat period while hearing an event.
+  sim::Time sensing_period = sim::Time::millis(500);
+  /// Member soft-state expiry (several heartbeats).
+  sim::Time member_timeout = sim::Time::millis(1500);
+  /// Leader's wait for TASK_CONFIRM/TASK_REJECT before trying another
+  /// member (must exceed a full request->confirm handshake).
+  sim::Time confirm_timeout = sim::Time::millis(100);
+  /// A hearing non-leader that observes no task activity for this long
+  /// assumes the leader is gone and re-elects.
+  sim::Time leader_silence_timeout = sim::Time::millis(2500);
+  /// TinyOS-stack processing delay before a control send, U(min, max):
+  /// the dominant part of the measured task-assignment latency. A full
+  /// request->confirm handshake lands at ~35-85 ms, which is why the
+  /// paper's D_ta plateaus at 70 ms (Fig 6).
+  sim::Time control_proc_min = sim::Time::millis(15);
+  sim::Time control_proc_max = sim::Time::millis(40);
+  RecorderPolicy recorder_policy = RecorderPolicy::kHighestTtl;
+  /// Prelude optimization (paper §II-A.1); off in the paper's evaluation.
+  bool prelude_enabled = false;
+  sim::Time prelude_length = sim::Time::seconds_i(1);
+  /// Recorders per task round. 1 reproduces the paper; higher values add
+  /// the controlled redundancy of footnote 1 (robustness to lost motes).
+  int recording_replicas = 1;
+  /// Compress chunks before storing them (paper §V: compression "can be
+  /// easily integrated to further reduce the data volume"). Takes effect
+  /// only when payloads are materialized (flash.store_payloads = true).
+  storage::CodecKind chunk_codec = storage::CodecKind::kNone;
+
+  // --- Storage balancing ------------------------------------------------
+  BalanceStrategy balance_strategy = BalanceStrategy::kLocalGreedy;
+  double beta_max = 2.0;
+  /// TTL scale at which beta saturates to beta_max: beta_i = 1 +
+  /// (beta_max - 1) * min(1, TTL_i / ttl_reference). Chosen near the TTL a
+  /// half-full node sees under the indoor workload, so sensitivity rises as
+  /// storage becomes scarce (paper §II-B).
+  double ttl_reference_s = 300.0;
+  sim::Time beacon_period = sim::Time::seconds_i(5);
+  double ewma_alpha = 0.25;
+  sim::Time rate_update_period = sim::Time::seconds_i(10);
+  /// Initial acquisition rate R0 (bytes/s); paper §II-B: zero or
+  /// Exp(R_event)/N. The default matches the indoor workload's network-wide
+  /// average (≈1100 s of 2730 B/s audio over 4400 s across 48 nodes).
+  double initial_rate_bytes_per_s = 25.0;
+  /// Floor applied to R(t) when computing TTLs so a quiet node's TTL stays
+  /// finite and beta-comparable instead of collapsing to infinity as its
+  /// EWMA decays. The paper's R0 heuristic implies the same intent ("R0 is
+  /// basically the average data acquisition rate if events are uniformly
+  /// distributed").
+  double rate_floor_bytes_per_s = 25.0;
+  /// Chunks per balancing session before re-evaluating the trigger.
+  int max_chunks_per_session = 8;
+  /// Minimum spacing between outgoing balancing sessions. Keeps shedding
+  /// paced like the mote implementation (where bulk transfer competed with
+  /// all other traffic), so hot nodes carry a standing backlog instead of
+  /// draining instantly — the paper's Fig 13 shows the source regions as
+  /// the densest.
+  sim::Time session_cooldown = sim::Time::seconds_i(45);
+
+  // --- Bulk transfer -----------------------------------------------------
+  std::uint32_t transfer_fragment_bytes = 64;
+  sim::Time transfer_ack_timeout = sim::Time::millis(120);
+  int transfer_max_retries = 6;
+  /// Pacing between fragments: mote bulk transfer shares one CSMA channel
+  /// with live control traffic, so effective throughput is ~1-3 kB/s.
+  sim::Time transfer_fragment_spacing = sim::Time::millis(30);
+
+  // --- Duty cycling --------------------------------------------------------
+  /// Fraction of each duty period the node is awake (radio + detector on).
+  /// 1.0 disables duty cycling. The paper argues TTL computations are
+  /// "completely oblivious" to duty cycling (§II-B): rates are measured
+  /// over awake time, so both TTLs stretch proportionally and the
+  /// bottleneck is unchanged.
+  double duty_cycle = 1.0;
+  sim::Time duty_period = sim::Time::seconds_i(10);
+
+  // --- Time sync ----------------------------------------------------------
+  sim::Time sync_period = sim::Time::seconds_i(30);
+  /// Paper §III-A: "we reduce synchronization frequency when events are
+  /// rare" — period multiplier applied after a quiet spell.
+  double sync_idle_backoff = 4.0;
+  sim::Time sync_idle_threshold = sim::Time::seconds_i(120);
+
+  // --- Retrieval -----------------------------------------------------------
+  sim::Time reply_spacing = sim::Time::millis(5);
+};
+
+}  // namespace enviromic::core

@@ -1,0 +1,279 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace enviromic::core {
+
+NodeParams paper_node_params(Mode mode, double beta_max) {
+  NodeParams p;
+  p.protocol.mode = mode;
+  p.protocol.beta_max = beta_max;
+  return p;
+}
+
+IndoorRunResult run_indoor(const IndoorRunConfig& cfg) {
+  WorldConfig wc;
+  wc.seed = cfg.seed;
+  wc.node_defaults = paper_node_params(cfg.mode, cfg.beta_max);
+  if (cfg.flash_scale != 1.0) {
+    wc.node_defaults.flash.capacity_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(wc.node_defaults.flash.capacity_bytes) *
+        cfg.flash_scale);
+  }
+  World world(wc);
+
+  IndoorRunResult result;
+  result.grid_nx = cfg.grid_nx;
+  result.grid_ny = cfg.grid_ny;
+  result.positions =
+      grid_deployment(world, cfg.grid_nx, cfg.grid_ny, cfg.spacing_ft);
+
+  IndoorEventPlanConfig events = cfg.events;
+  events.horizon = cfg.horizon;
+  if (events.generators.empty()) {
+    // Two generators at cell centres, well apart (paper Fig 9): each is
+    // heard by exactly the four surrounding grid nodes.
+    const double s = cfg.spacing_ft;
+    events.generators = {{2.5 * s, 1.5 * s},
+                         {(cfg.grid_nx - 2.5) * s, (cfg.grid_ny - 2.5) * s}};
+  }
+  result.plan = schedule_indoor_events(world, events, world.rng().fork("plan"));
+
+  world.start();
+  for (sim::Time t = cfg.sample_period; t <= cfg.horizon;
+       t += cfg.sample_period) {
+    world.run_until(t);
+    result.series.push_back(world.snapshot());
+  }
+  return result;
+}
+
+MobileRunResult run_mobile(const MobileRunConfig& cfg) {
+  WorldConfig wc;
+  wc.seed = cfg.seed;
+  wc.node_defaults = paper_node_params(Mode::kCooperativeOnly, 2.0);
+  wc.node_defaults.protocol.task_period = cfg.task_period;
+  wc.node_defaults.protocol.task_assign_delay = cfg.task_assign_delay;
+  wc.node_defaults.protocol.prelude_enabled = cfg.prelude;
+  World world(wc);
+
+  grid_deployment(world, cfg.grid_nx, cfg.grid_ny, cfg.spacing_ft);
+
+  MobileEventConfig ev;
+  const double s = cfg.spacing_ft;
+  // Cross the middle row of the grid, entering from the left.
+  const double y = (cfg.grid_ny - 1) * s / 2.0;
+  ev.from = {-s, y};
+  ev.to = {cfg.grid_nx * s, y};
+  ev.speed = s;  // one grid length per second
+  ev.start = sim::Time::seconds_i(5);
+  ev.duration = cfg.event_duration;
+  ev.audible_range = 1.05 * s;  // "about one grid length"
+  add_mobile_event(world, ev);
+
+  world.start();
+  world.run_until(ev.start + ev.duration + sim::Time::seconds_i(5));
+
+  MobileRunResult result;
+  result.event_start = ev.start;
+  result.event_end = ev.start + ev.duration;
+  // The paper's Fig 6 metric: "the sum of the lengths of recording gaps
+  // divided by the duration of the acoustic event" — a gap is an instant
+  // with *nobody* recording, regardless of reception quality.
+  util::IntervalSet recorded;
+  for (const auto& act : world.metrics().recording_log()) {
+    if (!act.appended || act.is_prelude) continue;
+    result.recordings.push_back(
+        MobileRunResult::TaskSpan{act.node, act.start, act.end});
+    recorded.add(act.start, act.end);
+  }
+  const sim::Time covered =
+      recorded.measure_within(result.event_start, result.event_end);
+  const double dur = ev.duration.to_seconds();
+  result.miss_ratio =
+      dur > 0 ? std::max(0.0, 1.0 - covered.to_seconds() / dur) : 0.0;
+  return result;
+}
+
+VoiceRunResult run_voice(const VoiceRunConfig& cfg) {
+  WorldConfig wc;
+  wc.seed = cfg.seed;
+  wc.node_defaults = paper_node_params(Mode::kCooperativeOnly, 2.0);
+  wc.node_defaults.flash.store_payloads = true;
+  wc.node_defaults.sampler.sample_rate_hz = cfg.sample_rate_hz;
+  World world(wc);
+
+  grid_deployment(world, cfg.grid_nx, cfg.grid_ny, cfg.spacing_ft);
+
+  MobileEventConfig ev;
+  const double s = cfg.spacing_ft;
+  const double y = (cfg.grid_ny - 1) * s / 2.0;
+  ev.from = {-s, y};
+  ev.to = {cfg.grid_nx * s, y};
+  ev.speed = s;
+  ev.start = sim::Time::seconds_i(4);
+  ev.duration = cfg.event_duration;
+  ev.audible_range = 1.6 * s;
+  ev.voice = true;
+  ev.voice_seed = cfg.seed ^ 0xF00D;
+  const auto src_id = add_mobile_event(world, ev);
+
+  world.start();
+  world.run_until(ev.start + ev.duration + sim::Time::seconds_i(4));
+
+  VoiceRunResult result;
+  result.event_start = ev.start;
+  result.event_end = ev.start + ev.duration;
+
+  // Ground truth: a mote held by the walking speaker ~1 ft away. Sample the
+  // source amplitude directly along its own trajectory.
+  const acoustic::Source* src = nullptr;
+  for (const auto& cand : world.field().sources()) {
+    if (cand.id() == src_id) src = &cand;
+  }
+  const double dt = 1.0 / cfg.sample_rate_hz;
+  const auto n_samples = static_cast<std::size_t>(
+      std::llround(ev.duration.to_seconds() * cfg.sample_rate_hz));
+  result.reference.reserve(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    const sim::Time t =
+        ev.start + sim::Time::seconds(static_cast<double>(i) * dt);
+    sim::Position held = src->position_at(t);
+    held.x += 0.8;  // hand-held offset
+    const double env = std::min(1.0, src->amplitude_at(held, t));
+    const double carrier = std::sin(2.0 * 3.14159265358979 * 420.0 *
+                                    t.to_seconds());
+    result.reference.push_back(static_cast<std::uint8_t>(
+        std::clamp(128.0 + 127.0 * env * carrier, 0.0, 255.0)));
+  }
+
+  // Stitch every stored (non-prelude) chunk by timestamp.
+  result.stitched.assign(n_samples, 128);
+  std::vector<bool> filled(n_samples, false);
+  for (std::size_t ni = 0; ni < world.node_count(); ++ni) {
+    const auto& node = world.node(ni);
+    std::vector<storage::ChunkMeta> metas;
+    node.store().for_each([&](const storage::ChunkMeta& m) {
+      if (!m.is_prelude) metas.push_back(m);
+    });
+    for (const auto& m : metas) {
+      const auto payload = node.store().read_payload(m.key);
+      const double off_s = (m.start - ev.start).to_seconds();
+      const auto base = static_cast<std::int64_t>(
+          std::llround(off_s * cfg.sample_rate_hz));
+      for (std::size_t k = 0; k < payload.size(); ++k) {
+        const std::int64_t idx = base + static_cast<std::int64_t>(k);
+        if (idx < 0 || idx >= static_cast<std::int64_t>(n_samples)) continue;
+        result.stitched[static_cast<std::size_t>(idx)] = payload[k];
+        filled[static_cast<std::size_t>(idx)] = true;
+      }
+    }
+  }
+  std::size_t nfilled = 0;
+  for (bool b : filled) nfilled += b ? 1 : 0;
+  result.stitched_coverage =
+      n_samples ? static_cast<double>(nfilled) / static_cast<double>(n_samples)
+                : 0.0;
+
+  // Envelope correlation over 50 ms windows.
+  const std::size_t win = static_cast<std::size_t>(cfg.sample_rate_hz * 0.05);
+  std::vector<double> env_a, env_b;
+  for (std::size_t i = 0; i + win <= n_samples; i += win) {
+    double sa = 0.0, sb = 0.0;
+    for (std::size_t k = i; k < i + win; ++k) {
+      sa += std::abs(static_cast<double>(result.reference[k]) - 128.0);
+      sb += std::abs(static_cast<double>(result.stitched[k]) - 128.0);
+    }
+    env_a.push_back(sa / win);
+    env_b.push_back(sb / win);
+  }
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < env_a.size(); ++i) {
+    ma += env_a[i];
+    mb += env_b[i];
+  }
+  if (!env_a.empty()) {
+    ma /= env_a.size();
+    mb /= env_b.size();
+    double cov = 0.0, va = 0.0, vb = 0.0;
+    for (std::size_t i = 0; i < env_a.size(); ++i) {
+      cov += (env_a[i] - ma) * (env_b[i] - mb);
+      va += (env_a[i] - ma) * (env_a[i] - ma);
+      vb += (env_b[i] - mb) * (env_b[i] - mb);
+    }
+    if (va > 0 && vb > 0) result.envelope_correlation = cov / std::sqrt(va * vb);
+  }
+  return result;
+}
+
+OutdoorRunResult run_outdoor(const OutdoorRunConfig& cfg) {
+  WorldConfig wc;
+  wc.seed = cfg.seed;
+  wc.node_defaults = paper_node_params(Mode::kFull, cfg.beta_max);
+  // Outdoor ranges are tens of feet; widen the radio accordingly so the
+  // network stays connected across the 105 ft plot.
+  wc.channel.comm_range = 40.0;
+  World world(wc);
+
+  OutdoorRunResult result;
+  result.positions = forest_deployment(world, cfg.nodes, cfg.plot_ft,
+                                       cfg.plot_ft, 8.0,
+                                       world.rng().fork("deploy"));
+
+  OutdoorPlanConfig plan_cfg = cfg.plan;
+  plan_cfg.horizon = cfg.horizon;
+  plan_cfg.plot = cfg.plot_ft;
+  result.plan = schedule_outdoor_events(world, plan_cfg,
+                                        world.rng().fork("outdoor"));
+
+  world.start();
+  world.run_until(cfg.horizon);
+
+  const auto minutes =
+      static_cast<std::size_t>(cfg.horizon.to_seconds() / 60.0) + 1;
+  result.recorded_seconds_per_minute.assign(minutes, 0.0);
+  result.recorded_seconds_by_node.assign(world.node_count() + 1, 0.0);
+  for (const auto& act : world.metrics().recording_log()) {
+    if (!act.appended) continue;
+    // Spread the act's duration over the minutes it spans.
+    sim::Time t = act.start;
+    while (t < act.end) {
+      const auto minute = static_cast<std::size_t>(t.to_seconds() / 60.0);
+      const sim::Time minute_end =
+          sim::Time::seconds(60.0 * static_cast<double>(minute + 1));
+      const sim::Time upto = std::min(act.end, minute_end);
+      if (minute < minutes)
+        result.recorded_seconds_per_minute[minute] += (upto - t).to_seconds();
+      t = upto;
+    }
+    if (act.node < result.recorded_seconds_by_node.size())
+      result.recorded_seconds_by_node[act.node] +=
+          (act.end - act.start).to_seconds();
+  }
+
+  // Hottest recorder (most recorded audio).
+  net::NodeId hottest = net::kInvalidNode;
+  double best = -1.0;
+  for (std::size_t id = 0; id < result.recorded_seconds_by_node.size(); ++id) {
+    if (result.recorded_seconds_by_node[id] > best) {
+      best = result.recorded_seconds_by_node[id];
+      hottest = static_cast<net::NodeId>(id);
+    }
+  }
+  result.hottest = hottest;
+  result.hotspot_bytes_at_node.assign(world.node_count() + 1, 0);
+  for (std::size_t ni = 0; ni < world.node_count(); ++ni) {
+    const auto& node = world.node(ni);
+    node.store().for_each([&](const storage::ChunkMeta& m) {
+      if (m.recorded_by == hottest && node.id() != hottest) {
+        result.hotspot_bytes_at_node[node.id()] += m.bytes;
+      }
+    });
+  }
+  result.final_snapshot = world.snapshot();
+  return result;
+}
+
+}  // namespace enviromic::core

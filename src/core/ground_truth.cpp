@@ -1,0 +1,89 @@
+#include "core/ground_truth.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace enviromic::core {
+
+void GroundTruth::set_node_positions(std::vector<sim::Position> positions) {
+  positions_ = std::move(positions);
+  hearable_cache_.clear();
+}
+
+util::IntervalSet GroundTruth::audible_from(const acoustic::Source& s,
+                                            const sim::Position& where) const {
+  util::IntervalSet out;
+  if (s.end() <= s.start()) return out;
+  // Fast path: a stationary source is audible either for the whole event or
+  // not at all. Detect stationarity by probing the trajectory.
+  const sim::Position p0 = s.position_at(s.start());
+  const sim::Position p1 = s.position_at(s.end() - sim::Time::millis(1));
+  const sim::Position pm =
+      s.position_at(s.start() + (s.end() - s.start()).scaled(0.5));
+  if (p0 == p1 && p0 == pm) {
+    if (sim::distance(p0, where) < s.audible_range()) out.add(s.start(), s.end());
+    return out;
+  }
+  // Mobile source: sample.
+  bool in = false;
+  sim::Time span_start;
+  for (sim::Time t = s.start(); t < s.end(); t += sample_step_) {
+    const bool audible =
+        sim::distance(s.position_at(t), where) < s.audible_range();
+    if (audible && !in) {
+      in = true;
+      span_start = t;
+    } else if (!audible && in) {
+      in = false;
+      out.add(span_start, t);
+    }
+  }
+  if (in) out.add(span_start, s.end());
+  return out;
+}
+
+const util::IntervalSet& GroundTruth::hearable(const acoustic::Source& s) const {
+  auto it = hearable_cache_.find(s.id());
+  if (it != hearable_cache_.end()) return it->second;
+  util::IntervalSet merged;
+  for (const auto& pos : positions_) {
+    const auto audible = audible_from(s, pos);
+    for (const auto& iv : audible.intervals()) {
+      merged.add(iv.start, iv.end);
+    }
+  }
+  auto [ins, _] = hearable_cache_.emplace(s.id(), std::move(merged));
+  return ins->second;
+}
+
+sim::Time GroundTruth::hearable_elapsed(const acoustic::Source& s,
+                                        sim::Time upto) const {
+  return hearable(s).measure_within(sim::Time::zero(), upto);
+}
+
+sim::Time GroundTruth::total_hearable_elapsed(sim::Time upto) const {
+  sim::Time total = sim::Time::zero();
+  for (const auto& s : field_->sources()) total += hearable_elapsed(s, upto);
+  return total;
+}
+
+std::vector<GroundTruth::Attribution> GroundTruth::attribute(
+    const sim::Position& where, sim::Time a, sim::Time b) const {
+  std::vector<Attribution> out;
+  if (b <= a) return out;
+  for (const auto& s : field_->sources()) {
+    if (s.end() <= a || s.start() >= b) continue;
+    const auto audible = audible_from(s, where);
+    Attribution attr;
+    attr.source = s.id();
+    for (const auto& iv : audible.intervals()) {
+      const sim::Time lo = std::max(iv.start, a);
+      const sim::Time hi = std::min(iv.end, b);
+      if (hi > lo) attr.intervals.push_back({lo, hi});
+    }
+    if (!attr.intervals.empty()) out.push_back(std::move(attr));
+  }
+  return out;
+}
+
+}  // namespace enviromic::core

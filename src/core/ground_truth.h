@@ -1,0 +1,62 @@
+// Ground truth for the evaluation metrics.
+//
+// The simulator knows every acoustic event (source) and every node position,
+// so it can compute what the paper's authors measured by instrumenting their
+// testbed: which parts of each event were *hearable* (some node in range)
+// and how a recorded interval at a given position maps back onto events.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "acoustic/field.h"
+#include "sim/geometry.h"
+#include "sim/time.h"
+#include "util/intervals.h"
+
+namespace enviromic::core {
+
+class GroundTruth {
+ public:
+  explicit GroundTruth(const acoustic::SoundField& field) : field_(&field) {}
+
+  /// Fix the deployment (node positions). Must be called before queries;
+  /// positions are assumed static (as in both of the paper's deployments).
+  void set_node_positions(std::vector<sim::Position> positions);
+
+  const acoustic::SoundField& field() const { return *field_; }
+
+  /// Union over all nodes of the intervals during which `s` was audible:
+  /// the portion of the event the network could possibly record.
+  const util::IntervalSet& hearable(const acoustic::Source& s) const;
+
+  /// Measure of hearable(s) clipped to [0, upto).
+  sim::Time hearable_elapsed(const acoustic::Source& s, sim::Time upto) const;
+
+  /// Sum of hearable_elapsed over all sources (the miss-ratio denominator).
+  sim::Time total_hearable_elapsed(sim::Time upto) const;
+
+  /// Intervals during which `s` was audible from a fixed position.
+  util::IntervalSet audible_from(const acoustic::Source& s,
+                                 const sim::Position& where) const;
+
+  struct Attribution {
+    acoustic::SourceId source;
+    std::vector<util::IntervalSet::Interval> intervals;
+  };
+
+  /// Map a recorded interval at `where` onto the events it actually
+  /// captured: per audible source, the overlap of [a, b) with the source's
+  /// audibility window from that position.
+  std::vector<Attribution> attribute(const sim::Position& where, sim::Time a,
+                                     sim::Time b) const;
+
+ private:
+  const acoustic::SoundField* field_;
+  std::vector<sim::Position> positions_;
+  /// Mobile-source audibility is found by sampling at this step.
+  sim::Time sample_step_ = sim::Time::millis(50);
+  mutable std::map<acoustic::SourceId, util::IntervalSet> hearable_cache_;
+};
+
+}  // namespace enviromic::core

@@ -1,0 +1,264 @@
+#include "core/group.h"
+
+#include "core/node.h"
+#include "sim/log.h"
+
+namespace enviromic::core {
+
+GroupManager::GroupManager(Node& node) : node_(node) {}
+
+net::NodeId GroupManager::self() const { return node_.id(); }
+
+void GroupManager::on_onset() {
+  hearing_ = true;
+  if (node_.cfg().prelude_enabled && !node_.is_recording()) {
+    node_.recorder().start_prelude();  // calls begin_coordination() at end
+    return;
+  }
+  begin_coordination();
+}
+
+void GroupManager::begin_coordination() {
+  if (!hearing_) return;
+  const sim::Time now = node_.sched().now();
+
+  // Start the SENSING heartbeat.
+  if (!sensing_timer_.pending()) sensing_tick();
+  // Start the leader-silence watchdog.
+  if (!watchdog_timer_.pending()) {
+    watchdog_timer_ = node_.sched().after(
+        node_.cfg().leader_silence_timeout.scaled(0.5), [this] { watchdog_tick(); });
+  }
+
+  // If a leader is demonstrably alive for an ongoing event, just join.
+  const bool leader_alive =
+      current_event_.valid() && leader_ != net::kInvalidNode &&
+      now - last_leader_evidence_ < node_.cfg().leader_silence_timeout;
+  if (leader_alive || is_leader()) return;
+
+  // Compete to become the leader.
+  schedule_election(node_.cfg().election_backoff, current_event_,
+                    /*is_handoff=*/false);
+}
+
+void GroupManager::schedule_election(sim::Time backoff_window,
+                                     net::EventId reuse, bool is_handoff) {
+  if (election_timer_.pending()) return;
+  const auto ticks = backoff_window.raw_ticks();
+  const sim::Time backoff =
+      sim::Time::ticks(node_.rng().uniform_int(0, ticks > 0 ? ticks : 0));
+  election_timer_ = node_.sched().after(backoff, [this, reuse, is_handoff] {
+    election_fire(reuse, is_handoff);
+  });
+}
+
+void GroupManager::election_fire(net::EventId reuse, bool is_handoff) {
+  if (!hearing_) return;
+  const sim::Time now = node_.sched().now();
+  // Withdraw if a leader announced (or proved alive) since we armed.
+  const bool leader_alive =
+      current_event_.valid() && leader_ != net::kInvalidNode &&
+      leader_ != self() &&
+      now - last_leader_evidence_ <
+          (is_handoff ? node_.cfg().handoff_backoff * 3
+                      : node_.cfg().leader_silence_timeout);
+  if (leader_alive) return;
+  if (node_.is_recording()) return;  // cannot announce with the radio off
+
+  net::EventId event = reuse;
+  if (!event.valid()) {
+    event = net::EventId{self(), next_event_seq_++};
+  }
+  std::uint32_t round = 0;
+  sim::Time first_assign = now;
+  sim::Time task_end = now;  // no task running yet
+  if (is_handoff) {
+    round = pending_next_round_;
+    first_assign = std::max(now, pending_next_task_at_);
+    // The previous leader's recorder is still running until roughly
+    // first_assign + D_ta (it scheduled the assignment D_ta early).
+    task_end = first_assign + node_.cfg().task_assign_delay;
+    ++stats_.handoffs_won;
+  } else {
+    ++stats_.elections_won;
+  }
+  become_leader(event, round, first_assign);
+  if (is_handoff) {
+    node_.tasking().start(event, round, first_assign, task_end);
+  } else {
+    node_.tasking().start(event, round, first_assign, now);
+  }
+}
+
+void GroupManager::become_leader(net::EventId event, std::uint32_t round,
+                                 sim::Time first_assign_at) {
+  (void)round;
+  leader_ = self();
+  current_event_ = event;
+  last_leader_evidence_ = node_.sched().now();
+
+  sim::LogStream(sim::LogLevel::kDebug, node_.sched().now(), "group")
+      << "node " << self() << " leads " << event.str();
+  net::LeaderAnnounce a;
+  a.event = event;
+  a.leader = self();
+  a.next_task_at = first_assign_at;
+  node_.nb().send_now(a);
+
+  if (node_.cfg().prelude_enabled) {
+    // Designate a prelude keeper: prefer ourselves (we certainly recorded
+    // one if we heard the onset), otherwise the freshest member.
+    net::PreludeKeep pk;
+    pk.event = event;
+    pk.keeper = self();
+    node_.nb().send_now(pk);
+    node_.recorder().handle(pk);
+  }
+}
+
+void GroupManager::resign() {
+  net::Resign r;
+  r.event = current_event_;
+  r.leader = self();
+  r.next_task_at = node_.tasking().next_assignment_at();
+  r.next_round = node_.tasking().next_round();
+  node_.nb().send_now(r);
+  sim::LogStream(sim::LogLevel::kDebug, node_.sched().now(), "group")
+      << "node " << self() << " resigns " << current_event_.str();
+  ++stats_.resigns_sent;
+  node_.tasking().stop();
+  leader_ = net::kInvalidNode;
+}
+
+void GroupManager::on_offset() {
+  hearing_ = false;
+  sensing_timer_.cancel();
+  election_timer_.cancel();
+  if (is_leader()) resign();
+  // The local event is over for us: forget its identity so the next onset
+  // is coordinated as a fresh event (a stale id would collide round numbers
+  // with overheard-confirm state and mis-gate elections).
+  leader_ = net::kInvalidNode;
+  current_event_ = net::EventId{};
+}
+
+void GroupManager::note_foreign_leader(net::NodeId leader,
+                                       const net::EventId& event) {
+  if (!is_leader() || leader == self() || event == current_event_) return;
+  if (leader < self()) {
+    // Yield: the lower id keeps the group.
+    node_.tasking().stop();
+    leader_ = leader;
+    current_event_ = event;
+    last_leader_evidence_ = node_.sched().now();
+    return;
+  }
+  // We outrank the other leader: re-announce (rate-limited) so it yields.
+  const sim::Time now = node_.sched().now();
+  if (now - last_conflict_announce_ < node_.cfg().task_period) return;
+  last_conflict_announce_ = now;
+  net::LeaderAnnounce mine;
+  mine.event = current_event_;
+  mine.leader = self();
+  mine.next_task_at = node_.tasking().next_assignment_at();
+  node_.nb().send_now(mine);
+}
+
+void GroupManager::handle(const net::LeaderAnnounce& m) {
+  if (m.leader == self()) return;
+  if (is_leader()) {
+    note_foreign_leader(m.leader, m.event);
+    return;
+  }
+  // Adopt the announced leader for this locality (only while we can hear
+  // the event ourselves; otherwise the id would linger as stale state).
+  if (!hearing_) return;
+  leader_ = m.leader;
+  current_event_ = m.event;
+  last_leader_evidence_ = node_.sched().now();
+  election_timer_.cancel();
+}
+
+void GroupManager::handle(const net::Resign& m) {
+  if (m.leader == leader_ || m.event == current_event_) {
+    leader_ = net::kInvalidNode;
+  }
+  if (!hearing_) return;
+  pending_next_task_at_ = m.next_task_at;
+  pending_next_round_ = m.next_round;
+  current_event_ = m.event;
+  schedule_election(node_.cfg().handoff_backoff, m.event, /*is_handoff=*/true);
+}
+
+void GroupManager::handle(const net::Sensing& m) {
+  auto& info = members_[m.sender];
+  info.last_heard = node_.sched().now();
+  info.signal = m.signal;
+  info.ttl_s = m.ttl_seconds;
+  info.free_bytes = m.free_bytes;
+  // Adopt the event id from members who already know it.
+  if (hearing_ && m.event.valid() && !current_event_.valid())
+    current_event_ = m.event;
+}
+
+void GroupManager::note_task_activity(const net::EventId& event) {
+  // Evidence of a live leader is scoped to *our* event: overheard task
+  // traffic of a different nearby group must not suppress our election.
+  if (event == current_event_) {
+    last_leader_evidence_ = node_.sched().now();
+    return;
+  }
+  if (hearing_ && event.valid() && !current_event_.valid()) {
+    current_event_ = event;
+    last_leader_evidence_ = node_.sched().now();
+  }
+}
+
+void GroupManager::note_recorder_busy(net::NodeId who, sim::Time until) {
+  members_[who].busy_until = until;
+}
+
+std::vector<std::pair<net::NodeId, GroupManager::MemberInfo>>
+GroupManager::fresh_members() const {
+  const sim::Time now = node_.sched().now();
+  std::vector<std::pair<net::NodeId, MemberInfo>> out;
+  for (const auto& [id, info] : members_) {
+    if (id == self()) continue;
+    const bool fresh = now - info.last_heard < node_.cfg().member_timeout;
+    // A member that is recording right now is silent but known-busy; keep it
+    // out of the candidate list yet do not expire it.
+    if (fresh && info.busy_until <= now) out.emplace_back(id, info);
+  }
+  return out;
+}
+
+void GroupManager::sensing_tick() {
+  if (!hearing_) return;
+  sensing_timer_ =
+      node_.sched().after(node_.cfg().sensing_period, [this] { sensing_tick(); });
+  if (node_.is_recording()) return;  // radio is off
+  net::Sensing s;
+  s.event = current_event_;
+  s.sender = self();
+  s.signal = node_.detector().last_signal();
+  s.ttl_seconds = node_.balancer().ttl_storage_seconds();
+  s.free_bytes = node_.store().free_bytes();
+  if (node_.nb().send_now(s)) ++stats_.sensings_sent;
+}
+
+void GroupManager::watchdog_tick() {
+  watchdog_timer_ = node_.sched().after(
+      node_.cfg().leader_silence_timeout.scaled(0.5), [this] { watchdog_tick(); });
+  if (!hearing_ || is_leader() || node_.is_recording()) return;
+  const sim::Time now = node_.sched().now();
+  if (now - last_leader_evidence_ > node_.cfg().leader_silence_timeout &&
+      !election_timer_.pending()) {
+    sim::LogStream(sim::LogLevel::kDebug, now, "group")
+        << "node " << self() << " watchdog re-election (leader silent)";
+    ++stats_.watchdog_reelections;
+    schedule_election(node_.cfg().election_backoff, current_event_,
+                      /*is_handoff=*/false);
+  }
+}
+
+}  // namespace enviromic::core

@@ -1,0 +1,100 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+namespace enviromic::core {
+
+void Metrics::note_recorded(std::uint64_t chunk_key, net::NodeId node,
+                            const sim::Position& pos, sim::Time start,
+                            sim::Time end, std::uint64_t bytes, bool appended,
+                            bool is_prelude) {
+  AttributionEntry entry;
+  entry.per_source = gt_->attribute(pos, start, end);
+  attribution_[chunk_key] = std::move(entry);
+  log_.push_back(RecordAct{node, start, end, bytes, appended, is_prelude});
+  if (appended) recorded_bytes_by_node_[node] += bytes;
+}
+
+void Metrics::note_migration(net::NodeId from, net::NodeId to,
+                             std::uint64_t bytes) {
+  flows_[{from, to}] += bytes;
+}
+
+void Metrics::note_prelude_erased(std::uint64_t chunk_key) {
+  // The chunk vanished from its store; snapshots iterate stores, so no
+  // bookkeeping is strictly required. Drop the attribution to keep the map
+  // small.
+  attribution_.erase(chunk_key);
+}
+
+Metrics::Snapshot Metrics::compute(
+    sim::Time now, const std::vector<StoreView>& views,
+    const std::vector<storage::ChunkMeta>* collected) const {
+  Snapshot s;
+  s.t = now;
+
+  // Gather stored-chunk attributions per source.
+  std::map<acoustic::SourceId, util::IntervalSet> covered;
+  std::map<acoustic::SourceId, std::vector<util::IntervalSet::Interval>> raw;
+  sim::Time stored_total = sim::Time::zero();
+  const auto account_chunk = [&](const storage::ChunkMeta& meta) {
+    const auto it = attribution_.find(meta.key);
+    if (it == attribution_.end()) return;
+    for (const auto& attr : it->second.per_source) {
+      auto& cov = covered[attr.source];
+      auto& rv = raw[attr.source];
+      for (const auto& iv : attr.intervals) {
+        cov.add(iv.start, iv.end);
+        rv.push_back(iv);
+        stored_total += iv.end - iv.start;
+      }
+    }
+  };
+  if (collected) {
+    for (const auto& meta : *collected) account_chunk(meta);
+  }
+  for (const auto& view : views) {
+    s.per_node_used_bytes.push_back(view.store ? view.store->used_bytes() : 0);
+    if (view.radio) {
+      s.per_node_packets_sent.push_back(view.radio->packets_sent);
+    } else {
+      s.per_node_packets_sent.push_back(0);
+    }
+    auto it_rec = recorded_bytes_by_node_.find(view.id);
+    s.per_node_recorded_bytes.push_back(
+        it_rec == recorded_bytes_by_node_.end() ? 0 : it_rec->second);
+
+    if (view.store) view.store->for_each(account_chunk);
+
+    if (view.radio) {
+      const auto& ms = view.radio->messages_sent;
+      for (std::size_t i = 0; i < net::kMessageTypeCount; ++i) {
+        s.total_messages += ms[i];
+      }
+      // TRANSFER_* family indices in the Message variant.
+      const std::size_t transfer_first =
+          net::type_index(net::Message{net::TransferOffer{}});
+      const std::size_t transfer_last =
+          net::type_index(net::Message{net::TransferAck{}});
+      for (std::size_t i = transfer_first; i <= transfer_last; ++i) {
+        s.transfer_messages += ms[i];
+      }
+    }
+  }
+  s.control_messages = s.total_messages - s.transfer_messages;
+
+  sim::Time unique_total = sim::Time::zero();
+  for (const auto& [src, cov] : covered) unique_total += cov.measure();
+
+  s.hearable = gt_->total_hearable_elapsed(now);
+  s.covered_unique = unique_total;
+  s.stored_total = stored_total;
+  const double hear = s.hearable.to_seconds();
+  const double uniq = unique_total.to_seconds();
+  const double stored = stored_total.to_seconds();
+  s.miss_ratio = hear > 0.0 ? std::max(0.0, 1.0 - uniq / hear) : 0.0;
+  s.redundancy_ratio = stored > 0.0 ? (stored - uniq) / stored : 0.0;
+  return s;
+}
+
+}  // namespace enviromic::core

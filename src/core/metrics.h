@@ -1,0 +1,89 @@
+// Evaluation metrics (paper §IV).
+//
+// The recording miss ratio is 1 - (unique event time present in the
+// network's stores) / (hearable event time so far); the redundancy ratio is
+// the fraction of stored recording time that duplicates other stored
+// recordings of the same event; overhead is counted in messages sent.
+// All three are computed from the *current stored chunks* so that storage
+// overflow, prelude erasure, and migration duplicates all show up exactly
+// as they would in the data a scientist finally retrieves.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/ground_truth.h"
+#include "net/radio.h"
+#include "storage/chunk_store.h"
+
+namespace enviromic::core {
+
+class Metrics {
+ public:
+  explicit Metrics(const GroundTruth& gt) : gt_(&gt) {}
+
+  // ---- Instrumentation hooks (called by the protocol components) --------
+  void note_recorded(std::uint64_t chunk_key, net::NodeId node,
+                     const sim::Position& pos, sim::Time start, sim::Time end,
+                     std::uint64_t bytes, bool appended, bool is_prelude);
+  void note_migration(net::NodeId from, net::NodeId to, std::uint64_t bytes);
+  void note_prelude_erased(std::uint64_t chunk_key);
+
+  // ---- Raw logs for the figure harnesses ---------------------------------
+  struct RecordAct {
+    net::NodeId node;
+    sim::Time start;
+    sim::Time end;
+    std::uint64_t bytes;
+    bool appended;
+    bool is_prelude;
+  };
+  const std::vector<RecordAct>& recording_log() const { return log_; }
+  const std::map<std::pair<net::NodeId, net::NodeId>, std::uint64_t>&
+  migration_flows() const {
+    return flows_;
+  }
+
+  // ---- Snapshots -----------------------------------------------------------
+  struct StoreView {
+    net::NodeId id;
+    const storage::ChunkStore* store;  //!< null when the mote's data is lost
+    const net::RadioStats* radio;
+  };
+
+  struct Snapshot {
+    sim::Time t;
+    double miss_ratio = 0.0;        //!< 1 - unique covered / hearable
+    double redundancy_ratio = 0.0;  //!< (stored - unique) / stored
+    sim::Time hearable;             //!< denominator of the miss ratio
+    sim::Time covered_unique;
+    sim::Time stored_total;         //!< sum of stored recording time
+    std::uint64_t total_messages = 0;
+    std::uint64_t control_messages = 0;   //!< excl. TRANSFER_DATA payloads
+    std::uint64_t transfer_messages = 0;  //!< TRANSFER_* family
+    std::vector<std::uint64_t> per_node_used_bytes;   //!< by view order
+    std::vector<std::uint64_t> per_node_packets_sent;
+    std::vector<std::uint64_t> per_node_recorded_bytes;  //!< by recorder
+  };
+
+  /// `collected` optionally adds chunks that left the network but were
+  /// retrieved (e.g. by a data mule): they count toward coverage exactly
+  /// like stored chunks.
+  Snapshot compute(sim::Time now, const std::vector<StoreView>& views,
+                   const std::vector<storage::ChunkMeta>* collected =
+                       nullptr) const;
+
+ private:
+  struct AttributionEntry {
+    std::vector<GroundTruth::Attribution> per_source;
+  };
+
+  const GroundTruth* gt_;
+  std::map<std::uint64_t, AttributionEntry> attribution_;
+  std::vector<RecordAct> log_;
+  std::map<std::pair<net::NodeId, net::NodeId>, std::uint64_t> flows_;
+  std::map<net::NodeId, std::uint64_t> recorded_bytes_by_node_;
+};
+
+}  // namespace enviromic::core

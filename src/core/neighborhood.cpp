@@ -1,0 +1,65 @@
+#include "core/neighborhood.h"
+
+namespace enviromic::core {
+
+NeighborhoodBroadcast::NeighborhoodBroadcast(net::Radio& radio,
+                                             sim::Scheduler& sched, Config cfg)
+    : radio_(radio), sched_(sched), cfg_(cfg) {}
+
+bool NeighborhoodBroadcast::send_now(net::Message m) {
+  return emit(net::kBroadcast, std::move(m));
+}
+
+bool NeighborhoodBroadcast::send_to(net::NodeId dst, net::Message m) {
+  return emit(dst, std::move(m));
+}
+
+bool NeighborhoodBroadcast::emit(net::NodeId dst, net::Message first) {
+  if (!radio_.is_on()) {
+    ++stats_.dropped_radio_off;
+    return false;
+  }
+  net::Packet p;
+  p.src = radio_.id();
+  p.dst = dst;
+  std::uint32_t bytes = net::wire_size(first);
+  p.messages.push_back(std::move(first));
+  // Piggyback queued lazy messages while they fit.
+  while (cfg_.piggyback_enabled && !lazy_.empty() &&
+         bytes + net::wire_size(lazy_.front()) <= cfg_.max_payload_bytes) {
+    bytes += net::wire_size(lazy_.front());
+    p.messages.push_back(std::move(lazy_.front()));
+    lazy_.erase(lazy_.begin());
+    ++stats_.piggybacked_messages;
+  }
+  if (lazy_.empty()) flush_timer_.cancel();
+  ++stats_.packets_sent;
+  return radio_.send(std::move(p));
+}
+
+void NeighborhoodBroadcast::send_lazy(net::Message m) {
+  lazy_.push_back(std::move(m));
+  arm_flush_timer();
+}
+
+void NeighborhoodBroadcast::arm_flush_timer() {
+  if (flush_timer_.pending()) return;
+  flush_timer_ = sched_.after(cfg_.max_lazy_delay, [this] { flush(); });
+}
+
+void NeighborhoodBroadcast::flush() {
+  if (lazy_.empty()) return;
+  if (!radio_.is_on()) {
+    // Radio is off (recording); try again later rather than dropping
+    // delay-tolerant state.
+    flush_timer_ = sched_.after(cfg_.max_lazy_delay, [this] { flush(); });
+    return;
+  }
+  ++stats_.lazy_flushes;
+  net::Message first = std::move(lazy_.front());
+  lazy_.erase(lazy_.begin());
+  emit(net::kBroadcast, std::move(first));
+  if (!lazy_.empty()) arm_flush_timer();
+}
+
+}  // namespace enviromic::core

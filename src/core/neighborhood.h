@@ -1,0 +1,76 @@
+// The neighbourhood broadcast module (paper §III-A).
+//
+// "When a delay sensitive broadcast message is about to be sent out, the
+// neighborhood broadcast module queries all the registered modules to check
+// the possibility of piggybacking some messages from other modules."
+//
+// Modules call `send_now` for delay-sensitive traffic (task management) and
+// `send_lazy` for delay-tolerant traffic (state beacons, sync); lazy
+// messages ride along with the next immediate send, or flush on a timer if
+// nothing urgent comes up.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "net/radio.h"
+#include "sim/scheduler.h"
+
+namespace enviromic::core {
+
+struct NeighborhoodStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t piggybacked_messages = 0;
+  std::uint64_t lazy_flushes = 0;
+  std::uint64_t dropped_radio_off = 0;
+};
+
+struct NeighborhoodConfig {
+  /// Max payload per packet; lazy messages piggyback while they fit.
+  std::uint32_t max_payload_bytes = 96;
+  /// Flush lazily queued messages after at most this long.
+  sim::Time max_lazy_delay = sim::Time::seconds_i(2);
+  /// Ablation switch: with piggybacking off every lazy message eventually
+  /// rides its own packet (the flush timer still delivers them).
+  bool piggyback_enabled = true;
+};
+
+class NeighborhoodBroadcast {
+ public:
+  using Config = NeighborhoodConfig;
+
+  NeighborhoodBroadcast(net::Radio& radio, sim::Scheduler& sched,
+                        Config cfg = {});
+
+  /// Send a delay-sensitive message now, piggybacking queued lazy messages
+  /// that fit. Returns false when the radio is off (message dropped, as on
+  /// the mote).
+  bool send_now(net::Message m);
+
+  /// Queue a delay-tolerant message. It departs with the next send_now or
+  /// on the flush timer.
+  void send_lazy(net::Message m);
+
+  /// Unicast-ish variant (the medium is broadcast; dst is advisory for the
+  /// receiver). Piggybacks lazy messages the same way.
+  bool send_to(net::NodeId dst, net::Message m);
+
+  const NeighborhoodStats& stats() const { return stats_; }
+  net::NodeId self() const { return radio_.id(); }
+  std::size_t lazy_queue_depth() const { return lazy_.size(); }
+
+ private:
+  bool emit(net::NodeId dst, net::Message first);
+  void arm_flush_timer();
+  void flush();
+
+  net::Radio& radio_;
+  sim::Scheduler& sched_;
+  Config cfg_;
+  std::vector<net::Message> lazy_;
+  sim::EventHandle flush_timer_;
+  NeighborhoodStats stats_;
+};
+
+}  // namespace enviromic::core

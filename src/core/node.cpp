@@ -1,0 +1,193 @@
+#include "core/node.h"
+
+#include <algorithm>
+
+#include "core/metrics.h"
+
+namespace enviromic::core {
+
+namespace {
+sim::Rng fork_for(const sim::Rng& rng, std::string_view tag) {
+  return rng.fork(tag);
+}
+}  // namespace
+
+Node::Node(net::NodeId id, sim::Position pos, const NodeParams& params,
+           sim::Scheduler& sched, net::Channel& channel,
+           const acoustic::SoundField& field, sim::Rng rng, bool is_sync_root,
+           Metrics* metrics)
+    : id_(id),
+      pos_(pos),
+      params_(params),
+      sched_(sched),
+      rng_(rng),
+      metrics_(metrics),
+      radio_(channel.create_radio(id, pos)),
+      flash_(params.flash),
+      eeprom_(),
+      store_(flash_, eeprom_, params.store),
+      mic_(field, pos, params.mic),
+      detector_(sched, mic_, fork_for(rng, "detector"), params.detector),
+      sampler_(params.sampler),
+      energy_(params.energy),
+      clock_(sched,
+             fork_for(rng, "clock").uniform(-params.clock_offset_max_s,
+                                            params.clock_offset_max_s),
+             fork_for(rng, "drift").uniform(-params.clock_drift_max_ppm,
+                                            params.clock_drift_max_ppm)),
+      nb_(*radio_, sched, params.nb),
+      timesync_(id, params_.protocol, sched, fork_for(rng, "sync"), clock_,
+                nb_, is_sync_root),
+      group_(*this),
+      tasking_(*this),
+      recorder_(*this),
+      balancer_(*this),
+      bulk_(*this),
+      retrieval_(*this) {
+  radio_->set_receive_handler([this](const net::Packet& p) { dispatch(p); });
+  radio_->set_airtime_handler(
+      [this](double seconds, bool is_tx) { energy_.charge_airtime(seconds, is_tx); });
+
+  detector_.set_onset_handler([this] {
+    timesync_.note_activity();
+    if (cfg().mode == Mode::kUncoordinated) {
+      recorder_.baseline_on_onset();
+    } else {
+      group_.on_onset();
+    }
+  });
+  detector_.set_offset_handler([this] {
+    if (cfg().mode != Mode::kUncoordinated) group_.on_offset();
+  });
+}
+
+void Node::start() {
+  if (started_) return;
+  started_ = true;
+  detector_.start();
+  if (cfg().mode != Mode::kUncoordinated) {
+    timesync_.start();
+  }
+  if (cfg().mode == Mode::kFull) {
+    balancer_.start();
+  }
+  if (cfg().duty_cycle < 1.0) {
+    // Stagger sleep phases across nodes so the network is never globally
+    // dark, then run awake/asleep alternation.
+    const auto awake =
+        cfg().duty_period.scaled(std::clamp(cfg().duty_cycle, 0.0, 1.0));
+    const auto stagger = sim::Time::ticks(
+        rng_.uniform_int(0, std::max<std::int64_t>(1, awake.raw_ticks())));
+    sched_.after(stagger, [this] { duty_tick(/*go_to_sleep=*/true); });
+  }
+}
+
+void Node::duty_tick(bool go_to_sleep) {
+  if (failed_) return;
+  const double duty = std::clamp(cfg().duty_cycle, 0.0, 1.0);
+  const auto awake = cfg().duty_period.scaled(duty);
+  const auto asleep_for = cfg().duty_period - awake;
+  if (go_to_sleep) {
+    if (recording_) {
+      // Never interrupt an in-progress recording task; retry shortly.
+      sched_.after(sim::Time::millis(200),
+                   [this] { duty_tick(/*go_to_sleep=*/true); });
+      return;
+    }
+    asleep_ = true;
+    radio_->set_on(false);
+    detector_.set_enabled(false);
+    energy_.set_radio_on(sched_.now(), false);
+    sched_.after(asleep_for, [this] { duty_tick(/*go_to_sleep=*/false); });
+  } else {
+    asleep_ = false;
+    radio_->set_on(true);
+    detector_.set_enabled(true);
+    energy_.set_radio_on(sched_.now(), true);
+    sched_.after(awake, [this] { duty_tick(/*go_to_sleep=*/true); });
+  }
+}
+
+sim::Time Node::proc_delay() {
+  const auto lo = cfg().control_proc_min.raw_ticks();
+  const auto hi = cfg().control_proc_max.raw_ticks();
+  return sim::Time::ticks(rng_.uniform_int(lo, hi));
+}
+
+void Node::set_recording(bool recording) {
+  if (failed_ || recording_ == recording) return;
+  recording_ = recording;
+  const bool radio_on = !recording && !asleep_;
+  radio_->set_on(radio_on);
+  energy_.set_radio_on(sched_.now(), radio_on);
+  energy_.set_sampling(sched_.now(), recording);
+}
+
+void Node::fail(bool lose_data) {
+  if (failed_) return;
+  failed_ = true;
+  data_lost_ = lose_data;
+  recording_ = false;
+  radio_->set_on(false);
+  detector_.set_enabled(false);
+  energy_.set_radio_on(sched_.now(), false);
+  energy_.set_sampling(sched_.now(), false);
+  // Tear down protocol state so dangling timers become no-ops (the dead
+  // radio drops any residual sends anyway).
+  if (cfg().mode != Mode::kUncoordinated && group_.hearing()) {
+    group_.on_offset();
+  }
+  tasking_.stop();
+}
+
+void Node::dispatch(const net::Packet& p) {
+  for (const auto& m : p.messages) on_message(m, p.src, p.dst);
+}
+
+void Node::on_message(const net::Message& m, net::NodeId src,
+                      net::NodeId dst) {
+  std::visit(
+      [this, src, dst](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, net::LeaderAnnounce>) {
+          group_.handle(msg);
+        } else if constexpr (std::is_same_v<T, net::Resign>) {
+          group_.handle(msg);
+        } else if constexpr (std::is_same_v<T, net::Sensing>) {
+          group_.handle(msg);
+          balancer_.note_neighbor(msg.sender, msg.ttl_seconds, msg.free_bytes);
+        } else if constexpr (std::is_same_v<T, net::TaskRequest>) {
+          group_.note_task_activity(msg.event);
+          group_.note_foreign_leader(msg.leader, msg.event);
+          if (msg.recorder == id_) recorder_.handle(msg);
+        } else if constexpr (std::is_same_v<T, net::TaskConfirm>) {
+          group_.note_task_activity(msg.event);
+          recorder_.note_overheard_confirm(msg);
+          if (tasking_.active()) tasking_.handle(msg);
+        } else if constexpr (std::is_same_v<T, net::TaskReject>) {
+          group_.note_task_activity(msg.event);
+          if (tasking_.active()) tasking_.handle(msg);
+        } else if constexpr (std::is_same_v<T, net::PreludeKeep>) {
+          recorder_.handle(msg);
+        } else if constexpr (std::is_same_v<T, net::StateBeacon>) {
+          balancer_.handle(msg);
+        } else if constexpr (std::is_same_v<T, net::TransferOffer>) {
+          bulk_.handle(msg);
+        } else if constexpr (std::is_same_v<T, net::TransferGrant>) {
+          bulk_.handle(msg);
+        } else if constexpr (std::is_same_v<T, net::TransferData>) {
+          bulk_.handle(msg);
+        } else if constexpr (std::is_same_v<T, net::TransferAck>) {
+          bulk_.handle(msg);
+        } else if constexpr (std::is_same_v<T, net::TimeSyncBeacon>) {
+          timesync_.handle(msg);
+        } else if constexpr (std::is_same_v<T, net::QueryRequest>) {
+          retrieval_.handle(msg, src);
+        } else if constexpr (std::is_same_v<T, net::QueryReply>) {
+          retrieval_.handle(msg, dst);
+        }
+      },
+      m);
+}
+
+}  // namespace enviromic::core

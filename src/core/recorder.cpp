@@ -1,0 +1,183 @@
+#include "core/recorder.h"
+
+#include <algorithm>
+
+#include "core/metrics.h"
+#include "core/node.h"
+
+namespace enviromic::core {
+
+RecorderComponent::RecorderComponent(Node& node) : node_(node) {}
+
+void RecorderComponent::handle(const net::TaskRequest& m) {
+  if (m.recorder != node_.id() || recording_) return;
+
+  // Fig 1's overhearing optimization: if we already heard a TASK_CONFIRM for
+  // this round+replica, someone is recording — reject so the leader moves
+  // on.
+  const auto key = std::make_tuple(m.event, m.round, m.replica);
+  if (overheard_.count(key)) {
+    net::TaskReject rej;
+    rej.event = m.event;
+    rej.recorder = node_.id();
+    rej.round = m.round;
+    rej.replica = m.replica;
+    node_.sched().after(node_.proc_delay(), [this, rej] {
+      if (!recording_) {
+        node_.nb().send_now(rej);
+        ++stats_.tasks_rejected;
+      }
+    });
+    return;
+  }
+
+  net::TaskConfirm conf;
+  conf.event = m.event;
+  conf.recorder = node_.id();
+  conf.round = m.round;
+  conf.replica = m.replica;
+  const sim::Time start_at = m.start_at;
+  const sim::Time duration = m.duration;
+  node_.sched().after(node_.proc_delay(), [this, conf, start_at, duration] {
+    if (recording_) return;
+    node_.nb().send_now(conf);
+    // "starts recording immediately after the message is successfully sent
+    // out" — but not before the task's scheduled start (seamless hand-over).
+    const sim::Time begin = std::max(node_.sched().now(), start_at);
+    RecordingKind kind;
+    kind.event = conf.event;
+    node_.sched().at(begin, [this, kind, duration] {
+      if (recording_) return;
+      ++stats_.tasks_performed;
+      begin_recording(kind, duration);
+    });
+  });
+}
+
+void RecorderComponent::note_overheard_confirm(const net::TaskConfirm& m) {
+  if (m.recorder == node_.id()) return;
+  const sim::Time now = node_.sched().now();
+  overheard_[std::make_tuple(m.event, m.round, m.replica)] = now;
+  node_.group().note_recorder_busy(m.recorder, now + node_.cfg().task_period);
+  // Prune stale entries occasionally.
+  if (overheard_.size() > 64) {
+    for (auto it = overheard_.begin(); it != overheard_.end();) {
+      if (now - it->second > node_.cfg().task_period * 4) {
+        it = overheard_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void RecorderComponent::handle(const net::PreludeKeep& m) {
+  if (!last_prelude_key_) return;
+  if (m.keeper == node_.id()) {
+    last_prelude_key_.reset();  // we keep ours
+    return;
+  }
+  if (node_.store().pop_tail_if(*last_prelude_key_)) {
+    ++stats_.preludes_erased;
+    if (node_.metrics())
+      node_.metrics()->note_prelude_erased(*last_prelude_key_);
+  }
+  last_prelude_key_.reset();
+}
+
+void RecorderComponent::start_prelude() {
+  if (recording_) return;
+  ++stats_.preludes_recorded;
+  RecordingKind kind;
+  kind.is_prelude = true;
+  begin_recording(kind, node_.cfg().prelude_length);
+}
+
+void RecorderComponent::start_self_task(const net::EventId& event,
+                                        sim::Time duration) {
+  if (recording_) return;
+  ++stats_.tasks_performed;
+  RecordingKind kind;
+  kind.event = event;
+  begin_recording(kind, duration);
+}
+
+void RecorderComponent::baseline_on_onset() {
+  if (recording_) return;
+  RecordingKind kind;
+  kind.baseline = true;
+  ++stats_.baseline_chunks;
+  begin_recording(kind, node_.cfg().task_period);
+}
+
+void RecorderComponent::begin_recording(const RecordingKind& kind,
+                                        sim::Time duration) {
+  if (node_.failed()) return;
+  recording_ = true;
+  node_.set_recording(true);
+  const sim::Time started = node_.sched().now();
+  node_.sched().after(duration, [this, kind, started] {
+    finish_recording(kind, started);
+  });
+}
+
+void RecorderComponent::finish_recording(const RecordingKind& kind,
+                                         sim::Time started) {
+  const sim::Time ended = node_.sched().now();
+  recording_ = false;
+  node_.set_recording(false);
+  // A mote that died mid-task never completed the flash write.
+  if (node_.failed()) return;
+
+  const auto bytes =
+      static_cast<std::uint32_t>(node_.sampler().bytes_for(ended - started));
+  storage::Chunk chunk;
+  chunk.meta.key = node_.store().next_key(node_.id());
+  chunk.meta.event = kind.event;
+  chunk.meta.is_prelude = kind.is_prelude;
+  chunk.meta.recorded_by = node_.id();
+  // Stored timestamps come from the (synchronized) local clock; the
+  // instrumentation below uses true simulation time.
+  const sim::Time err = node_.clock().corrected_now() - ended;
+  chunk.meta.start = started + err;
+  chunk.meta.end = ended + err;
+  chunk.meta.bytes = bytes;
+  if (node_.flash().capacity_bytes() > 0 &&
+      node_.params().flash.store_payloads) {
+    chunk.payload = node_.sampler().capture(node_.mic(), started, ended);
+    if (node_.cfg().chunk_codec != storage::CodecKind::kNone) {
+      // Store compressed: the flash footprint shrinks while the recorded
+      // interval (and hence coverage metrics) stays the same.
+      chunk.payload = storage::encode(node_.cfg().chunk_codec, chunk.payload);
+      chunk.meta.bytes = static_cast<std::uint32_t>(chunk.payload.size());
+    }
+  }
+
+  const std::uint64_t key = chunk.meta.key;
+  const bool appended = node_.store().append(std::move(chunk));
+  if (!appended) ++stats_.overflows;
+  stats_.bytes_recorded += bytes;
+  node_.energy().charge_flash_write(appended ? bytes : 0);
+  node_.balancer().note_recorded_bytes(bytes);
+  if (node_.metrics()) {
+    node_.metrics()->note_recorded(key, node_.id(), node_.position(), started,
+                                   ended, bytes, appended, kind.is_prelude);
+  }
+  if (kind.is_prelude) {
+    last_prelude_key_ = key;
+    node_.group().begin_coordination();
+    return;
+  }
+  if (kind.baseline) {
+    // Uncoordinated baseline: chain while the event is still detected.
+    if (node_.detector().event_present()) {
+      ++stats_.baseline_chunks;
+      begin_recording(kind, node_.cfg().task_period);
+    }
+    return;
+  }
+  // Cooperative task finished: rejoin coordination (heartbeats resume on
+  // their timer; nothing else to do).
+}
+
+}  // namespace enviromic::core

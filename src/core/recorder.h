@@ -1,0 +1,81 @@
+// Member-side recording (paper §II-A.2, §III-B.1) and the uncoordinated
+// baseline recorder.
+//
+// On a TASK_REQUEST addressed to it, a member confirms (unless it overheard
+// another confirm for the round — then TASK_REJECT, Fig 1), waits until the
+// task's start time, switches its radio off (radio and high-rate sampling
+// cannot share the CPU), records for T_rc, stores the chunk, and switches
+// the radio back on. The prelude optimization records the first second of a
+// fresh event locally before any coordination.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <tuple>
+
+#include "core/config.h"
+#include "net/message.h"
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace enviromic::core {
+
+class Node;
+
+struct RecorderStats {
+  std::uint32_t tasks_performed = 0;
+  std::uint32_t tasks_rejected = 0;
+  std::uint32_t preludes_recorded = 0;
+  std::uint32_t preludes_erased = 0;
+  std::uint32_t baseline_chunks = 0;
+  std::uint64_t bytes_recorded = 0;
+  std::uint32_t overflows = 0;  //!< chunks lost because the store was full
+};
+
+class RecorderComponent {
+ public:
+  explicit RecorderComponent(Node& node);
+
+  bool recording() const { return recording_; }
+
+  // Cooperative path ------------------------------------------------------
+  void handle(const net::TaskRequest& m);
+  void note_overheard_confirm(const net::TaskConfirm& m);
+  void handle(const net::PreludeKeep& m);
+
+  /// Record the prelude (radio off), then hand control to
+  /// GroupManager::begin_coordination().
+  void start_prelude();
+
+  /// Leader with no assignable members records the task itself.
+  void start_self_task(const net::EventId& event, sim::Time duration);
+
+  // Baseline path ----------------------------------------------------------
+  /// Uncoordinated mode: record T_rc chunks back to back while the detector
+  /// still reports the event.
+  void baseline_on_onset();
+
+  const RecorderStats& stats() const { return stats_; }
+
+ private:
+  struct RecordingKind {
+    net::EventId event;     //!< invalid for baseline / prelude chunks
+    bool is_prelude = false;
+    bool baseline = false;
+  };
+
+  void begin_recording(const RecordingKind& kind, sim::Time duration);
+  void finish_recording(const RecordingKind& kind, sim::Time started);
+
+  Node& node_;
+  bool recording_ = false;
+  /// Overheard (event, round, replica) confirms, for the reject
+  /// optimization.
+  std::map<std::tuple<net::EventId, std::uint32_t, std::uint8_t>, sim::Time>
+      overheard_;
+  std::optional<std::uint64_t> last_prelude_key_;
+  RecorderStats stats_;
+};
+
+}  // namespace enviromic::core

@@ -1,0 +1,174 @@
+#include "core/retrieval.h"
+
+#include <vector>
+
+#include "core/node.h"
+
+namespace enviromic::core {
+
+std::vector<std::pair<sim::Time, sim::Time>> find_gap_windows(
+    const storage::FileIndex& index) {
+  std::vector<std::pair<sim::Time, sim::Time>> out;
+  for (const auto& event : index.events()) {
+    const auto s = index.summarize(event);
+    for (const auto& g : s.gaps) out.emplace_back(g.start, g.end);
+  }
+  return out;
+}
+
+RetrievalService::RetrievalService(Node& node) : node_(node) {}
+
+std::uint32_t RetrievalService::start_query(sim::Time from, sim::Time to,
+                                            std::uint8_t hops,
+                                            ReplyHandler on_reply) {
+  const std::uint32_t qid = next_query_id_++;
+  active_query_ = qid;
+  on_reply_ = std::move(on_reply);
+
+  net::QueryRequest q;
+  q.sink = node_.id();
+  q.from = from;
+  q.to = to;
+  q.hops_left = hops;
+  q.query_id = qid;
+  seen_.insert({q.sink, qid});
+  node_.nb().send_now(q);
+  // The sink answers its own query locally too (the mule standing at a node
+  // reads that node's chunks directly).
+  serve(q);
+  return qid;
+}
+
+void RetrievalService::handle(const net::QueryRequest& m, net::NodeId from) {
+  if (!seen_.insert({m.sink, m.query_id}).second) return;
+  // The flood hop we first heard the query from is our route back to the
+  // sink (directed-diffusion style, paper §II-C).
+  parent_[{m.sink, m.query_id}] = from;
+  // Bound the soft state: queries are transient.
+  if (parent_.size() > 64) parent_.erase(parent_.begin());
+  ++stats_.queries_served;
+  serve(m);
+  if (m.hops_left > 1) {
+    net::QueryRequest fwd = m;
+    fwd.hops_left = static_cast<std::uint8_t>(m.hops_left - 1);
+    // Random stagger to de-synchronize the flood.
+    node_.sched().after(sim::Time::millis(node_.rng().uniform_int(5, 60)),
+                        [this, fwd] {
+                          if (node_.nb().send_now(fwd))
+                            ++stats_.queries_forwarded;
+                        });
+  }
+}
+
+void RetrievalService::serve(const net::QueryRequest& q) {
+  if (q.harvest && q.sink != node_.id()) {
+    last_harvest_[q.sink] = node_.sched().now();
+    if (!harvesting_) {
+      harvesting_ = true;
+      harvest_drain(q.sink, q.query_id);
+    }
+    return;
+  }
+  // Collect matching chunks, then stream replies with spacing so a node
+  // with many chunks does not monopolize the channel.
+  std::vector<net::QueryReply> replies;
+  node_.store().for_each([&](const storage::ChunkMeta& meta) {
+    if (meta.end <= q.from || meta.start >= q.to) return;
+    net::QueryReply r;
+    r.sender = node_.id();
+    r.sink = q.sink;
+    r.query_id = q.query_id;
+    r.chunk_key = meta.key;
+    r.event = meta.event;
+    r.start = meta.start;
+    r.end = meta.end;
+    r.recorded_by = meta.recorded_by;
+    r.bytes = meta.bytes;
+    replies.push_back(r);
+  });
+  const bool local = q.sink == node_.id();
+  // Replies route toward the sink via the tree parent (which *is* the sink
+  // for single-hop queries).
+  const auto pit = parent_.find({q.sink, q.query_id});
+  const net::NodeId next_hop =
+      pit != parent_.end() ? pit->second : q.sink;
+  sim::Time when = node_.proc_delay();
+  for (const auto& r : replies) {
+    if (local) {
+      if (on_reply_ && r.query_id == active_query_) on_reply_(r);
+      continue;
+    }
+    node_.sched().after(when, [this, r, next_hop] {
+      if (node_.nb().send_to(next_hop, r)) ++stats_.replies_sent;
+    });
+    when += node_.cfg().reply_spacing;
+  }
+}
+
+void RetrievalService::harvest_drain(net::NodeId sink,
+                                     std::uint32_t query_id) {
+  // Stop uploading once the mule stops querying (it walked out of range);
+  // popping chunks into dead air would destroy data.
+  const auto it = last_harvest_.find(sink);
+  if (it == last_harvest_.end() ||
+      node_.sched().now() - it->second > sim::Time::seconds_i(10)) {
+    harvesting_ = false;
+    return;
+  }
+  // Upload chunks to the mule oldest-first, freeing local storage. Each
+  // upload occupies the air for the chunk's data; pause while recording.
+  if (node_.is_recording() || !node_.radio().is_on()) {
+    node_.sched().after(sim::Time::millis(500), [this, sink, query_id] {
+      harvest_drain(sink, query_id);
+    });
+    return;
+  }
+  const auto* head = node_.store().head_meta();
+  if (!head) {
+    harvesting_ = false;  // drained
+    return;
+  }
+  auto chunk = node_.store().pop_head();
+  net::QueryReply r;
+  r.sender = node_.id();
+  r.sink = sink;
+  r.query_id = query_id;
+  r.chunk_key = chunk->meta.key;
+  r.event = chunk->meta.event;
+  r.start = chunk->meta.start;
+  r.end = chunk->meta.end;
+  r.recorded_by = chunk->meta.recorded_by;
+  r.bytes = chunk->meta.bytes;
+  if (node_.nb().send_to(sink, r)) {
+    ++stats_.replies_sent;
+    ++stats_.chunks_uploaded;
+  }
+  // The bulk upload of the audio itself occupies the air for
+  // bytes*8/bitrate; model it as spacing before the next chunk departs.
+  const auto upload_time =
+      sim::Time::seconds(static_cast<double>(chunk->meta.bytes) * 8.0 /
+                         250000.0) +
+      node_.cfg().reply_spacing;
+  node_.sched().after(upload_time, [this, sink, query_id] {
+    harvest_drain(sink, query_id);
+  });
+}
+
+void RetrievalService::handle(const net::QueryReply& m, net::NodeId dst) {
+  if (m.sink == node_.id()) {
+    if (m.query_id != active_query_ || !on_reply_) return;
+    on_reply_(m);
+    return;
+  }
+  // Tree relay: only the addressed next hop forwards (the broadcast medium
+  // makes everyone overhear the unicast).
+  if (dst != node_.id()) return;
+  const auto pit = parent_.find({m.sink, m.query_id});
+  if (pit == parent_.end()) return;  // not on this query's tree
+  const net::NodeId next_hop = pit->second;
+  node_.sched().after(node_.cfg().reply_spacing, [this, m, next_hop] {
+    if (node_.nb().send_to(next_hop, m)) ++stats_.replies_relayed;
+  });
+}
+
+}  // namespace enviromic::core

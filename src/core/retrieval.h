@@ -1,0 +1,83 @@
+// Data retrieval (paper §II-C).
+//
+// Both designs the paper discusses are implemented:
+//
+//  * `hops` = 1 — the final single-hop scheme: a user (the "data mule")
+//    broadcasts a query; nodes in range stream back chunk descriptors, and
+//    the user walks the field (or physically collects the motes).
+//
+//  * `hops` > 1 — the spanning-tree design the paper describes first: the
+//    query floods, each node remembers the neighbour it first heard it from
+//    as its tree parent, replies route hop by hop up the tree to the sink,
+//    and "if gaps are observed in retrieved files, their IDs are flooded
+//    until all parts are retrieved successfully" (see `find_gap_windows`).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "core/config.h"
+#include "net/message.h"
+#include "sim/time.h"
+#include "storage/file_index.h"
+
+namespace enviromic::core {
+
+class Node;
+
+/// The §II-C gap step: time windows not covered inside each reassembled
+/// file, to be re-flooded "until all parts are retrieved successfully".
+std::vector<std::pair<sim::Time, sim::Time>> find_gap_windows(
+    const storage::FileIndex& index);
+
+struct RetrievalStats {
+  std::uint32_t queries_served = 0;
+  std::uint32_t replies_sent = 0;
+  std::uint32_t queries_forwarded = 0;
+  std::uint32_t replies_relayed = 0;  //!< routed up the spanning tree
+  std::uint32_t chunks_uploaded = 0;  //!< harvested by a data mule
+};
+
+class RetrievalService {
+ public:
+  using ReplyHandler = std::function<void(const net::QueryReply&)>;
+
+  explicit RetrievalService(Node& node);
+
+  /// Sink side: broadcast a query; matching replies arriving at this node
+  /// are passed to `on_reply`. Returns the query id.
+  std::uint32_t start_query(sim::Time from, sim::Time to, std::uint8_t hops,
+                            ReplyHandler on_reply);
+
+  /// `from` is the radio-level sender (the flood hop we heard the query
+  /// from); it becomes this node's spanning-tree parent for the query.
+  void handle(const net::QueryRequest& m, net::NodeId from);
+  /// `dst` is the packet's unicast destination: only the addressed node
+  /// relays a tree-routed reply further (everyone overhears it).
+  void handle(const net::QueryReply& m, net::NodeId dst);
+
+  const RetrievalStats& stats() const { return stats_; }
+
+ private:
+  void serve(const net::QueryRequest& q);
+  void harvest_drain(net::NodeId sink, std::uint32_t query_id);
+
+  Node& node_;
+  std::set<std::pair<net::NodeId, std::uint32_t>> seen_;
+  /// Spanning-tree parent per flooded query: the hop we first heard it
+  /// from (soft state; queries are short-lived).
+  std::map<std::pair<net::NodeId, std::uint32_t>, net::NodeId> parent_;
+  /// Last harvest query heard per sink: uploads pause when the mule has
+  /// moved on (otherwise popped chunks would vanish into dead air).
+  std::map<net::NodeId, sim::Time> last_harvest_;
+  bool harvesting_ = false;
+  std::uint32_t next_query_id_ = 1;
+  std::uint32_t active_query_ = 0;
+  ReplyHandler on_reply_;
+  RetrievalStats stats_;
+};
+
+}  // namespace enviromic::core

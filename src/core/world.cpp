@@ -1,0 +1,102 @@
+#include "core/world.h"
+
+#include <cassert>
+
+namespace enviromic::core {
+
+World::World(WorldConfig cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      channel_(sched_, rng_.fork("channel"), cfg.channel),
+      field_(cfg.background_level),
+      gt_(field_),
+      metrics_(gt_) {}
+
+Node& World::add_node(sim::Position pos) {
+  return add_node(pos, cfg_.node_defaults);
+}
+
+Node& World::add_node(sim::Position pos, const NodeParams& params) {
+  assert(!started_ && "add nodes before start()");
+  const net::NodeId id = next_node_++;
+  const bool is_root = nodes_.empty();
+  nodes_.push_back(std::make_unique<Node>(id, pos, params, sched_, channel_,
+                                          field_, rng_.fork(id), is_root,
+                                          &metrics_));
+  return *nodes_.back();
+}
+
+acoustic::SourceId World::add_source(
+    std::shared_ptr<const acoustic::Trajectory> traj,
+    std::shared_ptr<const acoustic::Waveform> wave, sim::Time start,
+    sim::Time end, double loudness, double audible_range) {
+  const acoustic::SourceId id = next_source_++;
+  field_.add_source(acoustic::Source(id, std::move(traj), std::move(wave),
+                                     start, end, loudness, audible_range));
+  return id;
+}
+
+void World::start() {
+  if (started_) return;
+  started_ = true;
+  std::vector<sim::Position> positions;
+  positions.reserve(nodes_.size());
+  for (const auto& n : nodes_) positions.push_back(n->position());
+  gt_.set_node_positions(std::move(positions));
+  for (auto& n : nodes_) n->start();
+}
+
+void World::run_until(sim::Time t) {
+  assert(started_ && "call start() first");
+  sched_.run_until(t);
+}
+
+void World::fail_node_at(net::NodeId id, sim::Time at, bool lose_data) {
+  sched_.at(at, [this, id, lose_data] {
+    if (Node* n = by_id(id)) n->fail(lose_data);
+  });
+}
+
+Node* World::by_id(net::NodeId id) {
+  for (auto& n : nodes_) {
+    if (n->id() == id) return n.get();
+  }
+  return nullptr;
+}
+
+Metrics::Snapshot World::snapshot_with(
+    const std::vector<storage::ChunkMeta>& collected) {
+  std::vector<Metrics::StoreView> views;
+  views.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    views.push_back(Metrics::StoreView{
+        n->id(), n->data_lost() ? nullptr : &n->store(), &n->radio().stats()});
+  }
+  return metrics_.compute(sched_.now(), views, &collected);
+}
+
+Metrics::Snapshot World::snapshot() {
+  std::vector<Metrics::StoreView> views;
+  views.reserve(nodes_.size());
+  // A lost mote's chunks are unretrievable: hide its store (null view) but
+  // keep its radio history (messages it sent before dying were real
+  // overhead).
+  for (const auto& n : nodes_) {
+    views.push_back(Metrics::StoreView{
+        n->id(), n->data_lost() ? nullptr : &n->store(), &n->radio().stats()});
+  }
+  return metrics_.compute(sched_.now(), views);
+}
+
+storage::FileIndex World::drain_all(bool deduplicate) const {
+  storage::FileIndex index;
+  for (const auto& n : nodes_) {
+    if (n->data_lost()) continue;
+    n->store().for_each(
+        [&](const storage::ChunkMeta& meta) { index.add(meta, n->id()); });
+  }
+  if (deduplicate) index.deduplicate();
+  return index;
+}
+
+}  // namespace enviromic::core

@@ -1,0 +1,3 @@
+// Battery is fully inline; this translation unit keeps the
+// one-cpp-per-header build layout.
+#include "energy/battery.h"

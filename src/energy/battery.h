@@ -1,0 +1,29 @@
+// A node battery: a joule budget with monotone drain.
+#pragma once
+
+#include <algorithm>
+
+namespace enviromic::energy {
+
+class Battery {
+ public:
+  explicit Battery(double capacity_joules)
+      : capacity_(capacity_joules), remaining_(capacity_joules) {}
+
+  double capacity_joules() const { return capacity_; }
+  double remaining_joules() const { return remaining_; }
+  double consumed_joules() const { return capacity_ - remaining_; }
+  bool depleted() const { return remaining_ <= 0.0; }
+
+  /// Drain `joules` (negative amounts ignored); clamps at zero.
+  void drain(double joules) {
+    if (joules <= 0.0) return;
+    remaining_ = std::max(0.0, remaining_ - joules);
+  }
+
+ private:
+  double capacity_;
+  double remaining_;
+};
+
+}  // namespace enviromic::energy

@@ -1,0 +1,55 @@
+#include "energy/energy_model.h"
+
+#include <limits>
+
+namespace enviromic::energy {
+
+double EnergyModel::base_power_w() const {
+  double w = cfg_.cpu_idle_w;
+  if (radio_on_) w += cfg_.radio_listen_w * cfg_.listen_duty_cycle;
+  if (sampling_) w += cfg_.sampling_w;
+  return w;
+}
+
+void EnergyModel::advance(sim::Time now) {
+  if (now <= last_) return;
+  const double dt = (now - last_).to_seconds();
+  battery_.drain(dt * base_power_w());
+  last_ = now;
+}
+
+void EnergyModel::set_radio_on(sim::Time now, bool on) {
+  advance(now);
+  radio_on_ = on;
+}
+
+void EnergyModel::set_sampling(sim::Time now, bool sampling) {
+  advance(now);
+  sampling_ = sampling;
+}
+
+void EnergyModel::charge_airtime(double seconds, bool is_tx) {
+  // Air time is charged at full radio power on top of the duty-cycled
+  // listen baseline.
+  battery_.drain(seconds * (is_tx ? cfg_.radio_tx_w : cfg_.radio_listen_w));
+}
+
+void EnergyModel::charge_flash_write(std::uint64_t bytes) {
+  battery_.drain(static_cast<double>(bytes) * cfg_.flash_write_j_per_byte);
+}
+
+double EnergyModel::drain_rate_at(double rate_bytes_per_s) const {
+  const double air_fraction =
+      std::min(1.0, rate_bytes_per_s * 8.0 / cfg_.radio_bitrate_bps);
+  return cfg_.cpu_idle_w +
+         cfg_.radio_listen_w * cfg_.listen_duty_cycle +
+         air_fraction * cfg_.radio_tx_w;
+}
+
+double EnergyModel::ttl_energy_seconds(double rate_bytes_per_s) const {
+  const double d = drain_rate_at(rate_bytes_per_s);
+  if (d <= 0.0) return std::numeric_limits<double>::infinity();
+  return battery_.remaining_joules() / d;
+}
+
+}  // namespace enviromic::energy

@@ -1,0 +1,64 @@
+// Per-node energy accounting with MicaZ-class rates, feeding the paper's
+// TTL_energy = E(t) / D(R(t)) computation (§II-B): D(R) is the drain rate if
+// the node keeps migrating data out at its acquisition rate R — idle power
+// plus the radio active for the fraction of time rate R requires.
+#pragma once
+
+#include "energy/battery.h"
+#include "sim/time.h"
+
+namespace enviromic::energy {
+
+struct EnergyConfig {
+  double battery_joules = 20000.0;     //!< ~2 AA alkaline at usable depth
+  double cpu_idle_w = 0.0024;          //!< duty-cycled MCU average
+  double radio_listen_w = 0.0590;      //!< CC2420 RX/listen, 19.7 mA @ 3 V
+  double radio_tx_w = 0.0520;          //!< CC2420 TX 0 dBm, 17.4 mA @ 3 V
+  double sampling_w = 0.0100;          //!< ADC + amp while recording
+  double flash_write_j_per_byte = 8e-8;
+  double radio_bitrate_bps = 250000.0;
+  /// Radios duty-cycle their listen mode (low-power listening); only this
+  /// fraction of listen time is charged.
+  double listen_duty_cycle = 0.05;
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyConfig cfg = {})
+      : cfg_(cfg), battery_(cfg.battery_joules) {}
+
+  const Battery& battery() const { return battery_; }
+  const EnergyConfig& config() const { return cfg_; }
+
+  /// Accrue time-based drain (CPU idle + duty-cycled listen + sampling) up
+  /// to `now`. Call before reading the battery or on activity transitions.
+  void advance(sim::Time now);
+
+  void set_radio_on(sim::Time now, bool on);
+  void set_sampling(sim::Time now, bool sampling);
+
+  /// Charge radio air time (seconds on the air), from the radio callbacks.
+  void charge_airtime(double seconds, bool is_tx);
+
+  /// Charge a flash write of `bytes`.
+  void charge_flash_write(std::uint64_t bytes);
+
+  /// The paper's D(R): drain rate (W) if this node moves data out at `rate`
+  /// bytes/second.
+  double drain_rate_at(double rate_bytes_per_s) const;
+
+  /// TTL_energy in seconds for acquisition rate R (paper §II-B). Infinite
+  /// (very large) when the rate is ~zero.
+  double ttl_energy_seconds(double rate_bytes_per_s) const;
+
+ private:
+  double base_power_w() const;
+
+  EnergyConfig cfg_;
+  Battery battery_;
+  sim::Time last_ = sim::Time::zero();
+  bool radio_on_ = true;
+  bool sampling_ = false;
+};
+
+}  // namespace enviromic::energy

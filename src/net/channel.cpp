@@ -1,0 +1,167 @@
+#include "net/channel.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace enviromic::net {
+
+Channel::Channel(sim::Scheduler& sched, sim::Rng rng, ChannelConfig cfg)
+    : sched_(sched), rng_(rng), cfg_(cfg) {}
+
+std::unique_ptr<Radio> Channel::create_radio(NodeId id, sim::Position pos) {
+  auto radio = std::make_unique<Radio>(*this, id, pos);
+  radios_.push_back(radio.get());
+  return radio;
+}
+
+void Channel::unregister(Radio* r) {
+  radios_.erase(std::remove(radios_.begin(), radios_.end(), r), radios_.end());
+}
+
+sim::Time Channel::air_time(std::uint32_t bytes) const {
+  const double seconds = static_cast<double>(bytes) * 8.0 / cfg_.bitrate_bps;
+  return sim::Time::seconds(seconds);
+}
+
+std::vector<NodeId> Channel::neighbors_of(NodeId of) const {
+  const Radio* self = nullptr;
+  for (const Radio* r : radios_) {
+    if (r->id() == of) {
+      self = r;
+      break;
+    }
+  }
+  std::vector<NodeId> out;
+  if (!self) return out;
+  for (const Radio* r : radios_) {
+    if (r == self) continue;
+    if (sim::distance(r->position(), self->position()) <= cfg_.comm_range)
+      out.push_back(r->id());
+  }
+  return out;
+}
+
+bool Channel::medium_busy_near(const sim::Position& pos) const {
+  const sim::Time now = sched_.now();
+  const double sense = cfg_.comm_range * cfg_.carrier_sense_factor;
+  for (const auto& tx : active_) {
+    if (tx.end <= now) continue;
+    if (sim::distance(tx.pos, pos) <= sense) return true;
+  }
+  return false;
+}
+
+void Channel::start_send(Radio& from, Packet packet, int attempt) {
+  if (!from.is_on()) {
+    // Radio was switched off (e.g. a recording task started) while the
+    // packet was deferred in CSMA back-off; drop it.
+    from.note_send_failure();
+    return;
+  }
+  if (medium_busy_near(from.position())) {
+    if (attempt >= cfg_.max_retries) {
+      from.note_send_failure();
+      return;
+    }
+    from.note_backoff();
+    const auto delay = sim::Time::ticks(rng_.uniform_int(
+        1, std::max<std::int64_t>(1, cfg_.backoff_window.raw_ticks())));
+    sched_.after(delay, [this, &from, packet = std::move(packet), attempt]() mutable {
+      start_send(from, std::move(packet), attempt + 1);
+    });
+    return;
+  }
+  begin_transmission(from, std::move(packet));
+}
+
+void Channel::begin_transmission(Radio& from, Packet packet) {
+  const sim::Time start = sched_.now();
+  const sim::Time end = start + air_time(packet.total_bytes());
+  active_.push_back(ActiveTx{from.id(), from.position(), start, end});
+  ++stats_.transmissions;
+  from.note_sent(packet, start, end);
+
+  // Deliveries resolve at transmission end; collision checks look at every
+  // transmission that overlapped [start, end] at the receiver.
+  sched_.at(end, [this, &from, packet = std::move(packet), start, end]() {
+    const ActiveTx me{from.id(), from.position(), start, end};
+    for (Radio* r : radios_) {
+      if (r == &from) continue;
+      if (packet.dst != kBroadcast && packet.dst != r->id()) {
+        // Unicast packets are still heard by everyone in range (overhearing
+        // is load-bearing for EnviroMic: TASK_CONFIRM suppression and soft
+        // state both rely on it), so do not skip delivery here.
+      }
+      if (sim::distance(r->position(), from.position()) > cfg_.comm_range)
+        continue;
+      if (!r->is_on()) {
+        r->note_missed_off();
+        ++stats_.losses_radio_off;
+        continue;
+      }
+      if (cfg_.model_collisions && collided(*r, me)) {
+        r->note_loss();
+        ++stats_.losses_collision;
+        continue;
+      }
+      if (rng_.chance(cfg_.loss_probability)) {
+        r->note_loss();
+        ++stats_.losses_random;
+        continue;
+      }
+      ++stats_.deliveries;
+      r->deliver(packet, start, end);
+    }
+    // Prune finished transmissions. Keep anything that could still overlap a
+    // transmission in flight.
+    const sim::Time now = sched_.now();
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [now](const ActiveTx& t) { return t.end < now; }),
+                  active_.end());
+  });
+}
+
+bool Channel::collided(const Radio& receiver, const ActiveTx& tx) const {
+  for (const auto& other : active_) {
+    if (other.src == tx.src && other.start == tx.start) continue;  // self
+    // Temporal overlap?
+    if (other.end <= tx.start || other.start >= tx.end) continue;
+    // The interferer must reach this receiver.
+    if (sim::distance(other.pos, receiver.position()) <= cfg_.comm_range)
+      return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Radio
+
+Radio::Radio(Channel& channel, NodeId id, sim::Position pos)
+    : channel_(channel), id_(id), pos_(pos) {}
+
+Radio::~Radio() { channel_.unregister(this); }
+
+bool Radio::send(Packet packet) {
+  if (!on_) return false;
+  assert(packet.src == id_);
+  channel_.start_send(*this, std::move(packet), 0);
+  return true;
+}
+
+void Radio::note_sent(const Packet& p, sim::Time start, sim::Time end) {
+  ++stats_.packets_sent;
+  stats_.bytes_sent += p.total_bytes();
+  for (const auto& m : p.messages) ++stats_.messages_sent[type_index(m)];
+  if (on_airtime_) on_airtime_((end - start).to_seconds(), /*is_tx=*/true);
+  if (on_activity_) on_activity_(start, end, /*is_tx=*/true);
+}
+
+void Radio::deliver(const Packet& p, sim::Time start, sim::Time end) {
+  ++stats_.packets_received;
+  stats_.bytes_received += p.total_bytes();
+  if (on_airtime_) on_airtime_((end - start).to_seconds(), /*is_tx=*/false);
+  if (on_activity_) on_activity_(start, end, /*is_tx=*/false);
+  if (on_receive_) on_receive_(p);
+}
+
+}  // namespace enviromic::net

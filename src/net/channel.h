@@ -1,0 +1,92 @@
+// Shared wireless medium.
+//
+// Unit-disc connectivity with configurable packet-loss probability, a
+// CC2420-like bitrate for transmission delay, CSMA deferral when the medium
+// is busy near the sender, and receiver-side collisions when two
+// transmissions overlap in time and range. This is deliberately in the
+// spirit of ns-3's simple wireless models: enough realism that control
+// packets get lost and duplicated the way the paper describes, without
+// modelling RF propagation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/message.h"
+#include "net/radio.h"
+#include "sim/geometry.h"
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+
+namespace enviromic::net {
+
+struct ChannelConfig {
+  /// Feet. Must exceed the sensing range (paper §II-A.1) so one-hop
+  /// elections cover a group; two grid lengths on the indoor testbed.
+  double comm_range = 4.0;
+  double loss_probability = 0.05;  //!< independent per (tx, receiver)
+  double bitrate_bps = 250000.0;   //!< 802.15.4
+  /// CSMA parameters: when the medium is busy within carrier-sense range of
+  /// the sender, retry after U(0, backoff_window); give up after max_retries.
+  sim::Time backoff_window = sim::Time::millis(8);
+  int max_retries = 8;
+  /// Carrier sensing typically reaches a bit beyond communication range.
+  double carrier_sense_factor = 1.5;
+  /// Enable receiver-side collision losses.
+  bool model_collisions = true;
+};
+
+/// Global channel statistics, used by the overhead figures.
+struct ChannelStats {
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t losses_random = 0;
+  std::uint64_t losses_collision = 0;
+  std::uint64_t losses_radio_off = 0;
+};
+
+class Channel {
+ public:
+  Channel(sim::Scheduler& sched, sim::Rng rng, ChannelConfig cfg);
+
+  /// Create a radio attached to this channel. The channel keeps a non-owning
+  /// registry; radios must outlive the channel's use of them (the World owns
+  /// both and tears them down together).
+  std::unique_ptr<Radio> create_radio(NodeId id, sim::Position pos);
+
+  const ChannelConfig& config() const { return cfg_; }
+  const ChannelStats& stats() const { return stats_; }
+  sim::Scheduler& scheduler() { return sched_; }
+
+  /// Transmission air time for a packet of `bytes` total size.
+  sim::Time air_time(std::uint32_t bytes) const;
+
+  /// Nodes within communication range of `of` (excluding itself).
+  std::vector<NodeId> neighbors_of(NodeId of) const;
+
+ private:
+  friend class Radio;
+
+  struct ActiveTx {
+    NodeId src;
+    sim::Position pos;
+    sim::Time start;
+    sim::Time end;
+  };
+
+  void start_send(Radio& from, Packet packet, int attempt);
+  void begin_transmission(Radio& from, Packet packet);
+  bool medium_busy_near(const sim::Position& pos) const;
+  bool collided(const Radio& receiver, const ActiveTx& tx) const;
+  void unregister(Radio* r);
+
+  sim::Scheduler& sched_;
+  sim::Rng rng_;
+  ChannelConfig cfg_;
+  ChannelStats stats_;
+  std::vector<Radio*> radios_;
+  std::vector<ActiveTx> active_;  //!< pruned lazily
+};
+
+}  // namespace enviromic::net

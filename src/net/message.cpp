@@ -1,0 +1,71 @@
+#include "net/message.h"
+
+#include <cstdio>
+
+namespace enviromic::net {
+
+std::string EventId::str() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "E%u.%u", origin, seq);
+  return buf;
+}
+
+namespace {
+
+struct SizeVisitor {
+  std::uint32_t operator()(const LeaderAnnounce&) const { return 14; }
+  std::uint32_t operator()(const Resign&) const { return 18; }
+  std::uint32_t operator()(const Sensing&) const { return 16; }
+  std::uint32_t operator()(const TaskRequest&) const { return 20; }
+  std::uint32_t operator()(const TaskConfirm&) const { return 12; }
+  std::uint32_t operator()(const TaskReject&) const { return 12; }
+  std::uint32_t operator()(const PreludeKeep&) const { return 10; }
+  std::uint32_t operator()(const StateBeacon&) const { return 18; }
+  std::uint32_t operator()(const TransferOffer&) const { return 10; }
+  std::uint32_t operator()(const TransferGrant&) const { return 12; }
+  std::uint32_t operator()(const TransferData& d) const {
+    return 16 + d.payload_bytes;
+  }
+  std::uint32_t operator()(const TransferAck&) const { return 14; }
+  std::uint32_t operator()(const TimeSyncBeacon&) const { return 16; }
+  std::uint32_t operator()(const QueryRequest&) const { return 16; }
+  std::uint32_t operator()(const QueryReply&) const { return 26; }
+};
+
+struct NameVisitor {
+  const char* operator()(const LeaderAnnounce&) const { return "LEADER_ANNOUNCE"; }
+  const char* operator()(const Resign&) const { return "RESIGN"; }
+  const char* operator()(const Sensing&) const { return "SENSING"; }
+  const char* operator()(const TaskRequest&) const { return "TASK_REQUEST"; }
+  const char* operator()(const TaskConfirm&) const { return "TASK_CONFIRM"; }
+  const char* operator()(const TaskReject&) const { return "TASK_REJECT"; }
+  const char* operator()(const PreludeKeep&) const { return "PRELUDE_KEEP"; }
+  const char* operator()(const StateBeacon&) const { return "STATE_BEACON"; }
+  const char* operator()(const TransferOffer&) const { return "TRANSFER_OFFER"; }
+  const char* operator()(const TransferGrant&) const { return "TRANSFER_GRANT"; }
+  const char* operator()(const TransferData&) const { return "TRANSFER_DATA"; }
+  const char* operator()(const TransferAck&) const { return "TRANSFER_ACK"; }
+  const char* operator()(const TimeSyncBeacon&) const { return "TIME_SYNC"; }
+  const char* operator()(const QueryRequest&) const { return "QUERY_REQUEST"; }
+  const char* operator()(const QueryReply&) const { return "QUERY_REPLY"; }
+};
+
+}  // namespace
+
+std::uint32_t wire_size(const Message& m) { return std::visit(SizeVisitor{}, m); }
+
+const char* type_name(const Message& m) { return std::visit(NameVisitor{}, m); }
+
+std::size_t type_index(const Message& m) { return m.index(); }
+
+std::uint32_t Packet::payload_bytes() const {
+  std::uint32_t n = 0;
+  for (const auto& m : messages) n += wire_size(m);
+  return n;
+}
+
+std::uint32_t Packet::total_bytes() const {
+  return payload_bytes() + kFramingBytes;
+}
+
+}  // namespace enviromic::net

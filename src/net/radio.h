@@ -1,0 +1,88 @@
+// Per-node radio endpoint.
+//
+// EnviroMic turns the radio off completely while a node records (paper
+// §III-B.1): packets arriving then are lost, and the node cannot send.
+// The endpoint also reports TX/RX activity windows so the acoustic sampler
+// can model CPU contention (Fig 3), and TX/RX air time so the energy model
+// can charge the battery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/message.h"
+#include "sim/geometry.h"
+#include "sim/time.h"
+
+namespace enviromic::net {
+
+class Channel;
+
+/// Counters a radio keeps about its own traffic.
+struct RadioStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t packets_missed_off = 0;   //!< arrived while radio off
+  std::uint64_t packets_lost = 0;         //!< loss/collision at this receiver
+  std::uint64_t csma_backoffs = 0;
+  std::uint64_t send_failures = 0;        //!< gave up after max backoffs
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_sent[kMessageTypeCount] = {};
+};
+
+class Radio {
+ public:
+  using ReceiveHandler = std::function<void(const Packet&)>;
+  /// (start, end, is_tx) of an air activity involving this node's CPU.
+  using ActivityHandler = std::function<void(sim::Time, sim::Time, bool)>;
+  /// (air_seconds, is_tx) for energy accounting.
+  using AirTimeHandler = std::function<void(double, bool)>;
+
+  Radio(Channel& channel, NodeId id, sim::Position pos);
+  ~Radio();
+
+  Radio(const Radio&) = delete;
+  Radio& operator=(const Radio&) = delete;
+
+  NodeId id() const { return id_; }
+  const sim::Position& position() const { return pos_; }
+  void set_position(const sim::Position& p) { pos_ = p; }
+
+  bool is_on() const { return on_; }
+  /// Turning the radio off aborts nothing in flight at other nodes, but this
+  /// node stops receiving immediately.
+  void set_on(bool on) { on_ = on; }
+
+  /// Queue a packet for transmission (CSMA; the channel may defer it).
+  /// Returns false if the radio is off.
+  bool send(Packet packet);
+
+  void set_receive_handler(ReceiveHandler h) { on_receive_ = std::move(h); }
+  void set_activity_handler(ActivityHandler h) { on_activity_ = std::move(h); }
+  void set_airtime_handler(AirTimeHandler h) { on_airtime_ = std::move(h); }
+
+  const RadioStats& stats() const { return stats_; }
+
+ private:
+  friend class Channel;
+
+  // Channel-side entry points.
+  void deliver(const Packet& p, sim::Time start, sim::Time end);
+  void note_loss() { ++stats_.packets_lost; }
+  void note_missed_off() { ++stats_.packets_missed_off; }
+  void note_backoff() { ++stats_.csma_backoffs; }
+  void note_send_failure() { ++stats_.send_failures; }
+  void note_sent(const Packet& p, sim::Time start, sim::Time end);
+
+  Channel& channel_;
+  NodeId id_;
+  sim::Position pos_;
+  bool on_ = true;
+  ReceiveHandler on_receive_;
+  ActivityHandler on_activity_;
+  AirTimeHandler on_airtime_;
+  RadioStats stats_;
+};
+
+}  // namespace enviromic::net

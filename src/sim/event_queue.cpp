@@ -1,0 +1,40 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace enviromic::sim {
+
+EventHandle EventQueue::schedule(Time t, Callback cb) {
+  auto alive = std::make_shared<bool>(true);
+  heap_.push(Entry{t, seq_++, std::move(cb), alive});
+  return EventHandle(std::move(alive));
+}
+
+void EventQueue::drop_dead() {
+  while (!heap_.empty() && !*heap_.top().alive) heap_.pop();
+}
+
+bool EventQueue::empty() {
+  drop_dead();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() {
+  drop_dead();
+  assert(!heap_.empty());
+  return heap_.top().t;
+}
+
+std::pair<Time, EventQueue::Callback> EventQueue::pop() {
+  drop_dead();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because we pop the entry immediately after.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  *top.alive = false;
+  std::pair<Time, Callback> out{top.t, std::move(top.cb)};
+  heap_.pop();
+  return out;
+}
+
+}  // namespace enviromic::sim

@@ -1,0 +1,80 @@
+// The discrete-event queue at the heart of the simulator.
+//
+// Events are (time, sequence, callback) triples ordered by time then by
+// insertion sequence, which makes execution fully deterministic for a given
+// schedule. Cancellation is O(1) via a shared tombstone flag; cancelled
+// events are dropped lazily when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace enviromic::sim {
+
+/// Handle to a scheduled event, usable to cancel it. Default-constructed
+/// handles are inert. Handles are cheap to copy (shared_ptr to a flag).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Idempotent.
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+
+  /// True if the event is still scheduled (not fired, not cancelled).
+  bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// Min-heap of timed callbacks with deterministic tie-breaking.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `t` (which must not precede the time of
+  /// the last popped event).
+  EventHandle schedule(Time t, Callback cb);
+
+  /// True when no live events remain. May pop tombstones to decide.
+  bool empty();
+
+  /// Time of the earliest live event. Precondition: !empty().
+  Time next_time();
+
+  /// Pop and return the earliest live event. Precondition: !empty().
+  std::pair<Time, Callback> pop();
+
+  std::size_t scheduled_count() const { return heap_.size(); }
+  std::uint64_t total_scheduled() const { return seq_; }
+
+ private:
+  struct Entry {
+    Time t;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace enviromic::sim

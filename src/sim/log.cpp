@@ -1,0 +1,32 @@
+#include "sim/log.h"
+
+#include <cstdio>
+
+namespace enviromic::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+    default: return "     ";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, Time now, const std::string& tag,
+              const std::string& message) {
+  if (level > g_level) return;
+  std::fprintf(stderr, "[%12.6fs] %s %s: %s\n", now.to_seconds(),
+               level_name(level), tag.c_str(), message.c_str());
+}
+
+}  // namespace enviromic::sim

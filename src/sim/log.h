@@ -1,0 +1,45 @@
+// Minimal leveled logger with simulated-time prefixes.
+//
+// Logging is process-global and off by default (benchmarks run silent);
+// tests and examples can raise the level to trace protocol behaviour.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "sim/time.h"
+
+namespace enviromic::sim {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+/// Set the global threshold; messages above it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line: "[  12.345678s] LEVEL tag: message".
+void log_line(LogLevel level, Time now, const std::string& tag,
+              const std::string& message);
+
+/// Stream-style helper: LogStream(LogLevel::kDebug, now, "group") << ...;
+class LogStream {
+ public:
+  LogStream(LogLevel level, Time now, std::string tag)
+      : level_(level), now_(now), tag_(std::move(tag)) {}
+  ~LogStream() {
+    if (level_ <= log_level()) log_line(level_, now_, tag_, ss_.str());
+  }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (level_ <= log_level()) ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  Time now_;
+  std::string tag_;
+  std::ostringstream ss_;
+};
+
+}  // namespace enviromic::sim

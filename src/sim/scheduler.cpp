@@ -1,0 +1,42 @@
+#include "sim/scheduler.h"
+
+#include <cassert>
+
+namespace enviromic::sim {
+
+EventHandle Scheduler::at(Time t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  return queue_.schedule(t, std::move(cb));
+}
+
+EventHandle Scheduler::after(Time d, Callback cb) {
+  if (d.is_negative()) d = Time::zero();
+  return queue_.schedule(now_ + d, std::move(cb));
+}
+
+std::uint64_t Scheduler::run(std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit && !queue_.empty()) {
+    auto [t, cb] = queue_.pop();
+    now_ = t;
+    cb();
+    ++n;
+    ++executed_;
+  }
+  return n;
+}
+
+std::uint64_t Scheduler::run_until(Time t) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    auto [et, cb] = queue_.pop();
+    now_ = et;
+    cb();
+    ++n;
+    ++executed_;
+  }
+  if (t > now_) now_ = t;
+  return n;
+}
+
+}  // namespace enviromic::sim

@@ -1,0 +1,46 @@
+// The simulation clock + event loop. All protocol components schedule work
+// through a Scheduler and read the current simulated time from it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace enviromic::sim {
+
+class Scheduler {
+ public:
+  using Callback = EventQueue::Callback;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedule at an absolute time (>= now()).
+  EventHandle at(Time t, Callback cb);
+
+  /// Schedule `d` after now(). Negative delays clamp to now().
+  EventHandle after(Time d, Callback cb);
+
+  /// Run events until the queue is exhausted or `limit` events have fired.
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+  /// Run all events with time <= t, then advance the clock to exactly t.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(Time t);
+
+  /// Number of events executed so far.
+  std::uint64_t executed() const { return executed_; }
+
+  /// Number of events currently scheduled (including tombstones).
+  std::size_t pending() const { return queue_.scheduled_count(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = Time::zero();
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace enviromic::sim

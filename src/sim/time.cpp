@@ -1,0 +1,26 @@
+#include "sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace enviromic::sim {
+
+Time Time::seconds(double s) {
+  return Time(static_cast<std::int64_t>(
+      std::llround(s * static_cast<double>(kTicksPerSecond))));
+}
+
+Time Time::scaled(double k) const {
+  return Time(static_cast<std::int64_t>(
+      std::llround(static_cast<double>(ticks_) * k)));
+}
+
+std::string Time::str() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6fs", to_seconds());
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Time t) { return os << t.str(); }
+
+}  // namespace enviromic::sim

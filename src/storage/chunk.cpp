@@ -1,0 +1,3 @@
+// Chunk types are header-only; this translation unit keeps the
+// one-cpp-per-header build layout.
+#include "storage/chunk.h"

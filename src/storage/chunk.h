@@ -1,0 +1,47 @@
+// A chunk: the unit of recorded data and of migration.
+//
+// "Each data chunk is associated with certain metadata, including start and
+// end timestamps, a location-stamp (or the ID of the recording node), and an
+// event (i.e., file) ID" (paper §III-B.3). A chunk key uniquely identifies a
+// chunk network-wide (recorder id + per-recorder counter) so migrated copies
+// can be deduplicated in analysis and acked fragment-by-fragment in
+// transfer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.h"
+#include "sim/time.h"
+
+namespace enviromic::storage {
+
+struct ChunkMeta {
+  std::uint64_t key = 0;           //!< globally unique chunk identity
+  net::EventId event;              //!< file id (may be invalid for preludes)
+  sim::Time start;                 //!< recording start (recorder clock)
+  sim::Time end;                   //!< recording end
+  net::NodeId recorded_by = net::kInvalidNode;
+  std::uint32_t bytes = 0;         //!< audio payload size
+  bool is_prelude = false;
+
+  friend bool operator==(const ChunkMeta&, const ChunkMeta&) = default;
+};
+
+struct Chunk {
+  ChunkMeta meta;
+  /// Audio payload; empty when the experiment only tracks byte counts.
+  std::vector<std::uint8_t> payload;
+};
+
+/// Build the globally unique key for the `counter`-th chunk of `recorder`.
+constexpr std::uint64_t make_chunk_key(net::NodeId recorder,
+                                       std::uint32_t counter) {
+  return (static_cast<std::uint64_t>(recorder) << 32) | counter;
+}
+
+constexpr net::NodeId chunk_key_node(std::uint64_t key) {
+  return static_cast<net::NodeId>(key >> 32);
+}
+
+}  // namespace enviromic::storage

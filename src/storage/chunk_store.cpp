@@ -1,0 +1,197 @@
+#include "storage/chunk_store.h"
+
+#include <cassert>
+
+namespace enviromic::storage {
+
+ChunkStore::ChunkStore(Flash& flash, Eeprom& eeprom, ChunkStoreConfig cfg)
+    : flash_(flash), eeprom_(eeprom), cfg_(cfg) {}
+
+std::uint32_t ChunkStore::blocks_for(std::uint32_t bytes) const {
+  const std::uint32_t bs = flash_.block_size();
+  return bytes == 0 ? 1 : (bytes + bs - 1) / bs;
+}
+
+bool ChunkStore::can_fit(std::uint32_t bytes) const {
+  return blocks_for(bytes) <= flash_.block_count() - used_blocks_;
+}
+
+std::uint32_t ChunkStore::ring_next(std::uint32_t b) const {
+  return (b + 1) % flash_.block_count();
+}
+
+std::uint32_t ChunkStore::tail_block() const {
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(head_block_) + used_blocks_) %
+      flash_.block_count());
+}
+
+std::uint64_t ChunkStore::next_key(net::NodeId self) {
+  return make_chunk_key(self, chunk_counter_++);
+}
+
+bool ChunkStore::append(Chunk chunk) {
+  const std::uint32_t nblocks = blocks_for(chunk.meta.bytes);
+  if (nblocks > flash_.block_count() - used_blocks_) {
+    ++rejected_;
+    return false;
+  }
+  std::uint32_t block = tail_block();
+  const std::uint32_t bs = flash_.block_size();
+  for (std::uint32_t frag = 0; frag < nblocks; ++frag) {
+    BlockTag tag;
+    tag.chunk_key = chunk.meta.key;
+    tag.frag_index = frag;
+    tag.frag_count = nblocks;
+    if (frag == 0) {
+      tag.event = chunk.meta.event;
+      tag.start = chunk.meta.start;
+      tag.end = chunk.meta.end;
+      tag.recorded_by = chunk.meta.recorded_by;
+      tag.chunk_bytes = chunk.meta.bytes;
+      tag.is_prelude = chunk.meta.is_prelude;
+    }
+    std::span<const std::uint8_t> slice;
+    if (!chunk.payload.empty()) {
+      const std::size_t off = static_cast<std::size_t>(frag) * bs;
+      const std::size_t len =
+          std::min<std::size_t>(bs, chunk.payload.size() - std::min(chunk.payload.size(), off));
+      if (off < chunk.payload.size())
+        slice = std::span<const std::uint8_t>(chunk.payload.data() + off, len);
+    }
+    flash_.write_block(block, tag, slice);
+    block = ring_next(block);
+  }
+  chunks_.push_back(Stored{chunk.meta, tail_block(), nblocks});
+  used_blocks_ += nblocks;
+  used_payload_ += chunk.meta.bytes;
+  ++appends_;
+  if (++mutations_since_checkpoint_ >= cfg_.checkpoint_every_appends)
+    checkpoint();
+  return true;
+}
+
+std::optional<Chunk> ChunkStore::pop_head() {
+  if (chunks_.empty()) return std::nullopt;
+  Stored sc = chunks_.front();
+  chunks_.pop_front();
+  Chunk out;
+  out.meta = sc.meta;
+  out.payload = read_payload(sc.meta.key);
+  std::uint32_t block = sc.first_block;
+  for (std::uint32_t i = 0; i < sc.block_count; ++i) {
+    flash_.clear_block(block);
+    block = ring_next(block);
+  }
+  head_block_ = block;
+  used_blocks_ -= sc.block_count;
+  used_payload_ -= sc.meta.bytes;
+  if (++mutations_since_checkpoint_ >= cfg_.checkpoint_every_appends)
+    checkpoint();
+  return out;
+}
+
+bool ChunkStore::pop_tail_if(std::uint64_t key) {
+  if (chunks_.empty() || chunks_.back().meta.key != key) return false;
+  const Stored sc = chunks_.back();
+  chunks_.pop_back();
+  std::uint32_t block = sc.first_block;
+  for (std::uint32_t i = 0; i < sc.block_count; ++i) {
+    flash_.clear_block(block);
+    block = ring_next(block);
+  }
+  used_blocks_ -= sc.block_count;
+  used_payload_ -= sc.meta.bytes;
+  return true;
+}
+
+const ChunkMeta* ChunkStore::head_meta() const {
+  return chunks_.empty() ? nullptr : &chunks_.front().meta;
+}
+
+std::uint64_t ChunkStore::used_bytes() const {
+  return static_cast<std::uint64_t>(used_blocks_) * flash_.block_size();
+}
+
+std::uint64_t ChunkStore::free_bytes() const {
+  return capacity_bytes() - used_bytes();
+}
+
+std::vector<std::uint8_t> ChunkStore::read_payload(std::uint64_t key) const {
+  for (const auto& sc : chunks_) {
+    if (sc.meta.key != key) continue;
+    std::vector<std::uint8_t> out;
+    std::uint32_t block = sc.first_block;
+    for (std::uint32_t i = 0; i < sc.block_count; ++i) {
+      const auto span = flash_.payload(block);
+      out.insert(out.end(), span.begin(), span.end());
+      block = ring_next(block);
+    }
+    out.resize(std::min<std::size_t>(out.size(), sc.meta.bytes));
+    return out;
+  }
+  return {};
+}
+
+void ChunkStore::checkpoint() {
+  eeprom_.save(Checkpoint{head_block_, used_blocks_, chunk_counter_});
+  mutations_since_checkpoint_ = 0;
+}
+
+ChunkStore ChunkStore::recover(Flash& flash, Eeprom& eeprom,
+                               ChunkStoreConfig cfg) {
+  ChunkStore store(flash, eeprom, cfg);
+  const auto& cp = eeprom.load();
+  if (!cp) return store;  // never checkpointed: treat as empty
+  store.chunk_counter_ = cp->chunk_counter;
+  store.head_block_ = cp->head_block % std::max(1u, flash.block_count());
+
+  // Walk forward from the checkpointed head re-reading OOB tags. We do not
+  // trust `used_blocks` alone: appends after the checkpoint extended the
+  // tail, pops advanced the head. Skip cleared/invalid leading blocks (pops
+  // after checkpoint), then accept well-formed chunks until the tags stop
+  // chaining.
+  std::uint32_t block = store.head_block_;
+  std::uint32_t scanned = 0;
+  const std::uint32_t total = flash.block_count();
+  // Skip popped (cleared) blocks at the head.
+  while (scanned < total && !flash.tag(block)) {
+    block = store.ring_next(block);
+    ++scanned;
+  }
+  store.head_block_ = block;
+  while (scanned < total) {
+    const auto& first = flash.tag(block);
+    if (!first || first->frag_index != 0) break;
+    const std::uint32_t n = first->frag_count;
+    if (n == 0 || n > total - (scanned)) break;
+    // Validate the whole fragment chain before committing.
+    bool ok = true;
+    std::uint32_t b = block;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto& t = flash.tag(b);
+      if (!t || t->chunk_key != first->chunk_key || t->frag_index != i) {
+        ok = false;
+        break;
+      }
+      b = store.ring_next(b);
+    }
+    if (!ok) break;
+    ChunkMeta meta;
+    meta.key = first->chunk_key;
+    meta.event = first->event;
+    meta.start = first->start;
+    meta.end = first->end;
+    meta.recorded_by = first->recorded_by;
+    meta.bytes = first->chunk_bytes;
+    meta.is_prelude = first->is_prelude;
+    store.chunks_.push_back(Stored{meta, block, n});
+    store.used_blocks_ += n;
+    store.used_payload_ += meta.bytes;
+    block = b;
+    scanned += n;
+  }
+  return store;
+}
+
+}  // namespace enviromic::storage

@@ -1,0 +1,153 @@
+#include "storage/codec.h"
+
+#include <stdexcept>
+
+namespace enviromic::storage {
+
+namespace {
+
+constexpr std::uint8_t kMaxRun = 255;
+
+// RLE stream: pairs of (count, byte).
+void rle_encode_into(std::span<const std::uint8_t> data,
+                     std::vector<std::uint8_t>& out) {
+  std::size_t i = 0;
+  while (i < data.size()) {
+    std::uint8_t run = 1;
+    while (i + run < data.size() && run < kMaxRun && data[i + run] == data[i]) {
+      ++run;
+    }
+    out.push_back(run);
+    out.push_back(data[i]);
+    i += run;
+  }
+}
+
+std::vector<std::uint8_t> rle_decode(std::span<const std::uint8_t> in) {
+  if (in.size() % 2 != 0) throw std::invalid_argument("rle: odd stream");
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i < in.size(); i += 2) {
+    const std::uint8_t run = in[i];
+    if (run == 0) throw std::invalid_argument("rle: zero run");
+    out.insert(out.end(), run, in[i + 1]);
+  }
+  return out;
+}
+
+std::uint8_t zigzag(int delta) {
+  // Map -128..127 to 0..255 with small magnitudes first.
+  const unsigned u = static_cast<unsigned>(delta < 0 ? (-delta * 2 - 1) : delta * 2);
+  return static_cast<std::uint8_t>(u & 0xFF);
+}
+
+int unzigzag(std::uint8_t byte) {
+  return (byte & 1) ? -static_cast<int>((byte + 1) / 2)
+                    : static_cast<int>(byte / 2);
+}
+
+// Delta stream with zero-run suppression: voiced audio costs one literal
+// byte per sample (zigzagged delta, never the 0x00 escape), while silence —
+// runs of zero deltas — collapses to (0x00, count) pairs. This keeps mixed
+// chunks compressible instead of expanding their voiced part.
+void delta_encode_into(std::span<const std::uint8_t> data,
+                       std::vector<std::uint8_t>& out) {
+  int prev = 128;  // ADC midpoint as the implicit predecessor
+  std::size_t i = 0;
+  while (i < data.size()) {
+    int d = static_cast<int>(data[i]) - prev;
+    if (d > 127) d -= 256;
+    if (d < -128) d += 256;
+    prev = data[i];
+    if (d == 0) {
+      std::uint8_t run = 1;
+      while (i + run < data.size() && run < kMaxRun && data[i + run] == data[i]) {
+        ++run;
+      }
+      out.push_back(0x00);
+      out.push_back(run);
+      prev = data[i + run - 1];
+      i += run;
+    } else {
+      out.push_back(zigzag(d));  // zigzag(d != 0) is never 0x00
+      ++i;
+    }
+  }
+}
+
+std::vector<std::uint8_t> delta_decode(std::span<const std::uint8_t> in) {
+  std::vector<std::uint8_t> out;
+  int prev = 128;
+  std::size_t i = 0;
+  while (i < in.size()) {
+    if (in[i] == 0x00) {
+      if (i + 1 >= in.size()) throw std::invalid_argument("delta: cut run");
+      const std::uint8_t run = in[i + 1];
+      if (run == 0) throw std::invalid_argument("delta: zero run");
+      out.insert(out.end(), run, static_cast<std::uint8_t>(prev));
+      i += 2;
+    } else {
+      prev = (prev + unzigzag(in[i])) & 0xFF;
+      out.push_back(static_cast<std::uint8_t>(prev));
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* codec_name(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kNone: return "none";
+    case CodecKind::kRle: return "rle";
+    case CodecKind::kDelta: return "delta";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode(CodecKind kind,
+                                 std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(kind));
+  switch (kind) {
+    case CodecKind::kNone:
+      out.insert(out.end(), data.begin(), data.end());
+      return out;
+    case CodecKind::kRle:
+      rle_encode_into(data, out);
+      break;
+    case CodecKind::kDelta:
+      delta_encode_into(data, out);
+      break;
+  }
+  if (out.size() > data.size() + 1) {
+    // Incompressible: store raw instead.
+    out.clear();
+    out.push_back(static_cast<std::uint8_t>(CodecKind::kNone));
+    out.insert(out.end(), data.begin(), data.end());
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> decode(std::span<const std::uint8_t> blob) {
+  if (blob.empty()) throw std::invalid_argument("codec: empty blob");
+  const auto kind = static_cast<CodecKind>(blob[0]);
+  const auto body = blob.subspan(1);
+  switch (kind) {
+    case CodecKind::kNone:
+      return {body.begin(), body.end()};
+    case CodecKind::kRle:
+      return rle_decode(body);
+    case CodecKind::kDelta:
+      return delta_decode(body);
+  }
+  throw std::invalid_argument("codec: unknown kind");
+}
+
+double compression_ratio(CodecKind kind, std::span<const std::uint8_t> data) {
+  if (data.empty()) return 1.0;
+  return static_cast<double>(encode(kind, data).size()) /
+         static_cast<double>(data.size());
+}
+
+}  // namespace enviromic::storage

@@ -1,0 +1,43 @@
+// Lossless audio chunk compression.
+//
+// The paper notes that "data compression algorithms [Sadler & Martonosi,
+// SenSys'06] can be easily integrated into EnviroMic to further reduce the
+// data volume to be stored" (§V). This module provides that integration
+// point with two mote-friendly codecs:
+//
+//  * kRle     — byte run-length encoding; silence (constant ADC midpoint)
+//               collapses dramatically.
+//  * kDelta   — per-sample delta, zig-zag mapped to small bytes, then RLE;
+//               effective on slowly varying signals too.
+//
+// Both are O(n), constant-memory, and reversible — the constraints an
+// ATmega-class recorder imposes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace enviromic::storage {
+
+enum class CodecKind : std::uint8_t {
+  kNone = 0,
+  kRle = 1,
+  kDelta = 2,
+};
+
+const char* codec_name(CodecKind kind);
+
+/// Compress `data`. The first output byte records the codec actually used:
+/// if compression would expand the data, the encoder falls back to kNone
+/// (so encode() never grows input by more than 1 byte).
+std::vector<std::uint8_t> encode(CodecKind kind,
+                                 std::span<const std::uint8_t> data);
+
+/// Invert encode(). Throws std::invalid_argument on a corrupt stream.
+std::vector<std::uint8_t> decode(std::span<const std::uint8_t> blob);
+
+/// Convenience: achieved ratio (compressed/original; 1.0 when empty).
+double compression_ratio(CodecKind kind, std::span<const std::uint8_t> data);
+
+}  // namespace enviromic::storage

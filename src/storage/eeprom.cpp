@@ -1,0 +1,3 @@
+// Eeprom is fully inline; this translation unit keeps the one-cpp-per-header
+// build layout.
+#include "storage/eeprom.h"

@@ -1,0 +1,85 @@
+#include "storage/file_index.h"
+
+#include <algorithm>
+#include <set>
+
+namespace enviromic::storage {
+
+void FileIndex::add(const ChunkMeta& meta, net::NodeId stored_at) {
+  files_[meta.event].push_back(Entry{meta, stored_at});
+  ++total_chunks_;
+}
+
+std::vector<net::EventId> FileIndex::events() const {
+  std::vector<net::EventId> out;
+  out.reserve(files_.size());
+  for (const auto& [event, _] : files_) out.push_back(event);
+  return out;
+}
+
+std::vector<ChunkMeta> FileIndex::chunks_of(const net::EventId& event) const {
+  std::vector<ChunkMeta> out;
+  const auto it = files_.find(event);
+  if (it == files_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& e : it->second) out.push_back(e.meta);
+  std::sort(out.begin(), out.end(), [](const ChunkMeta& a, const ChunkMeta& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.key < b.key;
+  });
+  return out;
+}
+
+std::map<net::NodeId, std::size_t> FileIndex::placement_of(
+    const net::EventId& event) const {
+  std::map<net::NodeId, std::size_t> out;
+  const auto it = files_.find(event);
+  if (it == files_.end()) return out;
+  for (const auto& e : it->second) ++out[e.stored_at];
+  return out;
+}
+
+FileSummary FileIndex::summarize(const net::EventId& event) const {
+  FileSummary s;
+  s.event = event;
+  const auto chunks = chunks_of(event);
+  if (chunks.empty()) return s;
+  s.chunk_count = chunks.size();
+  s.first_start = chunks.front().start;
+  s.last_end = chunks.front().end;
+  util::IntervalSet coverage;
+  std::vector<util::IntervalSet::Interval> raw;
+  std::set<net::NodeId> seen;
+  for (const auto& c : chunks) {
+    s.total_bytes += c.bytes;
+    s.last_end = std::max(s.last_end, c.end);
+    coverage.add(c.start, c.end);
+    raw.push_back({c.start, c.end});
+    if (seen.insert(c.recorded_by).second) s.recorders.push_back(c.recorded_by);
+  }
+  s.covered = coverage.measure();
+  s.redundant = util::overlap_measure(raw);
+  s.gaps = coverage.gaps_within(s.first_start, s.last_end);
+  return s;
+}
+
+std::size_t FileIndex::deduplicate() {
+  std::size_t removed = 0;
+  std::set<std::uint64_t> seen;
+  for (auto& [event, entries] : files_) {
+    auto keep = entries.begin();
+    for (auto it = entries.begin(); it != entries.end(); ++it) {
+      if (seen.insert(it->meta.key).second) {
+        if (keep != it) *keep = std::move(*it);
+        ++keep;
+      } else {
+        ++removed;
+        --total_chunks_;
+      }
+    }
+    entries.erase(keep, entries.end());
+  }
+  return removed;
+}
+
+}  // namespace enviromic::storage

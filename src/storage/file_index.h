@@ -1,0 +1,64 @@
+// Network-wide file reassembly.
+//
+// EnviroMic "attempts to create a single file for each continuous acoustic
+// event. The file is distributed and consists of different chunks residing
+// on different sensors" (paper §II). The FileIndex is the basestation-side
+// structure built at retrieval time: it groups chunk metadata by event/file
+// id, orders chunks, and reports coverage, gaps, and redundancy.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "storage/chunk.h"
+#include "util/intervals.h"
+
+namespace enviromic::storage {
+
+struct FileSummary {
+  net::EventId event;
+  std::size_t chunk_count = 0;
+  std::uint64_t total_bytes = 0;
+  sim::Time first_start;
+  sim::Time last_end;
+  sim::Time covered;    //!< union of chunk intervals
+  sim::Time redundant;  //!< time covered by more than one chunk
+  std::vector<util::IntervalSet::Interval> gaps;  //!< within [first, last]
+  std::vector<net::NodeId> recorders;  //!< distinct recording nodes, ordered
+};
+
+class FileIndex {
+ public:
+  /// Register one chunk's metadata (typically while draining every node's
+  /// store, or from QueryReply messages).
+  void add(const ChunkMeta& meta, net::NodeId stored_at);
+
+  std::size_t file_count() const { return files_.size(); }
+  std::size_t chunk_count() const { return total_chunks_; }
+
+  /// All event ids with at least one chunk.
+  std::vector<net::EventId> events() const;
+
+  /// Chunks of one file, sorted by start time.
+  std::vector<ChunkMeta> chunks_of(const net::EventId& event) const;
+
+  /// Where the chunks of a file physically live (node -> chunk count);
+  /// shows migration spread.
+  std::map<net::NodeId, std::size_t> placement_of(const net::EventId& event) const;
+
+  FileSummary summarize(const net::EventId& event) const;
+
+  /// Deduplicate by chunk key (migration can replicate a chunk onto several
+  /// nodes); keeps the first-seen copy. Returns removed count.
+  std::size_t deduplicate();
+
+ private:
+  struct Entry {
+    ChunkMeta meta;
+    net::NodeId stored_at;
+  };
+  std::map<net::EventId, std::vector<Entry>> files_;
+  std::size_t total_chunks_ = 0;
+};
+
+}  // namespace enviromic::storage

@@ -1,0 +1,61 @@
+#include "storage/flash.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace enviromic::storage {
+
+Flash::Flash(FlashConfig cfg)
+    : cfg_(cfg),
+      block_count_(static_cast<std::uint32_t>(cfg.capacity_bytes / cfg.block_size)),
+      wear_(block_count_, 0),
+      tags_(block_count_),
+      payloads_(cfg.store_payloads ? block_count_ : 0) {
+  assert(cfg_.block_size > 0);
+  assert(block_count_ > 0);
+}
+
+void Flash::write_block(std::uint32_t index, const BlockTag& tag,
+                        std::span<const std::uint8_t> payload) {
+  assert(index < block_count_);
+  assert(payload.size() <= cfg_.block_size);
+  ++wear_[index];
+  ++total_writes_;
+  if (wear_[index] > cfg_.write_limit) ++over_limit_;
+  tags_[index] = tag;
+  if (cfg_.store_payloads) {
+    payloads_[index].assign(payload.begin(), payload.end());
+  }
+}
+
+void Flash::clear_block(std::uint32_t index) {
+  assert(index < block_count_);
+  tags_[index].reset();
+  if (cfg_.store_payloads) payloads_[index].clear();
+}
+
+const std::optional<BlockTag>& Flash::tag(std::uint32_t index) const {
+  assert(index < block_count_);
+  return tags_[index];
+}
+
+std::span<const std::uint8_t> Flash::payload(std::uint32_t index) const {
+  assert(index < block_count_);
+  if (!cfg_.store_payloads) return {};
+  return payloads_[index];
+}
+
+std::uint64_t Flash::wear(std::uint32_t index) const {
+  assert(index < block_count_);
+  return wear_[index];
+}
+
+std::uint64_t Flash::max_wear() const {
+  return *std::max_element(wear_.begin(), wear_.end());
+}
+
+std::uint64_t Flash::min_wear() const {
+  return *std::min_element(wear_.begin(), wear_.end());
+}
+
+}  // namespace enviromic::storage

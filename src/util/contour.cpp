@@ -1,0 +1,88 @@
+#include "util/contour.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace enviromic::util {
+
+Grid::Grid(std::size_t nx, std::size_t ny, double initial)
+    : nx_(nx), ny_(ny), cells_(nx * ny, initial) {}
+
+double& Grid::at(std::size_t x, std::size_t y) {
+  assert(x < nx_ && y < ny_);
+  return cells_[y * nx_ + x];
+}
+
+double Grid::at(std::size_t x, std::size_t y) const {
+  assert(x < nx_ && y < ny_);
+  return cells_[y * nx_ + x];
+}
+
+double Grid::max() const {
+  double m = cells_.empty() ? 0.0 : cells_.front();
+  for (double v : cells_) m = std::max(m, v);
+  return m;
+}
+
+double Grid::min() const {
+  double m = cells_.empty() ? 0.0 : cells_.front();
+  for (double v : cells_) m = std::min(m, v);
+  return m;
+}
+
+double Grid::total() const {
+  double s = 0.0;
+  for (double v : cells_) s += v;
+  return s;
+}
+
+namespace {
+constexpr char kGlyphs[] = " .:-=+*#%@";
+constexpr int kLevels = 9;  // glyph indices 0..9
+}  // namespace
+
+void render_contour(std::ostream& os, const Grid& g, const std::string& title,
+                    double lo, double hi) {
+  if (hi < lo) {
+    lo = g.min();
+    hi = g.max();
+  }
+  const double span = (hi > lo) ? (hi - lo) : 1.0;
+  os << title << "  [min=" << lo << " max=" << hi << "]\n";
+  for (std::size_t row = g.ny(); row-- > 0;) {
+    os << "  ";
+    for (std::size_t x = 0; x < g.nx(); ++x) {
+      const double norm = std::clamp((g.at(x, row) - lo) / span, 0.0, 1.0);
+      const int level = static_cast<int>(std::lround(norm * kLevels));
+      // Double-width glyphs keep the aspect ratio roughly square in a
+      // terminal font.
+      os << kGlyphs[level] << kGlyphs[level];
+    }
+    os << '\n';
+  }
+  os << "  scale: ";
+  for (int i = 0; i <= kLevels; ++i) os << '\'' << kGlyphs[i] << '\'' << ' ';
+  os << "(low..high)\n";
+}
+
+void render_values(std::ostream& os, const Grid& g, const std::string& title) {
+  os << title << '\n';
+  char buf[32];
+  for (std::size_t row = g.ny(); row-- > 0;) {
+    os << "  ";
+    for (std::size_t x = 0; x < g.nx(); ++x) {
+      const double v = g.at(x, row);
+      if (v >= 1000.0) {
+        std::snprintf(buf, sizeof buf, "%7.1fk", v / 1000.0);
+      } else {
+        std::snprintf(buf, sizeof buf, "%8.1f", v);
+      }
+      os << buf;
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace enviromic::util

@@ -1,0 +1,42 @@
+// ASCII contour rendering for the spatial-distribution figures
+// (Figs 13, 14, 17, 18 of the paper). Values laid out on an (nx x ny) grid
+// are bucketed into intensity glyphs with a printed scale.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace enviromic::util {
+
+/// Dense row-major grid of doubles with (x, y) addressing; y grows upward.
+class Grid {
+ public:
+  Grid(std::size_t nx, std::size_t ny, double initial = 0.0);
+
+  double& at(std::size_t x, std::size_t y);
+  double at(std::size_t x, std::size_t y) const;
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+
+  double max() const;
+  double min() const;
+  double total() const;
+
+ private:
+  std::size_t nx_;
+  std::size_t ny_;
+  std::vector<double> cells_;
+};
+
+/// Render the grid as an ASCII intensity map. Each cell becomes a glyph from
+/// " .:-=+*#%@" scaled between the grid min and max (or the supplied range).
+/// Rows print top (max y) to bottom to match the paper's contour plots.
+void render_contour(std::ostream& os, const Grid& g, const std::string& title,
+                    double lo = 0.0, double hi = -1.0);
+
+/// Render numeric cell values (kilo-suffixed) for precise comparisons.
+void render_values(std::ostream& os, const Grid& g, const std::string& title);
+
+}  // namespace enviromic::util

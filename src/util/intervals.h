@@ -1,0 +1,149 @@
+// Half-open time-interval set with union/measure/gap operations.
+//
+// Used wherever coverage is reasoned about: the miss ratio is the measure of
+// an event's span not covered by any recording; the redundancy ratio is the
+// recorded time covered more than once; retrieval detects gaps in
+// reassembled files.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace enviromic::util {
+
+class IntervalSet {
+ public:
+  struct Interval {
+    sim::Time start;
+    sim::Time end;
+    friend bool operator==(const Interval&, const Interval&) = default;
+  };
+
+  /// Insert [start, end); empty/inverted inputs are ignored.
+  void add(sim::Time start, sim::Time end);
+
+  /// Merged, sorted, disjoint intervals.
+  const std::vector<Interval>& intervals() const;
+
+  /// Total covered time.
+  sim::Time measure() const;
+
+  /// Covered time within the window [from, to).
+  sim::Time measure_within(sim::Time from, sim::Time to) const;
+
+  /// Gaps inside [from, to) not covered by the set.
+  std::vector<Interval> gaps_within(sim::Time from, sim::Time to) const;
+
+  bool empty() const { return raw_.empty(); }
+  void clear();
+
+ private:
+  void normalize() const;
+
+  mutable std::vector<Interval> raw_;
+  mutable bool dirty_ = false;
+};
+
+/// Time covered by >= 2 of the given (possibly overlapping) intervals;
+/// the "redundant" recording time of the paper's Fig 11 metric.
+sim::Time overlap_measure(std::vector<IntervalSet::Interval> intervals);
+
+inline void IntervalSet::add(sim::Time start, sim::Time end) {
+  if (end <= start) return;
+  raw_.push_back({start, end});
+  dirty_ = true;
+}
+
+inline void IntervalSet::normalize() const {
+  if (!dirty_) return;
+  std::sort(raw_.begin(), raw_.end(), [](const Interval& a, const Interval& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.end < b.end;
+  });
+  std::vector<Interval> merged;
+  for (const auto& iv : raw_) {
+    if (!merged.empty() && iv.start <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  raw_ = std::move(merged);
+  dirty_ = false;
+}
+
+inline const std::vector<IntervalSet::Interval>& IntervalSet::intervals() const {
+  normalize();
+  return raw_;
+}
+
+inline sim::Time IntervalSet::measure() const {
+  normalize();
+  sim::Time total = sim::Time::zero();
+  for (const auto& iv : raw_) total += iv.end - iv.start;
+  return total;
+}
+
+inline sim::Time IntervalSet::measure_within(sim::Time from, sim::Time to) const {
+  normalize();
+  sim::Time total = sim::Time::zero();
+  for (const auto& iv : raw_) {
+    const sim::Time s = std::max(iv.start, from);
+    const sim::Time e = std::min(iv.end, to);
+    if (e > s) total += e - s;
+  }
+  return total;
+}
+
+inline std::vector<IntervalSet::Interval> IntervalSet::gaps_within(
+    sim::Time from, sim::Time to) const {
+  normalize();
+  std::vector<Interval> gaps;
+  sim::Time cursor = from;
+  for (const auto& iv : raw_) {
+    if (iv.end <= from) continue;
+    if (iv.start >= to) break;
+    if (iv.start > cursor) gaps.push_back({cursor, std::min(iv.start, to)});
+    cursor = std::max(cursor, iv.end);
+    if (cursor >= to) break;
+  }
+  if (cursor < to) gaps.push_back({cursor, to});
+  return gaps;
+}
+
+inline void IntervalSet::clear() {
+  raw_.clear();
+  dirty_ = false;
+}
+
+inline sim::Time overlap_measure(std::vector<IntervalSet::Interval> ivs) {
+  // Sweep over boundaries counting active intervals.
+  struct Edge {
+    sim::Time t;
+    int delta;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(ivs.size() * 2);
+  for (const auto& iv : ivs) {
+    if (iv.end <= iv.start) continue;
+    edges.push_back({iv.start, +1});
+    edges.push_back({iv.end, -1});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.delta < b.delta;  // close before open at the same instant
+  });
+  sim::Time total = sim::Time::zero();
+  int active = 0;
+  sim::Time prev = sim::Time::zero();
+  for (const auto& e : edges) {
+    if (active >= 2) total += e.t - prev;
+    active += e.delta;
+    prev = e.t;
+  }
+  return total;
+}
+
+}  // namespace enviromic::util

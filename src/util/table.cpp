@@ -1,0 +1,78 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <iomanip>
+
+namespace enviromic::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << quote(row[c]);
+      if (c + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+void banner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " " << std::string(std::max<std::size_t>(4, 72 - title.size()), '=')
+     << '\n';
+}
+
+}  // namespace enviromic::util

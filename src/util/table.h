@@ -1,0 +1,42 @@
+// Fixed-width console table and CSV emission for the benchmark harnesses.
+// Every figure/table bench prints the same rows/series the paper reports;
+// these helpers keep that output uniform.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace enviromic::util {
+
+/// Accumulates rows of strings and prints them as an aligned console table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; it must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment, a header underline, and 2-space gutters.
+  void print(std::ostream& os) const;
+
+  /// Render as RFC-4180-ish CSV (fields containing comma/quote are quoted).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` decimal places.
+std::string fmt(double v, int digits = 3);
+
+/// Format an integer quantity.
+std::string fmt(long long v);
+
+/// Print a section banner: "== title ==" padded to a fixed width.
+void banner(std::ostream& os, const std::string& title);
+
+}  // namespace enviromic::util

@@ -1,0 +1,111 @@
+#include "util/wav.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace enviromic::util {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
+void put_tag(std::vector<std::uint8_t>& out, const char* tag) {
+  // (push_back instead of insert(range): GCC 12's -Wstringop-overflow fires
+  // a false positive on char* range-inserts into byte vectors at -O2.)
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(tag[i]));
+  }
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t off) {
+  if (off + 4 > in.size()) throw std::invalid_argument("wav: truncated");
+  return static_cast<std::uint32_t>(in[off]) |
+         (static_cast<std::uint32_t>(in[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(in[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(in[off + 3]) << 24);
+}
+
+std::uint16_t get_u16(const std::vector<std::uint8_t>& in, std::size_t off) {
+  if (off + 2 > in.size()) throw std::invalid_argument("wav: truncated");
+  return static_cast<std::uint16_t>(in[off] | (in[off + 1] << 8));
+}
+
+bool tag_is(const std::vector<std::uint8_t>& in, std::size_t off,
+            const char* tag) {
+  return off + 4 <= in.size() && std::memcmp(in.data() + off, tag, 4) == 0;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> wav_serialize(const WavData& wav) {
+  std::vector<std::uint8_t> out;
+  const auto data_size = static_cast<std::uint32_t>(wav.samples.size());
+  put_tag(out, "RIFF");
+  put_u32(out, 36 + data_size);
+  put_tag(out, "WAVE");
+  put_tag(out, "fmt ");
+  put_u32(out, 16);          // PCM fmt chunk size
+  put_u16(out, 1);           // PCM
+  put_u16(out, 1);           // mono
+  put_u32(out, wav.sample_rate_hz);
+  put_u32(out, wav.sample_rate_hz);  // byte rate (1 byte/sample)
+  put_u16(out, 1);           // block align
+  put_u16(out, 8);           // bits per sample
+  put_tag(out, "data");
+  put_u32(out, data_size);
+  out.insert(out.end(), wav.samples.begin(), wav.samples.end());
+  return out;
+}
+
+WavData wav_parse(const std::vector<std::uint8_t>& bytes) {
+  if (!tag_is(bytes, 0, "RIFF") || !tag_is(bytes, 8, "WAVE")) {
+    throw std::invalid_argument("wav: not a RIFF/WAVE file");
+  }
+  if (!tag_is(bytes, 12, "fmt ")) throw std::invalid_argument("wav: no fmt");
+  if (get_u16(bytes, 20) != 1) throw std::invalid_argument("wav: not PCM");
+  if (get_u16(bytes, 22) != 1) throw std::invalid_argument("wav: not mono");
+  if (get_u16(bytes, 34) != 8) throw std::invalid_argument("wav: not 8-bit");
+  WavData wav;
+  wav.sample_rate_hz = get_u32(bytes, 24);
+  const std::size_t fmt_size = get_u32(bytes, 16);
+  std::size_t off = 20 + fmt_size;
+  while (off + 8 <= bytes.size() && !tag_is(bytes, off, "data")) {
+    off += 8 + get_u32(bytes, off + 4);
+  }
+  if (!tag_is(bytes, off, "data")) throw std::invalid_argument("wav: no data");
+  const std::uint32_t n = get_u32(bytes, off + 4);
+  if (off + 8 + n > bytes.size()) throw std::invalid_argument("wav: short data");
+  wav.samples.assign(bytes.begin() + static_cast<std::ptrdiff_t>(off + 8),
+                     bytes.begin() + static_cast<std::ptrdiff_t>(off + 8 + n));
+  return wav;
+}
+
+bool wav_write_file(const std::string& path, const WavData& wav) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  const auto bytes = wav_serialize(wav);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(f);
+}
+
+WavData wav_read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("wav: cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  return wav_parse(bytes);
+}
+
+}  // namespace enviromic::util

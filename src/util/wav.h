@@ -1,0 +1,33 @@
+// Minimal RIFF/WAVE writer + reader for the recorded 8-bit mono traces.
+//
+// The paper's authors published their recorded clips as audio files; this
+// gives the reproduction the same ability: stitched EnviroMic recordings
+// and reference traces export as standard 8-bit PCM WAV playable anywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace enviromic::util {
+
+struct WavData {
+  std::uint32_t sample_rate_hz = 2730;
+  std::vector<std::uint8_t> samples;  //!< 8-bit unsigned PCM, mono
+};
+
+/// Serialize to an in-memory RIFF/WAVE container (PCM, 8-bit, mono).
+std::vector<std::uint8_t> wav_serialize(const WavData& wav);
+
+/// Parse a WAV produced by wav_serialize (strict: PCM/8-bit/mono).
+/// Throws std::invalid_argument on malformed input.
+WavData wav_parse(const std::vector<std::uint8_t>& bytes);
+
+/// Write to a file; returns false on I/O failure.
+bool wav_write_file(const std::string& path, const WavData& wav);
+
+/// Read from a file; throws std::invalid_argument on parse errors and
+/// std::runtime_error on I/O failure.
+WavData wav_read_file(const std::string& path);
+
+}  // namespace enviromic::util

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "acoustic/field.h"
+#include "acoustic/microphone.h"
+#include "acoustic/mobility.h"
+#include "acoustic/sampler.h"
+#include "acoustic/source.h"
+#include "acoustic/waveform.h"
+
+namespace enviromic::acoustic {
+namespace {
+
+using sim::Position;
+using sim::Time;
+
+// --- Waveforms ---------------------------------------------------------------
+
+TEST(Waveform, ConstantIsConstant) {
+  ConstantWave w(0.8);
+  EXPECT_DOUBLE_EQ(w.amplitude(0.0), 0.8);
+  EXPECT_DOUBLE_EQ(w.amplitude(123.4), 0.8);
+}
+
+TEST(Waveform, ToneStaysInUnitRange) {
+  ToneWave w(3.0, 0.5, 0.3);
+  for (double t = 0; t < 5.0; t += 0.01) {
+    const double a = w.amplitude(t);
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(Waveform, VoiceDeterministicAndBounded) {
+  VoiceWave a(42), b(42), c(43);
+  bool any_diff = false;
+  for (double t = 0; t < 3.0; t += 0.005) {
+    EXPECT_DOUBLE_EQ(a.amplitude(t), b.amplitude(t));
+    if (a.amplitude(t) != c.amplitude(t)) any_diff = true;
+    EXPECT_GE(a.amplitude(t), 0.0);
+    EXPECT_LE(a.amplitude(t), 1.0);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Waveform, VoiceHasPausesAndSyllables) {
+  VoiceWave w(7);
+  int loud = 0, quiet = 0;
+  for (double t = 0; t < 20.0; t += 0.01) {
+    (w.amplitude(t) > 0.2 ? loud : quiet)++;
+  }
+  EXPECT_GT(loud, 100);
+  EXPECT_GT(quiet, 100);
+}
+
+TEST(Waveform, VoiceNegativeTimeSilent) {
+  VoiceWave w(5);
+  EXPECT_EQ(w.amplitude(-1.0), 0.0);
+}
+
+TEST(Waveform, RumbleStaysPositiveAndBounded) {
+  RumbleWave w(99);
+  for (double t = 0; t < 10.0; t += 0.05) {
+    EXPECT_GT(w.amplitude(t), 0.3);  // sustained machinery noise
+    EXPECT_LE(w.amplitude(t), 1.0);
+  }
+}
+
+// --- Mobility ------------------------------------------------------------------
+
+TEST(Mobility, StaticStaysPut) {
+  StaticTrajectory t({3, 4});
+  EXPECT_EQ(t.position(0.0), (Position{3, 4}));
+  EXPECT_EQ(t.position(100.0), (Position{3, 4}));
+}
+
+TEST(Mobility, LinearMovesAtVelocity) {
+  LinearTrajectory t({0, 0}, 2.0, -1.0);
+  const auto p = t.position(3.0);
+  EXPECT_DOUBLE_EQ(p.x, 6.0);
+  EXPECT_DOUBLE_EQ(p.y, -3.0);
+}
+
+TEST(Mobility, WaypointVisitsPointsInOrder) {
+  WaypointTrajectory t({{0, 0}, {10, 0}, {10, 10}}, 1.0);
+  EXPECT_EQ(t.position(0.0), (Position{0, 0}));
+  const auto mid = t.position(5.0);
+  EXPECT_DOUBLE_EQ(mid.x, 5.0);
+  EXPECT_DOUBLE_EQ(mid.y, 0.0);
+  const auto corner = t.position(10.0);
+  EXPECT_NEAR(corner.x, 10.0, 1e-9);
+  EXPECT_NEAR(corner.y, 0.0, 1e-9);
+  const auto second_leg = t.position(15.0);
+  EXPECT_NEAR(second_leg.x, 10.0, 1e-9);
+  EXPECT_NEAR(second_leg.y, 5.0, 1e-9);
+}
+
+TEST(Mobility, WaypointHoldsAtEnd) {
+  WaypointTrajectory t({{0, 0}, {4, 0}}, 2.0);
+  EXPECT_EQ(t.position(100.0), (Position{4, 0}));
+}
+
+TEST(Mobility, WaypointNegativeTimeClamps) {
+  WaypointTrajectory t({{1, 1}, {2, 2}}, 1.0);
+  EXPECT_EQ(t.position(-5.0), (Position{1, 1}));
+}
+
+// --- Source + field -----------------------------------------------------------
+
+Source make_source(Position at, Time start, Time end, double loud,
+                   double range, SourceId id = 0) {
+  return Source(id, std::make_shared<StaticTrajectory>(at),
+                std::make_shared<ConstantWave>(1.0), start, end, loud, range);
+}
+
+TEST(Source, InactiveOutsideWindow) {
+  auto s = make_source({0, 0}, Time::seconds_i(5), Time::seconds_i(10), 1, 3);
+  EXPECT_FALSE(s.active_at(Time::seconds_i(4)));
+  EXPECT_TRUE(s.active_at(Time::seconds_i(5)));
+  EXPECT_TRUE(s.active_at(Time::seconds_i(9)));
+  EXPECT_FALSE(s.active_at(Time::seconds_i(10)));  // half-open
+  EXPECT_EQ(s.amplitude_at({0, 0}, Time::seconds_i(4)), 0.0);
+}
+
+TEST(Source, AmplitudeFadesWithDistance) {
+  auto s = make_source({0, 0}, Time::zero(), Time::seconds_i(10), 1.0, 4.0);
+  const Time t = Time::seconds_i(1);
+  const double at0 = s.amplitude_at({0, 0}, t);
+  const double at2 = s.amplitude_at({2, 0}, t);
+  const double at4 = s.amplitude_at({4, 0}, t);
+  EXPECT_DOUBLE_EQ(at0, 1.0);
+  EXPECT_GT(at0, at2);
+  EXPECT_GT(at2, 0.0);
+  EXPECT_EQ(at4, 0.0);  // at the range edge
+}
+
+TEST(Source, AudiblePredicateMatchesRange) {
+  auto s = make_source({0, 0}, Time::zero(), Time::seconds_i(10), 1.0, 3.0);
+  EXPECT_TRUE(s.audible_from({2.9, 0}, Time::seconds_i(1)));
+  EXPECT_FALSE(s.audible_from({3.1, 0}, Time::seconds_i(1)));
+  EXPECT_FALSE(s.audible_from({0, 0}, Time::seconds_i(11)));
+}
+
+TEST(Source, MobileSourcePositionTracks) {
+  Source s(1, std::make_shared<LinearTrajectory>(Position{0, 0}, 1.0, 0.0),
+           std::make_shared<ConstantWave>(1.0), Time::seconds_i(10),
+           Time::seconds_i(20), 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(s.position_at(Time::seconds_i(15)).x, 5.0);
+  // Before start, trajectory clamps to its origin.
+  EXPECT_DOUBLE_EQ(s.position_at(Time::seconds_i(5)).x, 0.0);
+}
+
+TEST(SoundField, SumsConcurrentSources) {
+  SoundField f(0.0);
+  f.add_source(make_source({0, 0}, Time::zero(), Time::seconds_i(10), 0.5, 5, 0));
+  f.add_source(make_source({0, 0}, Time::zero(), Time::seconds_i(10), 0.3, 5, 1));
+  EXPECT_DOUBLE_EQ(f.signal_at({0, 0}, Time::seconds_i(1)), 0.8);
+}
+
+TEST(SoundField, LevelIncludesBackground) {
+  SoundField f(0.07);
+  EXPECT_DOUBLE_EQ(f.level_at({5, 5}, Time::zero()), 0.07);
+}
+
+TEST(SoundField, AudibleAtFiltersByRangeAndTime) {
+  SoundField f(0.0);
+  f.add_source(make_source({0, 0}, Time::zero(), Time::seconds_i(5), 1, 2, 0));
+  f.add_source(make_source({10, 0}, Time::zero(), Time::seconds_i(5), 1, 2, 1));
+  const auto here = f.audible_at({0.5, 0}, Time::seconds_i(1));
+  ASSERT_EQ(here.size(), 1u);
+  EXPECT_EQ(here[0]->id(), 0u);
+  EXPECT_TRUE(f.audible_at({5, 0}, Time::seconds_i(1)).empty());
+  EXPECT_TRUE(f.audible_at({0.5, 0}, Time::seconds_i(6)).empty());
+}
+
+TEST(SoundField, DominantPicksLoudest) {
+  SoundField f(0.0);
+  f.add_source(make_source({0, 0}, Time::zero(), Time::seconds_i(5), 0.4, 5, 0));
+  f.add_source(make_source({1, 0}, Time::zero(), Time::seconds_i(5), 1.0, 5, 1));
+  const auto* s = f.dominant_at({1, 0}, Time::seconds_i(1));
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->id(), 1u);
+  EXPECT_EQ(f.dominant_at({100, 100}, Time::seconds_i(1)), nullptr);
+}
+
+// --- Microphone + sampler -------------------------------------------------------
+
+TEST(Microphone, SilenceReadsNearCenter) {
+  SoundField f(0.0);
+  Microphone mic(f, {0, 0});
+  EXPECT_EQ(mic.sample(Time::seconds_i(1)), 128);
+}
+
+TEST(Microphone, LoudSignalSwingsAdc) {
+  SoundField f(0.0);
+  f.add_source(make_source({0, 0}, Time::zero(), Time::seconds_i(10), 1.0, 5));
+  Microphone mic(f, {0, 0});
+  int lo = 255, hi = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = mic.sample(Time::millis(i));
+    lo = std::min<int>(lo, v);
+    hi = std::max<int>(hi, v);
+  }
+  EXPECT_LT(lo, 40);
+  EXPECT_GT(hi, 215);
+}
+
+TEST(Sampler, BytesForMatchesRate) {
+  Sampler s;  // 2730 Hz, 1 B/sample
+  EXPECT_EQ(s.bytes_for(Time::seconds_i(1)), 2730u);
+  EXPECT_EQ(s.bytes_for(Time::seconds_i(10)), 27300u);
+  EXPECT_EQ(s.bytes_for(Time::zero()), 0u);
+}
+
+TEST(Sampler, DurationForRoundTrips) {
+  Sampler s;
+  const auto d = s.duration_for(2730);
+  EXPECT_NEAR(d.to_seconds(), 1.0, 1e-6);
+}
+
+TEST(Sampler, CaptureProducesRequestedSamples) {
+  SoundField f(0.0);
+  Microphone mic(f, {0, 0});
+  Sampler s;
+  const auto data = s.capture(mic, Time::seconds_i(1), Time::seconds_i(2));
+  EXPECT_EQ(data.size(), 2730u);
+  const auto none = s.capture(mic, Time::seconds_i(2), Time::seconds_i(1));
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(JitterSampler, UncontendedIsExactlyNominal) {
+  JitterSampler js{sim::Rng(1)};
+  const auto iv = js.observe_intervals(Time::zero(), 100);
+  for (auto v : iv) EXPECT_EQ(v, 10);
+}
+
+TEST(JitterSampler, ContendedJumpsWithinPaperRange) {
+  JitterSampler js{sim::Rng(2)};
+  js.note_radio_activity(Time::zero(), Time::seconds_i(10));
+  const auto iv = js.observe_intervals(Time::zero(), 200);
+  bool any_jitter = false;
+  for (auto v : iv) {
+    EXPECT_GE(v, 9);
+    EXPECT_LE(v, 16);
+    if (v != 10) any_jitter = true;
+  }
+  EXPECT_TRUE(any_jitter);
+}
+
+TEST(JitterSampler, ContentionEndsAfterProcessingTail) {
+  JitterSampler::Config cfg;
+  cfg.processing_tail = Time::millis(5);
+  JitterSampler js{sim::Rng(3), cfg};
+  js.note_radio_activity(Time::zero(), Time::millis(1));
+  // Start sampling well past the activity + tail: no jitter.
+  const auto iv = js.observe_intervals(Time::millis(100), 50);
+  for (auto v : iv) EXPECT_EQ(v, 10);
+}
+
+}  // namespace
+}  // namespace enviromic::acoustic

@@ -1,0 +1,142 @@
+// Basestation analysis: file correlation into vocalizations, activity and
+// spatial profiles.
+#include <gtest/gtest.h>
+
+#include "analysis/correlate.h"
+#include "world_fixture.h"
+
+namespace enviromic::analysis {
+namespace {
+
+using sim::Time;
+
+storage::ChunkMeta meta(net::EventId ev, std::uint64_t key, double a, double b,
+                        net::NodeId rec) {
+  storage::ChunkMeta m;
+  m.event = ev;
+  m.key = key;
+  m.start = Time::seconds(a);
+  m.end = Time::seconds(b);
+  m.recorded_by = rec;
+  m.bytes = 1000;
+  return m;
+}
+
+TEST(Correlate, SingleFileSingleVocalization) {
+  storage::FileIndex idx;
+  idx.add(meta({1, 0}, 1, 10, 12, 5), 5);
+  const auto v = correlate_files(idx, {{5, {0, 0}}});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].files.size(), 1u);
+  EXPECT_EQ(v[0].start, Time::seconds_i(10));
+  EXPECT_EQ(v[0].end, Time::seconds_i(12));
+}
+
+TEST(Correlate, AdjacentFilesFromSamePlaceMerge) {
+  // Two files of the same intermittent vocalization: close in time, same
+  // locality (paper §II-A.1: "a temporally separated event ... may give
+  // rise to multiple files").
+  storage::FileIndex idx;
+  idx.add(meta({1, 0}, 1, 10, 12, 5), 5);
+  idx.add(meta({2, 0}, 2, 12.8, 14, 6), 6);
+  const std::map<net::NodeId, sim::Position> pos = {{5, {0, 0}}, {6, {2, 0}}};
+  const auto v = correlate_files(idx, pos);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].files.size(), 2u);
+  EXPECT_EQ(v[0].end, Time::seconds_i(14));
+}
+
+TEST(Correlate, DistantFilesDoNotMerge) {
+  storage::FileIndex idx;
+  idx.add(meta({1, 0}, 1, 10, 12, 5), 5);
+  idx.add(meta({2, 0}, 2, 12.5, 14, 6), 6);
+  const std::map<net::NodeId, sim::Position> pos = {{5, {0, 0}},
+                                                    {6, {100, 100}}};
+  EXPECT_EQ(correlate_files(idx, pos).size(), 2u);
+}
+
+TEST(Correlate, TemporallySeparatedFilesDoNotMerge) {
+  storage::FileIndex idx;
+  idx.add(meta({1, 0}, 1, 10, 12, 5), 5);
+  idx.add(meta({2, 0}, 2, 30, 32, 5), 5);
+  const auto v = correlate_files(idx, {{5, {0, 0}}});
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(Correlate, CentroidAveragesRecorderPositions) {
+  storage::FileIndex idx;
+  idx.add(meta({1, 0}, 1, 10, 11, 5), 5);
+  idx.add(meta({1, 0}, 2, 11, 12, 6), 6);
+  const std::map<net::NodeId, sim::Position> pos = {{5, {0, 0}}, {6, {4, 0}}};
+  const auto v = correlate_files(idx, pos);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NEAR(v[0].centroid.x, 2.0, 1e-9);
+}
+
+TEST(Correlate, ChainMergingFollowsMovingCentroid) {
+  // A moving source: consecutive files drift spatially but each hop is
+  // within range — they chain into one vocalization.
+  storage::FileIndex idx;
+  const std::map<net::NodeId, sim::Position> pos = {
+      {1, {0, 0}}, {2, {6, 0}}, {3, {12, 0}}};
+  idx.add(meta({1, 0}, 1, 10, 12, 1), 1);
+  idx.add(meta({2, 0}, 2, 12.2, 14, 2), 2);
+  idx.add(meta({3, 0}, 3, 14.2, 16, 3), 3);
+  const auto v = correlate_files(idx, pos);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(ActivityProfile, BinsEventsAndSeconds) {
+  std::vector<Vocalization> events(3);
+  events[0].start = Time::seconds_i(10);
+  events[0].covered = Time::seconds_i(4);
+  events[1].start = Time::seconds_i(70);
+  events[1].covered = Time::seconds_i(2);
+  events[2].start = Time::seconds_i(80);
+  events[2].covered = Time::seconds_i(1);
+  const auto p =
+      activity_profile(events, Time::seconds_i(180), Time::seconds_i(60));
+  ASSERT_GE(p.events_per_bin.size(), 3u);
+  EXPECT_EQ(p.events_per_bin[0], 1u);
+  EXPECT_EQ(p.events_per_bin[1], 2u);
+  EXPECT_EQ(p.events_per_bin[2], 0u);
+  EXPECT_DOUBLE_EQ(p.seconds_per_bin[1], 3.0);
+}
+
+TEST(SpatialProfile, RasterizesCentroids) {
+  std::vector<Vocalization> events(2);
+  events[0].centroid = {10, 10};
+  events[0].recorder_count = 2;
+  events[1].centroid = {90, 90};
+  events[1].recorder_count = 1;
+  const auto grid = spatial_profile(events, 100, 100, 4, 4);
+  EXPECT_EQ(grid[0][0], 1u);
+  EXPECT_EQ(grid[3][3], 1u);
+  EXPECT_EQ(grid[1][1], 0u);
+}
+
+TEST(Correlate, EndToEndDuplicateLeaderFilesMerge) {
+  // Force duplicate leaders via loss; the basestation merges the parallel
+  // files back into roughly one vocalization per true event.
+  testing::WorldBuilder b;
+  b.mode(core::Mode::kCooperativeOnly).seed(251).perfect_detection();
+  b.cfg.channel.loss_probability = 0.3;
+  auto world = b.grid(4, 4);
+  for (int e = 0; e < 5; ++e) {
+    testing::add_event(*world, {3, 3}, 10.0 + 30.0 * e, 18.0 + 30.0 * e);
+  }
+  world->start();
+  world->run_until(sim::Time::seconds_i(170));
+  const auto files = world->drain_all();
+  std::map<net::NodeId, sim::Position> positions;
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    positions[world->node(i).id()] = world->node(i).position();
+  }
+  const auto vocal = correlate_files(files, positions);
+  EXPECT_GE(vocal.size(), 4u);
+  EXPECT_LE(vocal.size(), 6u);  // ~one per true event even if files > events
+  EXPECT_LE(vocal.size(), files.file_count());
+}
+
+}  // namespace
+}  // namespace enviromic::analysis

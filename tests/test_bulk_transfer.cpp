@@ -1,0 +1,199 @@
+// Reliable bulk transfer: fragment/ack flow, metadata and payload fidelity,
+// loss recovery, duplicate handling, and abort semantics.
+#include <gtest/gtest.h>
+
+#include "world_fixture.h"
+
+namespace enviromic::core {
+namespace {
+
+using testing::WorldBuilder;
+
+storage::Chunk test_chunk(Node& n, std::uint32_t bytes,
+                          bool with_payload = false) {
+  storage::Chunk c;
+  c.meta.key = n.store().next_key(n.id());
+  c.meta.bytes = bytes;
+  c.meta.recorded_by = n.id();
+  c.meta.event = net::EventId{n.id(), 5};
+  c.meta.start = sim::Time::seconds_i(3);
+  c.meta.end = sim::Time::seconds_i(4);
+  if (with_payload) {
+    c.payload.resize(bytes);
+    for (std::uint32_t i = 0; i < bytes; ++i)
+      c.payload[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  return c;
+}
+
+std::unique_ptr<World> pair_world(double loss, std::uint64_t seed,
+                                  bool payloads = false) {
+  WorldBuilder b;
+  b.mode(Mode::kFull).seed(seed);
+  b.cfg.channel.loss_probability = loss;
+  b.cfg.node_defaults.flash.store_payloads = payloads;
+  // Fast fragments so tests run deep sequences quickly.
+  b.cfg.node_defaults.protocol.transfer_fragment_spacing = sim::Time::millis(5);
+  auto world = std::make_unique<World>(b.cfg);
+  world->add_node({0, 0});
+  world->add_node({2, 0});
+  return world;
+}
+
+TEST(BulkTransfer, MovesChunkLossless) {
+  auto world = pair_world(0.0, 91);
+  auto& a = world->node(0);
+  auto& b = world->node(1);
+  a.store().append(test_chunk(a, 1000));
+  world->start();
+  a.bulk().start_session(b.id(), 4);
+  world->run_until(sim::Time::seconds_i(10));
+  EXPECT_EQ(a.store().chunk_count(), 0u);
+  EXPECT_EQ(b.store().chunk_count(), 1u);
+  EXPECT_EQ(a.bulk().stats().chunks_sent, 1u);
+  EXPECT_EQ(b.bulk().stats().chunks_received, 1u);
+}
+
+TEST(BulkTransfer, MetadataPreservedAcrossMigration) {
+  auto world = pair_world(0.0, 92);
+  auto& a = world->node(0);
+  auto& b = world->node(1);
+  a.store().append(test_chunk(a, 700));
+  const auto key = a.store().head_meta()->key;
+  world->start();
+  a.bulk().start_session(b.id(), 1);
+  world->run_until(sim::Time::seconds_i(10));
+  ASSERT_EQ(b.store().chunk_count(), 1u);
+  const auto* m = b.store().head_meta();
+  EXPECT_EQ(m->key, key);
+  EXPECT_EQ(m->recorded_by, a.id());
+  EXPECT_EQ(m->event, (net::EventId{a.id(), 5}));
+  EXPECT_EQ(m->start, sim::Time::seconds_i(3));
+  EXPECT_EQ(m->bytes, 700u);
+}
+
+TEST(BulkTransfer, PayloadPreservedAcrossMigration) {
+  auto world = pair_world(0.0, 93, /*payloads=*/true);
+  auto& a = world->node(0);
+  auto& b = world->node(1);
+  a.store().append(test_chunk(a, 500, /*with_payload=*/true));
+  const auto key = a.store().head_meta()->key;
+  world->start();
+  a.bulk().start_session(b.id(), 1);
+  world->run_until(sim::Time::seconds_i(10));
+  const auto payload = b.store().read_payload(key);
+  ASSERT_EQ(payload.size(), 500u);
+  for (std::uint32_t i = 0; i < 500; ++i)
+    EXPECT_EQ(payload[i], static_cast<std::uint8_t>(i * 7));
+}
+
+TEST(BulkTransfer, MultipleChunksInOneSession) {
+  auto world = pair_world(0.0, 94);
+  auto& a = world->node(0);
+  auto& b = world->node(1);
+  for (int i = 0; i < 5; ++i) a.store().append(test_chunk(a, 400));
+  world->start();
+  a.bulk().start_session(b.id(), 5);
+  world->run_until(sim::Time::seconds_i(20));
+  EXPECT_EQ(a.store().chunk_count(), 0u);
+  EXPECT_EQ(b.store().chunk_count(), 5u);
+}
+
+TEST(BulkTransfer, SessionLimitRespected) {
+  auto world = pair_world(0.0, 95);
+  auto& a = world->node(0);
+  auto& b = world->node(1);
+  for (int i = 0; i < 5; ++i) a.store().append(test_chunk(a, 400));
+  world->start();
+  a.bulk().start_session(b.id(), 2);
+  world->run_until(sim::Time::seconds_i(20));
+  EXPECT_EQ(a.store().chunk_count(), 3u);
+  EXPECT_EQ(b.store().chunk_count(), 2u);
+}
+
+TEST(BulkTransfer, SurvivesModerateLoss) {
+  auto world = pair_world(0.15, 96);
+  auto& a = world->node(0);
+  auto& b = world->node(1);
+  for (int i = 0; i < 3; ++i) a.store().append(test_chunk(a, 600));
+  world->start();
+  // Retry sessions until everything moves (the balancer would normally
+  // drive this loop).
+  for (int round = 0; round < 20 && a.store().chunk_count() > 0; ++round) {
+    a.bulk().start_session(b.id(), 3);
+    world->run_for(sim::Time::seconds_i(15));
+  }
+  EXPECT_EQ(a.store().chunk_count(), 0u);
+  EXPECT_EQ(b.store().chunk_count(), 3u);
+  EXPECT_GT(a.bulk().stats().fragments_retried, 0u);
+  // No data was lost or duplicated despite retries.
+  EXPECT_EQ(b.bulk().stats().chunks_received, 3u);
+}
+
+TEST(BulkTransfer, NoDataLossEvenWhenSessionAborts) {
+  // Very lossy link: sessions abort, but every chunk remains available at
+  // exactly one side or the other (possibly both — never zero).
+  auto world = pair_world(0.5, 97);
+  auto& a = world->node(0);
+  auto& b = world->node(1);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 3; ++i) {
+    auto c = test_chunk(a, 600);
+    keys.push_back(c.meta.key);
+    a.store().append(std::move(c));
+  }
+  world->start();
+  for (int round = 0; round < 10; ++round) {
+    a.bulk().start_session(b.id(), 3);
+    world->run_for(sim::Time::seconds_i(20));
+  }
+  for (const auto key : keys) {
+    int copies = 0;
+    a.store().for_each([&](const storage::ChunkMeta& m) {
+      if (m.key == key) ++copies;
+    });
+    b.store().for_each([&](const storage::ChunkMeta& m) {
+      if (m.key == key) ++copies;
+    });
+    EXPECT_GE(copies, 1) << "chunk " << key << " vanished";
+  }
+}
+
+TEST(BulkTransfer, OfferToFullNodeGetsNoGrant) {
+  auto world = pair_world(0.0, 98);
+  auto& a = world->node(0);
+  auto& b = world->node(1);
+  a.store().append(test_chunk(a, 600));
+  // Fill the receiver completely.
+  while (b.store().can_fit(60000)) b.store().append(test_chunk(b, 60000));
+  while (b.store().can_fit(1)) b.store().append(test_chunk(b, 200));
+  world->start();
+  a.bulk().start_session(b.id(), 1);
+  world->run_until(sim::Time::seconds_i(10));
+  EXPECT_EQ(a.store().chunk_count(), 1u);  // nothing moved
+  EXPECT_GE(a.bulk().stats().aborts, 1u);  // grant timeout
+}
+
+TEST(BulkTransfer, NoSessionWithoutChunks) {
+  auto world = pair_world(0.0, 99);
+  auto& a = world->node(0);
+  world->start();
+  a.bulk().start_session(world->node(1).id(), 4);
+  EXPECT_FALSE(a.bulk().sending());
+  EXPECT_EQ(a.bulk().stats().sessions, 0u);
+}
+
+TEST(BulkTransfer, ZeroByteChunkMigrates) {
+  auto world = pair_world(0.0, 100);
+  auto& a = world->node(0);
+  auto& b = world->node(1);
+  a.store().append(test_chunk(a, 0));
+  world->start();
+  a.bulk().start_session(b.id(), 1);
+  world->run_until(sim::Time::seconds_i(10));
+  EXPECT_EQ(b.store().chunk_count(), 1u);
+  EXPECT_EQ(b.store().head_meta()->bytes, 0u);
+}
+
+}  // namespace
+}  // namespace enviromic::core

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/channel.h"
+#include "sim/scheduler.h"
+
+namespace enviromic::net {
+namespace {
+
+using sim::Time;
+
+struct ChannelFixture {
+  sim::Scheduler sched;
+  ChannelConfig cfg;
+  std::unique_ptr<Channel> channel;
+
+  explicit ChannelFixture(ChannelConfig c = make_default()) : cfg(c) {
+    channel = std::make_unique<Channel>(sched, sim::Rng(31), cfg);
+  }
+
+  static ChannelConfig make_default() {
+    ChannelConfig c;
+    c.comm_range = 10.0;
+    c.loss_probability = 0.0;
+    c.model_collisions = true;
+    return c;
+  }
+
+  Packet packet_from(NodeId src, NodeId dst = kBroadcast) {
+    Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.messages.push_back(Sensing{});
+    return p;
+  }
+};
+
+TEST(Channel, DeliversWithinRange) {
+  ChannelFixture f;
+  auto a = f.channel->create_radio(1, {0, 0});
+  auto b = f.channel->create_radio(2, {5, 0});
+  int received = 0;
+  b->set_receive_handler([&](const Packet&) { ++received; });
+  a->send(f.packet_from(1));
+  f.sched.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(a->stats().packets_sent, 1u);
+  EXPECT_EQ(b->stats().packets_received, 1u);
+}
+
+TEST(Channel, NoDeliveryBeyondRange) {
+  ChannelFixture f;
+  auto a = f.channel->create_radio(1, {0, 0});
+  auto b = f.channel->create_radio(2, {15, 0});
+  int received = 0;
+  b->set_receive_handler([&](const Packet&) { ++received; });
+  a->send(f.packet_from(1));
+  f.sched.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(Channel, DeliveryIsDelayedByAirTime) {
+  ChannelFixture f;
+  auto a = f.channel->create_radio(1, {0, 0});
+  auto b = f.channel->create_radio(2, {5, 0});
+  Time arrival;
+  b->set_receive_handler([&](const Packet&) { arrival = f.sched.now(); });
+  const auto air = f.channel->air_time(f.packet_from(1).total_bytes());
+  a->send(f.packet_from(1));
+  f.sched.run();
+  EXPECT_EQ(arrival, air);
+  EXPECT_GT(air, Time::zero());
+}
+
+TEST(Channel, RadioOffMissesPackets) {
+  ChannelFixture f;
+  auto a = f.channel->create_radio(1, {0, 0});
+  auto b = f.channel->create_radio(2, {5, 0});
+  int received = 0;
+  b->set_receive_handler([&](const Packet&) { ++received; });
+  b->set_on(false);
+  a->send(f.packet_from(1));
+  f.sched.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(b->stats().packets_missed_off, 1u);
+  EXPECT_EQ(f.channel->stats().losses_radio_off, 1u);
+}
+
+TEST(Channel, OffRadioCannotSend) {
+  ChannelFixture f;
+  auto a = f.channel->create_radio(1, {0, 0});
+  a->set_on(false);
+  EXPECT_FALSE(a->send(f.packet_from(1)));
+}
+
+TEST(Channel, UnicastIsOverheardByThirdParties) {
+  // Overhearing is load-bearing in EnviroMic (TASK_CONFIRM suppression).
+  ChannelFixture f;
+  auto a = f.channel->create_radio(1, {0, 0});
+  auto b = f.channel->create_radio(2, {5, 0});
+  auto c = f.channel->create_radio(3, {0, 5});
+  int b_received = 0, c_received = 0;
+  b->set_receive_handler([&](const Packet&) { ++b_received; });
+  c->set_receive_handler([&](const Packet&) { ++c_received; });
+  a->send(f.packet_from(1, /*dst=*/2));
+  f.sched.run();
+  EXPECT_EQ(b_received, 1);
+  EXPECT_EQ(c_received, 1);
+}
+
+TEST(Channel, LossProbabilityRoughlyHonoured) {
+  auto cfg = ChannelFixture::make_default();
+  cfg.loss_probability = 0.3;
+  cfg.model_collisions = false;
+  ChannelFixture f(cfg);
+  auto a = f.channel->create_radio(1, {0, 0});
+  auto b = f.channel->create_radio(2, {5, 0});
+  int received = 0;
+  b->set_receive_handler([&](const Packet&) { ++received; });
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    f.sched.after(Time::millis(i * 10), [&] { a->send(f.packet_from(1)); });
+  }
+  f.sched.run();
+  EXPECT_NEAR(static_cast<double>(received) / n, 0.7, 0.05);
+  EXPECT_EQ(b->stats().packets_lost + b->stats().packets_received,
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(Channel, SimultaneousSendersDeferViaCsma) {
+  ChannelFixture f;
+  auto a = f.channel->create_radio(1, {0, 0});
+  auto b = f.channel->create_radio(2, {1, 0});
+  auto c = f.channel->create_radio(3, {2, 0});
+  int received = 0;
+  c->set_receive_handler([&](const Packet&) { ++received; });
+  // Both transmit at the same instant: the second should carrier-sense the
+  // first and back off, so both eventually deliver.
+  f.sched.at(Time::millis(1), [&] { a->send(f.packet_from(1)); });
+  f.sched.at(Time::millis(1), [&] { b->send(f.packet_from(2)); });
+  f.sched.run();
+  EXPECT_EQ(received, 2);
+  EXPECT_GE(a->stats().csma_backoffs + b->stats().csma_backoffs, 1u);
+  EXPECT_EQ(f.channel->stats().losses_collision, 0u);
+}
+
+TEST(Channel, HiddenTerminalCollides) {
+  // a and c are out of carrier-sense range of each other but both reach b.
+  auto cfg = ChannelFixture::make_default();
+  cfg.comm_range = 10.0;
+  cfg.carrier_sense_factor = 1.0;
+  ChannelFixture f(cfg);
+  auto a = f.channel->create_radio(1, {0, 0});
+  auto b = f.channel->create_radio(2, {9, 0});
+  auto c = f.channel->create_radio(3, {18, 0});
+  int received = 0;
+  b->set_receive_handler([&](const Packet&) { ++received; });
+  f.sched.at(Time::millis(1), [&] { a->send(f.packet_from(1)); });
+  f.sched.at(Time::millis(1), [&] { c->send(f.packet_from(3)); });
+  f.sched.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(f.channel->stats().losses_collision, 2u);
+}
+
+TEST(Channel, AirTimeScalesWithSize) {
+  ChannelFixture f;
+  EXPECT_GT(f.channel->air_time(200), f.channel->air_time(50));
+  // 250 kbps: 125 bytes = 1000 bits = 4 ms.
+  EXPECT_NEAR(f.channel->air_time(125).to_seconds(), 0.004, 1e-9);
+}
+
+TEST(Channel, NeighborsOfRespectsRange) {
+  ChannelFixture f;
+  auto a = f.channel->create_radio(1, {0, 0});
+  auto b = f.channel->create_radio(2, {5, 0});
+  auto c = f.channel->create_radio(3, {50, 0});
+  const auto n = f.channel->neighbors_of(1);
+  ASSERT_EQ(n.size(), 1u);
+  EXPECT_EQ(n[0], 2u);
+  EXPECT_TRUE(f.channel->neighbors_of(3).empty());
+  EXPECT_TRUE(f.channel->neighbors_of(99).empty());
+}
+
+TEST(Channel, MessageTypeCountersTrack) {
+  ChannelFixture f;
+  auto a = f.channel->create_radio(1, {0, 0});
+  auto b = f.channel->create_radio(2, {5, 0});
+  (void)b;
+  Packet p;
+  p.src = 1;
+  p.messages.push_back(TaskRequest{});
+  p.messages.push_back(Sensing{});
+  a->send(std::move(p));
+  f.sched.run();
+  EXPECT_EQ(a->stats().messages_sent[type_index(Message{TaskRequest{}})], 1u);
+  EXPECT_EQ(a->stats().messages_sent[type_index(Message{Sensing{}})], 1u);
+  EXPECT_EQ(a->stats().messages_sent[type_index(Message{Resign{}})], 0u);
+}
+
+TEST(Channel, AirtimeHandlerChargesBothDirections) {
+  ChannelFixture f;
+  auto a = f.channel->create_radio(1, {0, 0});
+  auto b = f.channel->create_radio(2, {5, 0});
+  double tx_s = 0, rx_s = 0;
+  a->set_airtime_handler([&](double s, bool is_tx) {
+    if (is_tx) tx_s += s;
+  });
+  b->set_airtime_handler([&](double s, bool is_tx) {
+    if (!is_tx) rx_s += s;
+  });
+  a->send(f.packet_from(1));
+  f.sched.run();
+  EXPECT_GT(tx_s, 0.0);
+  EXPECT_DOUBLE_EQ(tx_s, rx_s);
+}
+
+}  // namespace
+}  // namespace enviromic::net

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "sim/rng.h"
+#include "storage/codec.h"
+
+namespace enviromic::storage {
+namespace {
+
+std::vector<std::uint8_t> silence(std::size_t n) {
+  return std::vector<std::uint8_t>(n, 128);
+}
+
+std::vector<std::uint8_t> tone(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(
+        128 + 100 * std::sin(2.0 * std::numbers::pi * i / 50.0));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> noise(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return out;
+}
+
+TEST(Codec, Names) {
+  EXPECT_STREQ(codec_name(CodecKind::kNone), "none");
+  EXPECT_STREQ(codec_name(CodecKind::kRle), "rle");
+  EXPECT_STREQ(codec_name(CodecKind::kDelta), "delta");
+}
+
+TEST(Codec, NoneRoundTrips) {
+  const auto data = tone(1000);
+  EXPECT_EQ(decode(encode(CodecKind::kNone, data)), data);
+}
+
+TEST(Codec, RleCollapsesSilence) {
+  const auto data = silence(2730);
+  const auto blob = encode(CodecKind::kRle, data);
+  EXPECT_LT(blob.size(), data.size() / 50);
+  EXPECT_EQ(decode(blob), data);
+}
+
+TEST(Codec, DeltaCollapsesSilenceToo) {
+  const auto data = silence(2730);
+  const auto blob = encode(CodecKind::kDelta, data);
+  EXPECT_LT(blob.size(), data.size() / 50);
+  EXPECT_EQ(decode(blob), data);
+}
+
+TEST(Codec, IncompressibleFallsBackToRaw) {
+  const auto data = noise(1000, 3);
+  const auto blob = encode(CodecKind::kRle, data);
+  // At most one byte of header overhead, never an expansion beyond that.
+  EXPECT_LE(blob.size(), data.size() + 1);
+  EXPECT_EQ(decode(blob), data);
+  EXPECT_EQ(static_cast<CodecKind>(blob[0]), CodecKind::kNone);
+}
+
+TEST(Codec, EmptyInput) {
+  const std::vector<std::uint8_t> empty;
+  for (auto kind : {CodecKind::kNone, CodecKind::kRle, CodecKind::kDelta}) {
+    const auto blob = encode(kind, empty);
+    EXPECT_EQ(blob.size(), 1u);
+    EXPECT_TRUE(decode(blob).empty());
+  }
+}
+
+TEST(Codec, DecodeRejectsGarbage) {
+  EXPECT_THROW(decode(std::vector<std::uint8_t>{}), std::invalid_argument);
+  EXPECT_THROW(decode(std::vector<std::uint8_t>{99, 1, 2}),
+               std::invalid_argument);
+  // RLE body with odd length.
+  EXPECT_THROW(decode(std::vector<std::uint8_t>{1, 5, 128, 3}),
+               std::invalid_argument);
+  // RLE zero run.
+  EXPECT_THROW(decode(std::vector<std::uint8_t>{1, 0, 128}),
+               std::invalid_argument);
+}
+
+TEST(Codec, CompressionRatioHelper) {
+  EXPECT_LT(compression_ratio(CodecKind::kRle, silence(1000)), 0.05);
+  EXPECT_NEAR(compression_ratio(CodecKind::kRle, noise(1000, 4)), 1.0, 0.01);
+  EXPECT_EQ(compression_ratio(CodecKind::kRle, {}), 1.0);
+}
+
+TEST(Codec, MixedAudioCompressesWithDelta) {
+  // Half silence, half tone: a realistic chunk with a syllable gap.
+  auto data = silence(1400);
+  const auto t = tone(1330);
+  data.insert(data.end(), t.begin(), t.end());
+  const double ratio = compression_ratio(CodecKind::kDelta, data);
+  EXPECT_LT(ratio, 0.85);
+  EXPECT_EQ(decode(encode(CodecKind::kDelta, data)), data);
+}
+
+class CodecProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecProperty, RoundTripsArbitraryData) {
+  sim::Rng rng(GetParam());
+  // Mix of runs, ramps and noise.
+  std::vector<std::uint8_t> data;
+  const int sections = static_cast<int>(rng.uniform_int(1, 8));
+  for (int sct = 0; sct < sections; ++sct) {
+    const auto len = rng.uniform_int(0, 600);
+    const auto mode = rng.uniform_int(0, 2);
+    std::uint8_t v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    for (std::int64_t i = 0; i < len; ++i) {
+      if (mode == 1) v = static_cast<std::uint8_t>(v + 1);
+      if (mode == 2) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      data.push_back(v);
+    }
+  }
+  for (auto kind : {CodecKind::kNone, CodecKind::kRle, CodecKind::kDelta}) {
+    EXPECT_EQ(decode(encode(kind, data)), data) << codec_name(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStreams, CodecProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace enviromic::storage

@@ -1,0 +1,207 @@
+// Duty cycling (paper §II-B's TTL-neutrality argument) and the global
+// gossip balancing strategy (paper §VI future work).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "world_fixture.h"
+
+namespace enviromic::core {
+namespace {
+
+using testing::WorldBuilder;
+using testing::add_event;
+using testing::sum_nodes;
+
+TEST(DutyCycle, NodesAlternateAwakeAndAsleep) {
+  WorldBuilder b;
+  b.mode(Mode::kCooperativeOnly).seed(401);
+  b.cfg.node_defaults.protocol.duty_cycle = 0.5;
+  b.cfg.node_defaults.protocol.duty_period = sim::Time::seconds_i(4);
+  auto world = b.grid(2, 2);
+  world->start();
+  int asleep_samples = 0, awake_samples = 0;
+  for (int t = 1; t <= 200; ++t) {
+    world->run_until(sim::Time::millis(t * 100));
+    for (std::size_t i = 0; i < world->node_count(); ++i) {
+      (world->node(i).asleep() ? asleep_samples : awake_samples)++;
+    }
+  }
+  const double frac =
+      static_cast<double>(asleep_samples) / (asleep_samples + awake_samples);
+  EXPECT_NEAR(frac, 0.5, 0.12);
+}
+
+TEST(DutyCycle, SleepingNodesHaveRadioAndDetectorDark) {
+  WorldBuilder b;
+  b.mode(Mode::kCooperativeOnly).seed(402);
+  b.cfg.node_defaults.protocol.duty_cycle = 0.3;
+  b.cfg.node_defaults.protocol.duty_period = sim::Time::seconds_i(5);
+  auto world = b.grid(2, 2);
+  world->start();
+  bool saw_asleep = false;
+  for (int t = 1; t <= 150; ++t) {
+    world->run_until(sim::Time::millis(t * 100));
+    for (std::size_t i = 0; i < world->node_count(); ++i) {
+      auto& n = world->node(i);
+      if (n.asleep()) {
+        saw_asleep = true;
+        EXPECT_FALSE(n.radio().is_on());
+        EXPECT_FALSE(n.detector().event_present());
+      }
+    }
+  }
+  EXPECT_TRUE(saw_asleep);
+}
+
+TEST(DutyCycle, SavesEnergy) {
+  auto run = [](double duty) {
+    WorldBuilder b;
+    b.mode(Mode::kCooperativeOnly).seed(403);
+    b.cfg.node_defaults.protocol.duty_cycle = duty;
+    auto world = b.grid(2, 2);
+    world->start();
+    world->run_until(sim::Time::seconds_i(1200));
+    auto& n = world->node(0);
+    n.energy().advance(world->sched().now());
+    return n.energy().battery().consumed_joules();
+  };
+  EXPECT_LT(run(0.25), run(1.0));
+}
+
+TEST(DutyCycle, ReducesButDoesNotDestroyCoverageForSoloHearer) {
+  // With several hearers, stagger keeps someone awake and coverage barely
+  // moves; a solo hearer exposes the duty cycle directly (asleep => deaf).
+  auto run = [](double duty) {
+    WorldBuilder b;
+    b.mode(Mode::kCooperativeOnly).seed(404).perfect_detection().lossless_radio();
+    b.cfg.node_defaults.protocol.duty_cycle = duty;
+    b.cfg.node_defaults.protocol.duty_period = sim::Time::seconds_i(8);
+    auto world = b.grid(4, 4);
+    for (int e = 0; e < 8; ++e) {
+      // range 0.9: only node (1,1) (at 2,2 -> distance ~0) ... place the
+      // source on top of one node so exactly it hears.
+      add_event(*world, {2.05, 2.05}, 10.0 + e * 25.0, 20.0 + e * 25.0, 0.9);
+    }
+    world->start();
+    world->run_until(sim::Time::seconds_i(230));
+    return world->snapshot().miss_ratio;
+  };
+  const double full = run(1.0);
+  const double half = run(0.5);
+  // Sleep only costs the event onsets that land in a sleep window (the
+  // recorder defers sleep while recording), so the penalty is real but
+  // bounded.
+  EXPECT_GT(half, full + 0.01);
+  EXPECT_LT(half, 0.8);
+}
+
+TEST(DutyCycle, GroupRedundancyMasksDutyCycling) {
+  // The companion claim: with four hearers and staggered phases, halving
+  // the duty cycle barely moves coverage.
+  auto run = [](double duty) {
+    WorldBuilder b;
+    b.mode(Mode::kCooperativeOnly).seed(405).perfect_detection().lossless_radio();
+    b.cfg.node_defaults.protocol.duty_cycle = duty;
+    b.cfg.node_defaults.protocol.duty_period = sim::Time::seconds_i(8);
+    auto world = b.grid(4, 4);
+    for (int e = 0; e < 8; ++e) {
+      add_event(*world, {3, 3}, 10.0 + e * 25.0, 20.0 + e * 25.0);
+    }
+    world->start();
+    world->run_until(sim::Time::seconds_i(230));
+    return world->snapshot().miss_ratio;
+  };
+  EXPECT_LT(run(0.5), run(1.0) + 0.1);
+}
+
+TEST(DutyCycle, TtlBottleneckUnchangedByDutyCycle) {
+  // Paper §II-B: "any duty-cycling will simply extend TTL_storage and
+  // TTL_energy with the same proportion. The bottleneck TTL remains the
+  // same." With awake-normalized rates, the same awake input yields the
+  // same measured R regardless of duty.
+  auto measured_rate = [](double duty) {
+    WorldBuilder b;
+    b.mode(Mode::kFull).seed(405);
+    b.cfg.node_defaults.protocol.duty_cycle = duty;
+    auto world = b.grid(2, 2);
+    world->start();
+    auto& n = world->node(0);
+    const auto period = n.cfg().rate_update_period;
+    // The node acquires 5000 bytes of audio per awake-second, reported over
+    // one rate period with the matching awake share.
+    const auto awake_bytes = static_cast<std::uint64_t>(
+        5000.0 * period.to_seconds() * duty);
+    world->run_until(period + sim::Time::millis(1));
+    n.balancer().note_recorded_bytes(awake_bytes);
+    world->run_until(period * 2 + sim::Time::millis(1));
+    n.balancer().note_recorded_bytes(0);
+    return n.balancer().acquisition_rate();
+  };
+  const double full = measured_rate(1.0);
+  const double half = measured_rate(0.5);
+  EXPECT_NEAR(full, half, full * 0.05);
+}
+
+TEST(Gossip, EstimateConvergesTowardNetworkMean) {
+  WorldBuilder b;
+  b.mode(Mode::kFull).seed(406).lossless_radio();
+  b.cfg.node_defaults.protocol.balance_strategy = BalanceStrategy::kGlobalGossip;
+  // Prevent actual migration so the estimate is observable in isolation.
+  b.cfg.node_defaults.protocol.beta_max = 1e9;
+  b.cfg.node_defaults.protocol.ttl_reference_s = 1e-9;
+  auto world = b.grid(3, 3);
+  // Unbalanced fill: one node nearly full, the rest empty.
+  auto& hot = world->node(4);
+  std::uint64_t stuffed = 0;
+  while (hot.store().can_fit(10000)) {
+    storage::Chunk c;
+    c.meta.key = hot.store().next_key(hot.id());
+    c.meta.bytes = 10000;
+    hot.store().append(std::move(c));
+    stuffed += 10240;  // 40 blocks
+  }
+  world->start();
+  world->run_until(sim::Time::seconds_i(240));
+  // True mean free.
+  double mean = 0;
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    mean += static_cast<double>(world->node(i).store().free_bytes());
+  }
+  mean /= static_cast<double>(world->node_count());
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    EXPECT_NEAR(world->node(i).balancer().estimated_mean_free(), mean,
+                mean * 0.35)
+        << "node " << world->node(i).id();
+  }
+}
+
+TEST(Gossip, GlobalStrategyAlsoDrainsHotSpots) {
+  WorldBuilder b;
+  b.mode(Mode::kFull, 2.0).seed(407).lossless_radio();
+  b.cfg.node_defaults.protocol.balance_strategy = BalanceStrategy::kGlobalGossip;
+  auto world = b.grid(3, 3);
+  auto& hot = world->node(0);
+  for (int i = 0; i < 120; ++i) {
+    storage::Chunk c;
+    c.meta.key = hot.store().next_key(hot.id());
+    c.meta.bytes = 2730;
+    hot.store().append(std::move(c));
+  }
+  world->start();
+  for (int t = 1; t <= 4; ++t) {
+    world->run_until(sim::Time::seconds_i(10 * t));
+    hot.balancer().note_recorded_bytes(30000);
+  }
+  world->run_until(sim::Time::seconds_i(400));
+  EXPECT_GT(hot.balancer().stats().bytes_pushed, 0u);
+  EXPECT_LT(hot.store().chunk_count(), 120u);
+}
+
+TEST(Gossip, StrategyNamesStable) {
+  EXPECT_STREQ(strategy_name(BalanceStrategy::kLocalGreedy), "local-greedy");
+  EXPECT_STREQ(strategy_name(BalanceStrategy::kGlobalGossip), "global-gossip");
+}
+
+}  // namespace
+}  // namespace enviromic::core

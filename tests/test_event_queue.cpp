@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace enviromic::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.scheduled_count(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Time::millis(30), [&] { order.push_back(3); });
+  q.schedule(Time::millis(10), [&] { order.push_back(1); });
+  q.schedule(Time::millis(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TieBreaksByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  const Time t = Time::millis(5);
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(t, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, PopReturnsTime) {
+  EventQueue q;
+  q.schedule(Time::millis(42), [] {});
+  auto [t, cb] = q.pop();
+  EXPECT_EQ(t, Time::millis(42));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  auto h = q.schedule(Time::millis(1), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  auto h = q.schedule(Time::millis(1), [] {});
+  h.cancel();
+  h.cancel();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no crash
+}
+
+TEST(EventQueue, CancelMiddleEventOnly) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Time::millis(1), [&] { order.push_back(1); });
+  auto h = q.schedule(Time::millis(2), [&] { order.push_back(2); });
+  q.schedule(Time::millis(3), [&] { order.push_back(3); });
+  h.cancel();
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, HandleNotPendingAfterPop) {
+  EventQueue q;
+  auto h = q.schedule(Time::millis(1), [] {});
+  q.pop().second();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  auto h = q.schedule(Time::millis(1), [] {});
+  q.schedule(Time::millis(7), [] {});
+  h.cancel();
+  EXPECT_EQ(q.next_time(), Time::millis(7));
+}
+
+TEST(EventQueue, TotalScheduledCounts) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(Time::millis(i), [] {});
+  EXPECT_EQ(q.total_scheduled(), 5u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  // Deterministic pseudo-random times; verify monotone pop order.
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 2000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    q.schedule(Time::ticks(static_cast<std::int64_t>(x % 1000000)), [] {});
+  }
+  Time prev = Time::zero();
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace enviromic::sim

@@ -1,0 +1,216 @@
+// Extensions beyond the paper's evaluated configuration: controlled
+// recording redundancy (footnote 1), node-failure injection (§VI), and
+// chunk compression (§V).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "world_fixture.h"
+
+namespace enviromic::core {
+namespace {
+
+using testing::WorldBuilder;
+using testing::add_event;
+using testing::sum_nodes;
+
+TEST(Replicas, TwoCopiesRecordedPerRound) {
+  WorldBuilder b;
+  b.mode(Mode::kCooperativeOnly).seed(201).perfect_detection().lossless_radio();
+  b.cfg.node_defaults.protocol.recording_replicas = 2;
+  auto world = b.grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 20.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(25));
+  const auto snap = world->snapshot();
+  // Stored recording time approaches 2x the unique coverage (replicas are
+  // best-effort: a busy or mid-recording member occasionally leaves a round
+  // single-copy).
+  const double stored = snap.stored_total.to_seconds();
+  const double unique = snap.covered_unique.to_seconds();
+  EXPECT_GT(stored / unique, 1.4);
+  EXPECT_LT(stored / unique, 2.1);
+  EXPECT_NEAR(snap.redundancy_ratio, 0.35, 0.15);
+  const auto replicas = sum_nodes(
+      *world, [](Node& n) { return n.tasking().stats().replicas_assigned; });
+  EXPECT_GE(replicas, 10u);
+}
+
+TEST(Replicas, SingleCopyByDefault) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(202)
+                   .perfect_detection()
+                   .lossless_radio()
+                   .grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 20.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(25));
+  EXPECT_EQ(sum_nodes(*world, [](Node& n) {
+              return n.tasking().stats().replicas_assigned;
+            }),
+            0u);
+}
+
+TEST(Replicas, RedundancySurvivesLostMote) {
+  // With replicas=2, losing one mote (and its data) after the event still
+  // leaves the event covered — the paper's motivation for controlled
+  // redundancy.
+  double covered_single = 0, covered_double = 0;
+  for (int replicas = 1; replicas <= 2; ++replicas) {
+    WorldBuilder b;
+    b.mode(Mode::kCooperativeOnly)
+        .seed(203)
+        .perfect_detection()
+        .lossless_radio();
+    b.cfg.node_defaults.protocol.recording_replicas = replicas;
+    auto world = b.grid(4, 4);
+    add_event(*world, {3, 3}, 5.0, 20.0);
+    world->start();
+    world->run_until(sim::Time::seconds_i(25));
+    // Lose the mote that stored the most data.
+    net::NodeId worst = net::kInvalidNode;
+    std::uint64_t most = 0;
+    for (std::size_t i = 0; i < world->node_count(); ++i) {
+      auto& n = world->node(i);
+      if (n.store().used_bytes() > most) {
+        most = n.store().used_bytes();
+        worst = n.id();
+      }
+    }
+    world->by_id(worst)->fail(/*lose_data=*/true);
+    const double covered = world->snapshot().covered_unique.to_seconds();
+    (replicas == 1 ? covered_single : covered_double) = covered;
+  }
+  EXPECT_GT(covered_double, covered_single + 2.0);
+}
+
+TEST(Failure, DefunctMoteKeepsRecoverableData) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(204)
+                   .perfect_detection()
+                   .lossless_radio()
+                   .grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 15.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(12));
+  auto& victim = world->node(5);
+  const auto before = victim.store().chunk_count();
+  victim.fail(/*lose_data=*/false);
+  world->run_until(sim::Time::seconds_i(20));
+  EXPECT_TRUE(victim.failed());
+  EXPECT_FALSE(victim.data_lost());
+  EXPECT_EQ(victim.store().chunk_count(), before);
+  EXPECT_FALSE(victim.radio().is_on());
+}
+
+TEST(Failure, GroupSurvivesLeaderDeath) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(205)
+                   .perfect_detection()
+                   .lossless_radio()
+                   .grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 40.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(10));
+  // Kill the current leader mid-event.
+  net::NodeId leader = net::kInvalidNode;
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    if (world->node(i).group().is_leader()) leader = world->node(i).id();
+  }
+  ASSERT_NE(leader, net::kInvalidNode);
+  world->by_id(leader)->fail();
+  world->run_until(sim::Time::seconds_i(45));
+  // The watchdog re-elects and recording continues: total gap stays small
+  // relative to the event.
+  EXPECT_LT(world->snapshot().miss_ratio, 0.35);
+  const auto wd = sum_nodes(*world, [](Node& n) {
+    return n.group().stats().watchdog_reelections;
+  });
+  const auto elections = sum_nodes(
+      *world, [](Node& n) { return n.group().stats().elections_won; });
+  EXPECT_GE(wd + elections, 2u);
+}
+
+TEST(Failure, LostMoteDataExcludedFromRetrieval) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kUncoordinated)
+                   .seed(206)
+                   .perfect_detection()
+                   .grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 15.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(20));
+  const auto chunks_before = world->drain_all(false).chunk_count();
+  world->node(5).fail(/*lose_data=*/true);
+  const auto chunks_after = world->drain_all(false).chunk_count();
+  EXPECT_LT(chunks_after, chunks_before);
+}
+
+TEST(Failure, ScheduledFailureFires) {
+  auto world =
+      WorldBuilder{}.mode(Mode::kCooperativeOnly).seed(207).grid(2, 2);
+  world->fail_node_at(3, sim::Time::seconds_i(10));
+  world->start();
+  world->run_until(sim::Time::seconds_i(9));
+  EXPECT_FALSE(world->by_id(3)->failed());
+  world->run_until(sim::Time::seconds_i(11));
+  EXPECT_TRUE(world->by_id(3)->failed());
+}
+
+TEST(Compression, SilentIntervalsShrinkStoredBytes) {
+  // A voice-like event with true pauses: the silent stretches (ADC pinned
+  // at 128 when ambient noise is negligible) collapse under both codecs.
+  auto run = [](storage::CodecKind codec) {
+    WorldBuilder b;
+    b.mode(Mode::kCooperativeOnly).seed(208).perfect_detection().lossless_radio();
+    b.cfg.background_level = 0.001;  // still forest night
+    b.cfg.node_defaults.flash.store_payloads = true;
+    b.cfg.node_defaults.protocol.chunk_codec = codec;
+    auto world = b.grid(4, 4);
+    world->add_source(
+        std::make_shared<acoustic::StaticTrajectory>(sim::Position{3, 3}),
+        std::make_shared<acoustic::VoiceWave>(99), sim::Time::seconds_i(5),
+        sim::Time::seconds_i(15), 1.0, 2.0);
+    world->start();
+    world->run_until(sim::Time::seconds_i(20));
+    return testing::sum_nodes(*world, [](Node& n) {
+      return n.store().used_payload_bytes();
+    });
+  };
+  const auto raw = run(storage::CodecKind::kNone);
+  const auto rle = run(storage::CodecKind::kRle);
+  const auto delta = run(storage::CodecKind::kDelta);
+  ASSERT_GT(raw, 0u);
+  EXPECT_LT(static_cast<double>(delta), 0.95 * static_cast<double>(raw));
+  EXPECT_LT(static_cast<double>(rle), 0.98 * static_cast<double>(raw));
+}
+
+TEST(Compression, PayloadStillDecodable) {
+  WorldBuilder b;
+  b.mode(Mode::kCooperativeOnly).seed(209).perfect_detection().lossless_radio();
+  b.cfg.node_defaults.flash.store_payloads = true;
+  b.cfg.node_defaults.protocol.chunk_codec = storage::CodecKind::kDelta;
+  auto world = b.grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 12.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(16));
+  int decoded_chunks = 0;
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    auto& n = world->node(i);
+    n.store().for_each([&](const storage::ChunkMeta& m) {
+      const auto blob = n.store().read_payload(m.key);
+      if (blob.empty()) return;
+      const auto samples = storage::decode(blob);
+      // ~1 s of 2730 Hz audio per task chunk.
+      EXPECT_NEAR(static_cast<double>(samples.size()), 2730.0, 60.0);
+      ++decoded_chunks;
+    });
+  }
+  EXPECT_GT(decoded_chunks, 3);
+}
+
+}  // namespace
+}  // namespace enviromic::core

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "storage/file_index.h"
+
+namespace enviromic::storage {
+namespace {
+
+using sim::Time;
+
+ChunkMeta meta(net::EventId ev, std::uint64_t key, double start_s, double end_s,
+               net::NodeId recorder, std::uint32_t bytes = 1000) {
+  ChunkMeta m;
+  m.event = ev;
+  m.key = key;
+  m.start = Time::seconds(start_s);
+  m.end = Time::seconds(end_s);
+  m.recorded_by = recorder;
+  m.bytes = bytes;
+  return m;
+}
+
+TEST(FileIndex, GroupsByEvent) {
+  FileIndex idx;
+  const net::EventId e1{1, 0}, e2{2, 0};
+  idx.add(meta(e1, 1, 0, 1, 10), 10);
+  idx.add(meta(e1, 2, 1, 2, 11), 11);
+  idx.add(meta(e2, 3, 5, 6, 12), 12);
+  EXPECT_EQ(idx.file_count(), 2u);
+  EXPECT_EQ(idx.chunk_count(), 3u);
+  EXPECT_EQ(idx.chunks_of(e1).size(), 2u);
+  EXPECT_EQ(idx.chunks_of(e2).size(), 1u);
+  EXPECT_TRUE(idx.chunks_of(net::EventId{9, 9}).empty());
+}
+
+TEST(FileIndex, ChunksSortedByStart) {
+  FileIndex idx;
+  const net::EventId e{1, 0};
+  idx.add(meta(e, 1, 5, 6, 10), 10);
+  idx.add(meta(e, 2, 1, 2, 11), 11);
+  idx.add(meta(e, 3, 3, 4, 12), 12);
+  const auto chunks = idx.chunks_of(e);
+  EXPECT_EQ(chunks[0].key, 2u);
+  EXPECT_EQ(chunks[1].key, 3u);
+  EXPECT_EQ(chunks[2].key, 1u);
+}
+
+TEST(FileIndex, SummaryCoverageAndGaps) {
+  FileIndex idx;
+  const net::EventId e{1, 0};
+  idx.add(meta(e, 1, 0, 2, 10), 10);
+  idx.add(meta(e, 2, 3, 5, 11), 11);  // 1 s gap at [2, 3)
+  const auto s = idx.summarize(e);
+  EXPECT_EQ(s.chunk_count, 2u);
+  EXPECT_EQ(s.total_bytes, 2000u);
+  EXPECT_EQ(s.first_start, Time::zero());
+  EXPECT_EQ(s.last_end, Time::seconds_i(5));
+  EXPECT_EQ(s.covered, Time::seconds_i(4));
+  EXPECT_EQ(s.redundant, Time::zero());
+  ASSERT_EQ(s.gaps.size(), 1u);
+  EXPECT_EQ(s.gaps[0].start, Time::seconds_i(2));
+  EXPECT_EQ(s.gaps[0].end, Time::seconds_i(3));
+}
+
+TEST(FileIndex, SummaryRedundancy) {
+  FileIndex idx;
+  const net::EventId e{1, 0};
+  idx.add(meta(e, 1, 0, 4, 10), 10);
+  idx.add(meta(e, 2, 2, 6, 11), 11);  // 2 s double-covered
+  const auto s = idx.summarize(e);
+  EXPECT_EQ(s.covered, Time::seconds_i(6));
+  EXPECT_EQ(s.redundant, Time::seconds_i(2));
+}
+
+TEST(FileIndex, RecordersListedDistinctInOrder) {
+  FileIndex idx;
+  const net::EventId e{1, 0};
+  idx.add(meta(e, 1, 0, 1, 20), 20);
+  idx.add(meta(e, 2, 1, 2, 21), 21);
+  idx.add(meta(e, 3, 2, 3, 20), 20);
+  const auto s = idx.summarize(e);
+  EXPECT_EQ(s.recorders, (std::vector<net::NodeId>{20, 21}));
+}
+
+TEST(FileIndex, PlacementCountsStorageLocations) {
+  FileIndex idx;
+  const net::EventId e{1, 0};
+  idx.add(meta(e, 1, 0, 1, 10), /*stored_at=*/30);
+  idx.add(meta(e, 2, 1, 2, 10), 30);
+  idx.add(meta(e, 3, 2, 3, 10), 31);
+  const auto p = idx.placement_of(e);
+  EXPECT_EQ(p.at(30), 2u);
+  EXPECT_EQ(p.at(31), 1u);
+}
+
+TEST(FileIndex, DeduplicateRemovesMigrationCopies) {
+  FileIndex idx;
+  const net::EventId e{1, 0};
+  idx.add(meta(e, 1, 0, 1, 10), 30);
+  idx.add(meta(e, 1, 0, 1, 10), 31);  // same chunk stored twice
+  idx.add(meta(e, 2, 1, 2, 10), 32);
+  EXPECT_EQ(idx.deduplicate(), 1u);
+  EXPECT_EQ(idx.chunk_count(), 2u);
+  const auto s = idx.summarize(e);
+  EXPECT_EQ(s.covered, Time::seconds_i(2));
+  EXPECT_EQ(s.redundant, Time::zero());
+}
+
+TEST(FileIndex, SummaryOfUnknownEventEmpty) {
+  FileIndex idx;
+  const auto s = idx.summarize(net::EventId{5, 5});
+  EXPECT_EQ(s.chunk_count, 0u);
+  EXPECT_EQ(s.total_bytes, 0u);
+}
+
+TEST(FileIndex, EventsEnumeration) {
+  FileIndex idx;
+  idx.add(meta(net::EventId{2, 1}, 1, 0, 1, 10), 10);
+  idx.add(meta(net::EventId{1, 1}, 2, 0, 1, 10), 10);
+  const auto events = idx.events();
+  EXPECT_EQ(events.size(), 2u);
+  EXPECT_LT(events[0], events[1]);  // map ordering
+}
+
+}  // namespace
+}  // namespace enviromic::storage

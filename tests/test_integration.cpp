@@ -1,0 +1,205 @@
+// Cross-module integration: full-stack scenarios exercising cooperative
+// recording + balancing + retrieval together, and failure injection.
+#include <gtest/gtest.h>
+
+#include "world_fixture.h"
+
+namespace enviromic::core {
+namespace {
+
+using testing::WorldBuilder;
+using testing::add_event;
+using testing::sum_nodes;
+
+TEST(Integration, CooperativeBeatsNothingButBaselineBeatsNobody) {
+  // Under tight storage, the three modes order exactly as the paper's
+  // Fig 10: baseline worst, cooperative-only better, balancing best.
+  double miss[3];
+  const Mode modes[] = {Mode::kUncoordinated, Mode::kCooperativeOnly,
+                        Mode::kFull};
+  for (int k = 0; k < 3; ++k) {
+    auto world = WorldBuilder{}
+                     .mode(modes[k], 2.0)
+                     .seed(141)
+                     .flash_bytes(48 * 1024)  // ~18 s of audio per node
+                     .grid(6, 4);
+    // One source, four hearers, 180 s of event time in 12 bursts.
+    for (int e = 0; e < 12; ++e) {
+      add_event(*world, {5, 3}, 20.0 + e * 40.0, 35.0 + e * 40.0);
+    }
+    world->start();
+    world->run_until(sim::Time::seconds_i(520));
+    miss[k] = world->snapshot().miss_ratio;
+  }
+  EXPECT_GT(miss[0], miss[1]);
+  EXPECT_GT(miss[1], miss[2]);
+  EXPECT_GT(miss[0], 0.5);  // baseline loses most data
+  EXPECT_LT(miss[2], 0.35);  // balancing rescues it
+}
+
+TEST(Integration, FilesAreContinuousAcrossRecorders) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(142)
+                   .perfect_detection()
+                   .lossless_radio()
+                   .grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 25.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(30));
+  const auto files = world->drain_all();
+  // One coordinated file holding the whole event with multiple recorders
+  // and no internal gaps.
+  bool found = false;
+  for (const auto& event : files.events()) {
+    if (!event.valid()) continue;
+    const auto s = files.summarize(event);
+    if (s.covered.to_seconds() > 15.0) {
+      found = true;
+      EXPECT_GE(s.recorders.size(), 2u);
+      // Hand-overs where the handshake exceeded D_ta leave only tiny gaps.
+      sim::Time gap_total = sim::Time::zero();
+      for (const auto& g : s.gaps) gap_total += g.end - g.start;
+      EXPECT_LT(gap_total.to_seconds(), 0.2);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Integration, BalancingSpreadsStorageAcrossTheNetwork) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kFull, 2.0)
+                   .seed(143)
+                   .flash_bytes(64 * 1024)
+                   .grid(6, 4);
+  for (int e = 0; e < 14; ++e) {
+    add_event(*world, {5, 3}, 15.0 + e * 35.0, 27.0 + e * 35.0);
+  }
+  world->start();
+  world->run_until(sim::Time::seconds_i(520));
+  // Count nodes holding data: with balancing it must exceed the 4 hearers.
+  int holders = 0;
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    if (world->node(i).store().chunk_count() > 0) ++holders;
+  }
+  EXPECT_GT(holders, 6);
+  const auto pushed =
+      sum_nodes(*world, [](Node& n) { return n.balancer().stats().bytes_pushed; });
+  EXPECT_GT(pushed, 50000u);
+}
+
+TEST(Integration, RetrievalSeesMigratedChunks) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kFull, 2.0)
+                   .seed(144)
+                   .perfect_detection()
+                   .lossless_radio()
+                   .flash_bytes(32 * 1024)
+                   .grid(4, 4);
+  for (int e = 0; e < 6; ++e) {
+    add_event(*world, {3, 3}, 10.0 + e * 50.0, 22.0 + e * 50.0);
+  }
+  world->start();
+  world->run_until(sim::Time::seconds_i(320));
+  const auto files = world->drain_all();
+  // Chunks of some file live on nodes that never recorded them.
+  bool migrated_found = false;
+  for (const auto& event : files.events()) {
+    for (const auto& [node, cnt] : files.placement_of(event)) {
+      const auto chunks = files.chunks_of(event);
+      for (const auto& c : chunks) {
+        if (c.recorded_by != node) migrated_found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(migrated_found);
+}
+
+TEST(Integration, CrashedNodeDataRecoverable) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(145)
+                   .perfect_detection()
+                   .lossless_radio()
+                   .grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 20.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(25));
+  // "Crash" every node and rebuild each store from flash + EEPROM.
+  std::size_t live = 0, recovered = 0;
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    auto& n = world->node(i);
+    live += n.store().chunk_count();
+    n.store().checkpoint();
+    auto rebuilt = storage::ChunkStore::recover(n.flash(), n.eeprom());
+    recovered += rebuilt.chunk_count();
+  }
+  EXPECT_GT(live, 0u);
+  EXPECT_EQ(recovered, live);
+}
+
+TEST(Integration, DepletedBatteryNodeStopsBalancing) {
+  WorldBuilder b;
+  b.mode(Mode::kFull, 2.0).seed(146).lossless_radio();
+  b.cfg.node_defaults.energy.battery_joules = 1e-6;  // dead on arrival
+  auto world = b.grid(3, 3);
+  auto& hot = world->node(0);
+  for (int i = 0; i < 60; ++i) {
+    storage::Chunk c;
+    c.meta.key = hot.store().next_key(hot.id());
+    c.meta.bytes = 2730;
+    hot.store().append(std::move(c));
+  }
+  world->start();
+  world->run_until(sim::Time::seconds_i(120));
+  EXPECT_EQ(hot.balancer().stats().bytes_pushed, 0u);
+}
+
+TEST(Integration, ConcurrentEventsAtBothSourcesBothCovered) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(147)
+                   .perfect_detection()
+                   .lossless_radio()
+                   .grid(8, 6);
+  add_event(*world, {5, 3}, 10.0, 22.0);
+  add_event(*world, {11, 7}, 12.0, 24.0);  // overlapping in time
+  world->start();
+  world->run_until(sim::Time::seconds_i(30));
+  const auto snap = world->snapshot();
+  EXPECT_EQ(snap.hearable, sim::Time::seconds_i(24));
+  EXPECT_LT(snap.miss_ratio, 0.2);
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    auto world = WorldBuilder{}
+                     .mode(Mode::kFull, 2.0)
+                     .seed(148)
+                     .grid(4, 4);
+    add_event(*world, {3, 3}, 5.0, 25.0);
+    world->start();
+    world->run_until(sim::Time::seconds_i(60));
+    const auto snap = world->snapshot();
+    return std::make_tuple(snap.miss_ratio, snap.redundancy_ratio,
+                           snap.total_messages, world->sched().executed());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Integration, LongQuietPeriodsCostNoStorage) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(149)
+                   .grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 10.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(600));  // 10 quiet minutes
+  // Sound-activated recording: total stored is bounded by the event size.
+  const auto used = sum_nodes(
+      *world, [](Node& n) { return n.store().used_payload_bytes(); });
+  EXPECT_LT(used, 3u * 5u * 2730u);
+}
+
+}  // namespace
+}  // namespace enviromic::core

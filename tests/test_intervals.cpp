@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "util/intervals.h"
+
+namespace enviromic::util {
+namespace {
+
+using enviromic::sim::Rng;
+using enviromic::sim::Time;
+
+TEST(IntervalSet, EmptyMeasuresZero) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.measure(), Time::zero());
+  EXPECT_TRUE(s.intervals().empty());
+}
+
+TEST(IntervalSet, SingleInterval) {
+  IntervalSet s;
+  s.add(Time::seconds_i(1), Time::seconds_i(3));
+  EXPECT_EQ(s.measure(), Time::seconds_i(2));
+  ASSERT_EQ(s.intervals().size(), 1u);
+}
+
+TEST(IntervalSet, IgnoresEmptyAndInverted) {
+  IntervalSet s;
+  s.add(Time::seconds_i(2), Time::seconds_i(2));
+  s.add(Time::seconds_i(5), Time::seconds_i(1));
+  EXPECT_TRUE(s.intervals().empty());
+}
+
+TEST(IntervalSet, MergesOverlapping) {
+  IntervalSet s;
+  s.add(Time::seconds_i(1), Time::seconds_i(3));
+  s.add(Time::seconds_i(2), Time::seconds_i(5));
+  EXPECT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.measure(), Time::seconds_i(4));
+}
+
+TEST(IntervalSet, MergesTouching) {
+  IntervalSet s;
+  s.add(Time::seconds_i(1), Time::seconds_i(2));
+  s.add(Time::seconds_i(2), Time::seconds_i(3));
+  EXPECT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.measure(), Time::seconds_i(2));
+}
+
+TEST(IntervalSet, KeepsDisjoint) {
+  IntervalSet s;
+  s.add(Time::seconds_i(1), Time::seconds_i(2));
+  s.add(Time::seconds_i(4), Time::seconds_i(6));
+  EXPECT_EQ(s.intervals().size(), 2u);
+  EXPECT_EQ(s.measure(), Time::seconds_i(3));
+}
+
+TEST(IntervalSet, MeasureWithinClips) {
+  IntervalSet s;
+  s.add(Time::seconds_i(0), Time::seconds_i(10));
+  EXPECT_EQ(s.measure_within(Time::seconds_i(3), Time::seconds_i(7)),
+            Time::seconds_i(4));
+  EXPECT_EQ(s.measure_within(Time::seconds_i(-5), Time::seconds_i(2)),
+            Time::seconds_i(2));
+  EXPECT_EQ(s.measure_within(Time::seconds_i(20), Time::seconds_i(30)),
+            Time::zero());
+}
+
+TEST(IntervalSet, GapsWithinFullWindowWhenEmpty) {
+  IntervalSet s;
+  const auto gaps = s.gaps_within(Time::seconds_i(1), Time::seconds_i(5));
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].start, Time::seconds_i(1));
+  EXPECT_EQ(gaps[0].end, Time::seconds_i(5));
+}
+
+TEST(IntervalSet, GapsBetweenIntervals) {
+  IntervalSet s;
+  s.add(Time::seconds_i(1), Time::seconds_i(2));
+  s.add(Time::seconds_i(4), Time::seconds_i(5));
+  const auto gaps = s.gaps_within(Time::seconds_i(0), Time::seconds_i(6));
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0].start, Time::seconds_i(0));
+  EXPECT_EQ(gaps[0].end, Time::seconds_i(1));
+  EXPECT_EQ(gaps[1].start, Time::seconds_i(2));
+  EXPECT_EQ(gaps[1].end, Time::seconds_i(4));
+  EXPECT_EQ(gaps[2].start, Time::seconds_i(5));
+  EXPECT_EQ(gaps[2].end, Time::seconds_i(6));
+}
+
+TEST(IntervalSet, NoGapsWhenFullyCovered) {
+  IntervalSet s;
+  s.add(Time::zero(), Time::seconds_i(10));
+  EXPECT_TRUE(s.gaps_within(Time::seconds_i(2), Time::seconds_i(8)).empty());
+}
+
+TEST(IntervalSet, ClearResets) {
+  IntervalSet s;
+  s.add(Time::zero(), Time::seconds_i(1));
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.measure(), Time::zero());
+}
+
+TEST(OverlapMeasure, NoOverlapIsZero) {
+  std::vector<IntervalSet::Interval> ivs = {
+      {Time::seconds_i(0), Time::seconds_i(1)},
+      {Time::seconds_i(2), Time::seconds_i(3)}};
+  EXPECT_EQ(overlap_measure(ivs), Time::zero());
+}
+
+TEST(OverlapMeasure, SimpleOverlap) {
+  std::vector<IntervalSet::Interval> ivs = {
+      {Time::seconds_i(0), Time::seconds_i(4)},
+      {Time::seconds_i(2), Time::seconds_i(6)}};
+  EXPECT_EQ(overlap_measure(ivs), Time::seconds_i(2));
+}
+
+TEST(OverlapMeasure, TripleOverlapCountsOnce) {
+  // overlap_measure = time covered by >= 2 intervals.
+  std::vector<IntervalSet::Interval> ivs = {
+      {Time::seconds_i(0), Time::seconds_i(3)},
+      {Time::seconds_i(0), Time::seconds_i(3)},
+      {Time::seconds_i(0), Time::seconds_i(3)}};
+  EXPECT_EQ(overlap_measure(ivs), Time::seconds_i(3));
+}
+
+TEST(OverlapMeasure, TouchingDoesNotOverlap) {
+  std::vector<IntervalSet::Interval> ivs = {
+      {Time::seconds_i(0), Time::seconds_i(2)},
+      {Time::seconds_i(2), Time::seconds_i(4)}};
+  EXPECT_EQ(overlap_measure(ivs), Time::zero());
+}
+
+// Property test: IntervalSet::measure and overlap_measure agree with a
+// brute-force millisecond bitmap over random interval collections.
+class IntervalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalProperty, MatchesBruteForceBitmap) {
+  Rng rng(GetParam());
+  constexpr int kHorizonMs = 2000;
+  std::vector<int> counts(kHorizonMs, 0);
+  IntervalSet set;
+  std::vector<IntervalSet::Interval> raw;
+  const int n = static_cast<int>(rng.uniform_int(1, 40));
+  for (int i = 0; i < n; ++i) {
+    const auto a = rng.uniform_int(0, kHorizonMs - 2);
+    const auto b = rng.uniform_int(a + 1, kHorizonMs - 1);
+    set.add(Time::millis(a), Time::millis(b));
+    raw.push_back({Time::millis(a), Time::millis(b)});
+    for (auto m = a; m < b; ++m) ++counts[static_cast<std::size_t>(m)];
+  }
+  std::int64_t covered_ms = 0, overlap_ms = 0;
+  for (int c : counts) {
+    if (c >= 1) ++covered_ms;
+    if (c >= 2) ++overlap_ms;
+  }
+  EXPECT_EQ(set.measure(), Time::millis(covered_ms));
+  EXPECT_EQ(overlap_measure(raw), Time::millis(overlap_ms));
+
+  // Gap structure is consistent: covered + gaps == window.
+  Time gap_total = Time::zero();
+  for (const auto& g : set.gaps_within(Time::zero(), Time::millis(kHorizonMs)))
+    gap_total += g.end - g.start;
+  EXPECT_EQ(gap_total + set.measure(), Time::millis(kHorizonMs));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCollections, IntervalProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace enviromic::util

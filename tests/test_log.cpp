@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include "sim/log.h"
+
+namespace enviromic::sim {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsOff) {
+  // Other tests must not leak log output; the global default is kOff.
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST(Log, SetAndGetLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST(Log, StreamBelowThresholdDoesNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  LogStream(LogLevel::kError, Time::seconds_i(1), "test") << "hidden " << 42;
+  SUCCEED();
+}
+
+TEST(Log, OrderingOfLevels) {
+  EXPECT_LT(static_cast<int>(LogLevel::kOff), static_cast<int>(LogLevel::kError));
+  EXPECT_LT(static_cast<int>(LogLevel::kError), static_cast<int>(LogLevel::kWarn));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo), static_cast<int>(LogLevel::kTrace));
+}
+
+}  // namespace
+}  // namespace enviromic::sim

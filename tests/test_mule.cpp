@@ -1,0 +1,128 @@
+// Data-mule retrieval: harvest queries upload and free chunks; coverage is
+// preserved in the mule's haul; network storage lifetime extends.
+#include <gtest/gtest.h>
+
+#include "world_fixture.h"
+
+namespace enviromic::core {
+namespace {
+
+using testing::WorldBuilder;
+using testing::add_event;
+using testing::sum_nodes;
+
+TEST(Mule, HarvestsAndFreesStorage) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(261)
+                   .perfect_detection()
+                   .lossless_radio()
+                   .grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 15.0);
+  // The mule walks through the middle of the grid after the event.
+  MuleConfig mc;
+  mc.speed_ft_s = 1.0;  // slow sweep so every hearer gets drained
+  DataMule mule(*world, {{-4, 3}, {10, 3}}, sim::Time::seconds_i(30), mc);
+  world->start();
+  mule.start();
+  world->run_until(sim::Time::seconds_i(20));
+  const auto stored_before =
+      sum_nodes(*world, [](Node& n) { return n.store().used_payload_bytes(); });
+  ASSERT_GT(stored_before, 0u);
+  world->run_until(sim::Time::seconds_i(90));
+  const auto stored_after =
+      sum_nodes(*world, [](Node& n) { return n.store().used_payload_bytes(); });
+  EXPECT_LT(stored_after, stored_before / 4);
+  EXPECT_GT(mule.chunks_collected(), 5u);
+  EXPECT_GT(mule.bytes_collected(), stored_before / 2);
+}
+
+TEST(Mule, CollectedChunksCountTowardCoverage) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(262)
+                   .perfect_detection()
+                   .lossless_radio()
+                   .grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 15.0);
+  MuleConfig mc;
+  mc.speed_ft_s = 1.0;  // slow sweep so every hearer gets drained
+  DataMule mule(*world, {{-4, 3}, {10, 3}}, sim::Time::seconds_i(30), mc);
+  world->start();
+  mule.start();
+  world->run_until(sim::Time::seconds_i(25));
+  const double covered_before = world->snapshot().covered_unique.to_seconds();
+  world->run_until(sim::Time::seconds_i(90));
+  // Plain snapshot loses the harvested chunks; snapshot_with restores them.
+  const double without = world->snapshot().covered_unique.to_seconds();
+  const double with =
+      world->snapshot_with(mule.collected_metas()).covered_unique.to_seconds();
+  EXPECT_LT(without, covered_before * 0.6);
+  EXPECT_NEAR(with, covered_before, 0.5);
+}
+
+TEST(Mule, InFieldWindowMatchesPath) {
+  auto world =
+      WorldBuilder{}.mode(Mode::kCooperativeOnly).seed(263).grid(2, 2);
+  // 40 ft path at 4 ft/s: in the field for 10 s from t=100.
+  DataMule mule(*world, {{0, 0}, {40, 0}}, sim::Time::seconds_i(100));
+  world->start();
+  mule.start();
+  EXPECT_FALSE(mule.in_field(sim::Time::seconds_i(99)));
+  EXPECT_TRUE(mule.in_field(sim::Time::seconds_i(105)));
+  EXPECT_FALSE(mule.in_field(sim::Time::seconds_i(111)));
+}
+
+TEST(Mule, NothingCollectedFromEmptyNetwork) {
+  auto world =
+      WorldBuilder{}.mode(Mode::kCooperativeOnly).seed(264).grid(3, 3);
+  DataMule mule(*world, {{-2, 2}, {8, 2}}, sim::Time::seconds_i(10));
+  world->start();
+  mule.start();
+  world->run_until(sim::Time::seconds_i(60));
+  EXPECT_EQ(mule.chunks_collected(), 0u);
+}
+
+TEST(Mule, PeriodicVisitsPreventOverflow) {
+  // Tight flash + recurring events: without a mule, storage saturates and
+  // data is lost; with periodic mule visits the network keeps recording.
+  auto build = [](bool with_mule) {
+    auto world = WorldBuilder{}
+                     .mode(Mode::kCooperativeOnly)
+                     .seed(265)
+                     .perfect_detection()
+                     .lossless_radio()
+                     .flash_bytes(24 * 1024)  // ~9 s of audio per node
+                     .grid(4, 4);
+    for (int e = 0; e < 10; ++e) {
+      add_event(*world, {3, 3}, 10.0 + 50.0 * e, 22.0 + 50.0 * e);
+    }
+    std::vector<std::unique_ptr<DataMule>> mules;
+    if (with_mule) {
+      for (int visit = 0; visit < 5; ++visit) {
+        MuleConfig mc;
+        mc.mule_id = static_cast<net::NodeId>(60000 + visit);
+        mc.speed_ft_s = 1.0;
+        mules.push_back(std::make_unique<DataMule>(
+            *world, std::vector<sim::Position>{{-4, 3}, {10, 3}},
+            sim::Time::seconds_i(40 + visit * 100), mc));
+      }
+    }
+    world->start();
+    for (auto& m : mules) m->start();
+    world->run_until(sim::Time::seconds_i(520));
+    std::vector<storage::ChunkMeta> collected;
+    for (const auto& m : mules) {
+      collected.insert(collected.end(), m->collected_metas().begin(),
+                       m->collected_metas().end());
+    }
+    return world->snapshot_with(collected).miss_ratio;
+  };
+  const double without = build(false);
+  const double with = build(true);
+  EXPECT_GT(without, 0.4);  // overflow dominates
+  EXPECT_LT(with, without - 0.2);
+}
+
+}  // namespace
+}  // namespace enviromic::core

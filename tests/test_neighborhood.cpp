@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/neighborhood.h"
+#include "net/channel.h"
+#include "sim/scheduler.h"
+
+namespace enviromic::core {
+namespace {
+
+using sim::Time;
+
+struct NbFixture {
+  sim::Scheduler sched;
+  net::ChannelConfig ccfg = make_ccfg();
+  net::Channel channel{sched, sim::Rng(5), ccfg};
+  std::unique_ptr<net::Radio> a = channel.create_radio(1, {0, 0});
+  std::unique_ptr<net::Radio> b = channel.create_radio(2, {2, 0});
+  std::vector<net::Packet> received;
+
+  static net::ChannelConfig make_ccfg() {
+    net::ChannelConfig c;
+    c.loss_probability = 0.0;
+    return c;
+  }
+
+  NbFixture() {
+    b->set_receive_handler([this](const net::Packet& p) { received.push_back(p); });
+  }
+};
+
+TEST(Neighborhood, SendNowTransmitsImmediately) {
+  NbFixture f;
+  NeighborhoodBroadcast nb(*f.a, f.sched);
+  EXPECT_TRUE(nb.send_now(net::Sensing{}));
+  f.sched.run();
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].messages.size(), 1u);
+  EXPECT_EQ(nb.stats().packets_sent, 1u);
+}
+
+TEST(Neighborhood, LazyMessagesPiggybackOnNextSend) {
+  NbFixture f;
+  NeighborhoodBroadcast nb(*f.a, f.sched);
+  nb.send_lazy(net::StateBeacon{});
+  nb.send_lazy(net::TimeSyncBeacon{});
+  EXPECT_EQ(nb.lazy_queue_depth(), 2u);
+  nb.send_now(net::Sensing{});
+  f.sched.run_until(Time::millis(100));
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].messages.size(), 3u);
+  EXPECT_EQ(nb.stats().piggybacked_messages, 2u);
+  EXPECT_EQ(nb.lazy_queue_depth(), 0u);
+}
+
+TEST(Neighborhood, PiggybackRespectsMaxPayload) {
+  NbFixture f;
+  NeighborhoodBroadcast::Config cfg;
+  cfg.max_payload_bytes = 40;  // room for ~2 small messages only
+  NeighborhoodBroadcast nb(*f.a, f.sched, cfg);
+  for (int i = 0; i < 6; ++i) nb.send_lazy(net::StateBeacon{});
+  nb.send_now(net::Sensing{});
+  f.sched.run_until(Time::millis(50));
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_LE(f.received[0].payload_bytes(), 40u);
+  EXPECT_GT(nb.lazy_queue_depth(), 0u);  // the rest stays queued
+}
+
+TEST(Neighborhood, LazyFlushTimerFiresWithoutUrgentTraffic) {
+  NbFixture f;
+  NeighborhoodBroadcast::Config cfg;
+  cfg.max_lazy_delay = Time::millis(500);
+  NeighborhoodBroadcast nb(*f.a, f.sched, cfg);
+  nb.send_lazy(net::StateBeacon{});
+  f.sched.run_until(Time::millis(400));
+  EXPECT_TRUE(f.received.empty());
+  f.sched.run_until(Time::seconds_i(2));
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_EQ(nb.stats().lazy_flushes, 1u);
+}
+
+TEST(Neighborhood, SendNowFailsWhenRadioOff) {
+  NbFixture f;
+  NeighborhoodBroadcast nb(*f.a, f.sched);
+  f.a->set_on(false);
+  EXPECT_FALSE(nb.send_now(net::Sensing{}));
+  EXPECT_EQ(nb.stats().dropped_radio_off, 1u);
+}
+
+TEST(Neighborhood, LazyFlushRetriesWhileRadioOff) {
+  NbFixture f;
+  NeighborhoodBroadcast::Config cfg;
+  cfg.max_lazy_delay = Time::millis(100);
+  NeighborhoodBroadcast nb(*f.a, f.sched, cfg);
+  nb.send_lazy(net::StateBeacon{});
+  f.a->set_on(false);
+  f.sched.run_until(Time::millis(500));
+  EXPECT_TRUE(f.received.empty());
+  EXPECT_EQ(nb.lazy_queue_depth(), 1u);  // preserved, not dropped
+  f.a->set_on(true);
+  f.sched.run_until(Time::seconds_i(1));
+  EXPECT_EQ(f.received.size(), 1u);
+}
+
+TEST(Neighborhood, SendToCarriesUnicastDst) {
+  NbFixture f;
+  NeighborhoodBroadcast nb(*f.a, f.sched);
+  nb.send_to(2, net::TaskRequest{});
+  f.sched.run();
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].dst, 2u);
+}
+
+TEST(Neighborhood, SelfReportsId) {
+  NbFixture f;
+  NeighborhoodBroadcast nb(*f.a, f.sched);
+  EXPECT_EQ(nb.self(), 1u);
+}
+
+}  // namespace
+}  // namespace enviromic::core

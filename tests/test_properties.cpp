@@ -1,0 +1,170 @@
+// Cross-cutting parameterized property sweeps over protocol invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "world_fixture.h"
+
+namespace enviromic::core {
+namespace {
+
+using testing::WorldBuilder;
+using testing::add_event;
+using testing::leader_count;
+
+// ---------------------------------------------------------------------------
+// Invariants of a cooperative run across seeds: bounded startup miss, low
+// redundancy, exactly one leader mid-event, wear-levelled flash.
+class CoopInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoopInvariants, HoldAcrossSeeds) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(GetParam())
+                   .perfect_detection()
+                   .lossless_radio()
+                   .grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 20.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(12));
+  EXPECT_EQ(leader_count(*world), 1);
+  world->run_until(sim::Time::seconds_i(26));
+  const auto snap = world->snapshot();
+  EXPECT_LT(snap.miss_ratio, 0.15);
+  EXPECT_LT(snap.redundancy_ratio, 0.1);
+  // Flash wear stays level on every node.
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    const auto& flash = world->node(i).flash();
+    EXPECT_LE(flash.max_wear() - flash.min_wear(), 1u);
+  }
+  // All stored chunks carry a valid coordinated event id.
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    world->node(i).store().for_each([&](const storage::ChunkMeta& m) {
+      if (!m.is_prelude) {
+        EXPECT_TRUE(m.event.valid());
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoopInvariants,
+                         ::testing::Values(501, 502, 503, 504, 505, 506, 507,
+                                           508));
+
+// ---------------------------------------------------------------------------
+// Loss-rate sweep: coverage degrades gracefully, never collapses, and the
+// protocol never records more than physically possible.
+class LossSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LossSweep, CoverageDegradesGracefully) {
+  const double loss = GetParam() / 100.0;
+  WorldBuilder b;
+  b.mode(Mode::kCooperativeOnly).seed(601).perfect_detection();
+  b.cfg.channel.loss_probability = loss;
+  auto world = b.grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 25.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(30));
+  const auto snap = world->snapshot();
+  EXPECT_LE(snap.covered_unique, snap.hearable);
+  if (loss <= 0.3) {
+    EXPECT_LT(snap.miss_ratio, 0.4) << "loss " << loss;
+  }
+  // Even at absurd loss the group eventually records something.
+  if (loss <= 0.6) {
+    EXPECT_GT(snap.covered_unique.to_seconds(), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossSweep,
+                         ::testing::Values(0, 5, 10, 20, 30, 45, 60));
+
+// ---------------------------------------------------------------------------
+// beta formula sweep: beta_i is monotone in TTL and clamped to
+// [1, beta_max] (paper §II-B).
+class BetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BetaSweep, BetaWithinBoundsAndMonotone) {
+  const double beta_max = GetParam();
+  auto world =
+      WorldBuilder{}.mode(Mode::kFull, beta_max).seed(602).grid(2, 2);
+  world->start();
+  auto& n = world->node(0);
+  double prev_beta = -1.0;
+  // Fill the store step by step: TTL falls, so beta must not increase.
+  for (int step = 0; step < 12; ++step) {
+    const double beta = n.balancer().beta();
+    EXPECT_GE(beta, 1.0);
+    EXPECT_LE(beta, beta_max + 1e-9);
+    if (prev_beta >= 0.0) {
+      EXPECT_LE(beta, prev_beta + 1e-9);
+    }
+    prev_beta = beta;
+    for (int k = 0; k < 16; ++k) {
+      storage::Chunk c;
+      c.meta.key = n.store().next_key(n.id());
+      c.meta.bytes = 2730;
+      if (!n.store().append(std::move(c))) break;
+    }
+  }
+  EXPECT_LT(n.balancer().beta(), beta_max);  // fuller => more sensitive
+}
+
+INSTANTIATE_TEST_SUITE_P(BetaMax, BetaSweep, ::testing::Values(2.0, 3.0, 4.0));
+
+// ---------------------------------------------------------------------------
+// Flash-size sweep: total stored payload never exceeds capacity, and the
+// stored amount is monotone in capacity (more flash, never less data).
+class FlashSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlashSweep, StorageBoundedByCapacity) {
+  const std::uint64_t capacity = static_cast<std::uint64_t>(GetParam()) * 1024;
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(603)
+                   .perfect_detection()
+                   .lossless_radio()
+                   .flash_bytes(capacity)
+                   .grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 60.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(70));
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    const auto& st = world->node(i).store();
+    EXPECT_LE(st.used_bytes(), capacity);
+    EXPECT_LE(st.used_payload_bytes(), st.used_bytes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, FlashSweep,
+                         ::testing::Values(4, 8, 16, 64, 512));
+
+// ---------------------------------------------------------------------------
+// Replica sweep: stored/unique ratio grows with the replica count but
+// never exceeds it.
+class ReplicaSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplicaSweep, StorageCostBoundedByReplicaCount) {
+  const int replicas = GetParam();
+  WorldBuilder b;
+  b.mode(Mode::kCooperativeOnly).seed(604).perfect_detection().lossless_radio();
+  b.cfg.node_defaults.protocol.recording_replicas = replicas;
+  auto world = b.grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 25.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(30));
+  const auto snap = world->snapshot();
+  const double ratio =
+      snap.stored_total.to_seconds() /
+      std::max(1e-9, snap.covered_unique.to_seconds());
+  EXPECT_GE(ratio, 0.99);
+  EXPECT_LE(ratio, replicas + 0.1);
+  if (replicas >= 2) {
+    EXPECT_GT(ratio, 1.3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Replicas, ReplicaSweep, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace enviromic::core

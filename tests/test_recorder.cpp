@@ -1,0 +1,205 @@
+// Recorder behaviour: radio-off recording, chunk metadata, overflow
+// handling, the uncoordinated baseline, and the prelude optimization.
+#include <gtest/gtest.h>
+
+#include "world_fixture.h"
+
+namespace enviromic::core {
+namespace {
+
+using testing::WorldBuilder;
+using testing::add_event;
+using testing::sum_nodes;
+
+TEST(Recorder, RadioIsOffWhileRecording) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(71)
+                   .perfect_detection()
+                   .lossless_radio()
+                   .grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 25.0);
+  world->start();
+  bool saw_recording = false;
+  for (int t = 60; t < 250; ++t) {
+    world->run_until(sim::Time::millis(t * 100));
+    for (std::size_t i = 0; i < world->node_count(); ++i) {
+      auto& n = world->node(i);
+      if (n.is_recording()) {
+        saw_recording = true;
+        EXPECT_FALSE(n.radio().is_on());
+      } else {
+        EXPECT_TRUE(n.radio().is_on());
+      }
+    }
+  }
+  EXPECT_TRUE(saw_recording);
+}
+
+TEST(Recorder, ChunkMetadataIsStamped) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(72)
+                   .perfect_detection()
+                   .lossless_radio()
+                   .grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 15.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(20));
+  int inspected = 0;
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    auto& n = world->node(i);
+    n.store().for_each([&](const storage::ChunkMeta& m) {
+      ++inspected;
+      EXPECT_EQ(m.recorded_by, n.id());
+      EXPECT_TRUE(m.event.valid());
+      EXPECT_GT(m.end, m.start);
+      // T_rc = 1 s tasks produce ~2730-byte chunks.
+      EXPECT_NEAR((m.end - m.start).to_seconds(), 1.0, 0.05);
+      EXPECT_NEAR(m.bytes, 2730.0, 50.0);
+      // Timestamps are in (sync-corrected) node time: within tens of ms of
+      // the true window of the event.
+      EXPECT_GT(m.start, sim::Time::seconds_i(4));
+      EXPECT_LT(m.end, sim::Time::seconds_i(18));
+    });
+  }
+  EXPECT_GT(inspected, 5);
+}
+
+TEST(Recorder, BytesMatchSamplerRate) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(73)
+                   .perfect_detection()
+                   .lossless_radio()
+                   .grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 15.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(20));
+  const auto bytes = sum_nodes(
+      *world, [](Node& n) { return n.recorder().stats().bytes_recorded; });
+  const auto tasks = sum_nodes(
+      *world, [](Node& n) { return n.recorder().stats().tasks_performed; });
+  ASSERT_GT(tasks, 0u);
+  EXPECT_NEAR(static_cast<double>(bytes) / static_cast<double>(tasks), 2730.0,
+              60.0);
+}
+
+TEST(Recorder, OverflowCountsWhenFlashFull) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(74)
+                   .perfect_detection()
+                   .lossless_radio()
+                   .flash_bytes(8 * 1024)  // ~3 s of audio
+                   .grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 45.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(50));
+  const auto overflows = sum_nodes(
+      *world, [](Node& n) { return n.recorder().stats().overflows; });
+  EXPECT_GT(overflows, 0u);
+  // Storage loss shows up in the miss ratio.
+  EXPECT_GT(world->snapshot().miss_ratio, 0.3);
+}
+
+TEST(Recorder, BaselineRecordsWithoutAnyMessages) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kUncoordinated)
+                   .seed(75)
+                   .perfect_detection()
+                   .grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 15.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(20));
+  const auto snap = world->snapshot();
+  EXPECT_EQ(snap.total_messages, 0u);
+  EXPECT_LT(snap.miss_ratio, 0.1);  // all 4 hearers record immediately
+  // All four hearers record the same thing: high redundancy.
+  EXPECT_GT(snap.redundancy_ratio, 0.5);
+  const auto chunks = sum_nodes(
+      *world, [](Node& n) { return n.recorder().stats().baseline_chunks; });
+  EXPECT_GT(chunks, 30u);
+}
+
+TEST(Recorder, BaselineChainsWhileEventPersists) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kUncoordinated)
+                   .seed(76)
+                   .perfect_detection()
+                   .grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 15.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(20));
+  // Each hearer covers essentially the whole event by chaining T_rc chunks.
+  util::IntervalSet per_node;
+  for (const auto& act : world->metrics().recording_log()) {
+    if (act.node == 6) per_node.add(act.start, act.end);  // node (1,1)=id 6
+  }
+  EXPECT_GT(per_node
+                .measure_within(sim::Time::seconds(5.5), sim::Time::seconds_i(15))
+                .to_seconds(),
+            8.0);
+}
+
+TEST(Recorder, PreludeCapturesEventOnsetAndDuplicatesErased) {
+  WorldBuilder b;
+  b.mode(Mode::kCooperativeOnly).seed(77).perfect_detection().lossless_radio();
+  b.cfg.node_defaults.protocol.prelude_enabled = true;
+  auto world = b.grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 15.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(20));
+
+  const auto preludes = sum_nodes(
+      *world, [](Node& n) { return n.recorder().stats().preludes_recorded; });
+  const auto erased = sum_nodes(
+      *world, [](Node& n) { return n.recorder().stats().preludes_erased; });
+  EXPECT_GE(preludes, 2u);  // several hearers recorded the onset
+  EXPECT_GE(erased, 1u);    // non-keepers dropped theirs
+  // Exactly the keeper's prelude remains in storage.
+  std::size_t stored_preludes = 0;
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    world->node(i).store().for_each([&](const storage::ChunkMeta& m) {
+      if (m.is_prelude) ++stored_preludes;
+    });
+  }
+  EXPECT_EQ(stored_preludes, preludes - erased);
+  EXPECT_GE(stored_preludes, 1u);
+}
+
+TEST(Recorder, PreludeReducesStartupMiss) {
+  // With the prelude, the event onset before election is captured
+  // (paper §II-A.1: short events are fully recorded with high probability).
+  double miss_with = 0.0, miss_without = 0.0;
+  const int runs = 8;
+  for (int r = 0; r < runs; ++r) {
+    for (bool prelude : {false, true}) {
+      WorldBuilder b;
+      b.mode(Mode::kCooperativeOnly)
+          .seed(500 + static_cast<std::uint64_t>(r))
+          .perfect_detection()
+          .lossless_radio();
+      b.cfg.node_defaults.protocol.prelude_enabled = prelude;
+      auto world = b.grid(4, 4);
+      add_event(*world, {3, 3}, 5.0, 11.0);
+      world->start();
+      world->run_until(sim::Time::seconds_i(16));
+      // Gap-based miss over the event window.
+      util::IntervalSet rec;
+      for (const auto& act : world->metrics().recording_log()) {
+        if (act.appended) rec.add(act.start, act.end);
+      }
+      const double covered =
+          rec.measure_within(sim::Time::seconds_i(5), sim::Time::seconds_i(11))
+              .to_seconds();
+      const double miss = 1.0 - covered / 6.0;
+      (prelude ? miss_with : miss_without) += miss / runs;
+    }
+  }
+  EXPECT_LT(miss_with, miss_without);
+  EXPECT_LT(miss_with, 0.05);
+}
+
+}  // namespace
+}  // namespace enviromic::core

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace enviromic::sim {
+namespace {
+
+TEST(Scheduler, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), Time::zero());
+  EXPECT_EQ(s.executed(), 0u);
+}
+
+TEST(Scheduler, ClockAdvancesToEventTime) {
+  Scheduler s;
+  Time seen;
+  s.at(Time::millis(25), [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, Time::millis(25));
+  EXPECT_EQ(s.now(), Time::millis(25));
+}
+
+TEST(Scheduler, AfterIsRelativeToNow) {
+  Scheduler s;
+  Time seen;
+  s.at(Time::millis(10), [&] {
+    s.after(Time::millis(5), [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, Time::millis(15));
+}
+
+TEST(Scheduler, NegativeDelayClampsToNow) {
+  Scheduler s;
+  Time seen;
+  s.at(Time::millis(10), [&] {
+    s.after(Time::millis(-100), [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, Time::millis(10));
+}
+
+TEST(Scheduler, RunUntilExecutesInclusiveAndAdvancesClock) {
+  Scheduler s;
+  int fired = 0;
+  s.at(Time::millis(10), [&] { ++fired; });
+  s.at(Time::millis(20), [&] { ++fired; });
+  s.at(Time::millis(30), [&] { ++fired; });
+  const auto n = s.run_until(Time::millis(20));
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), Time::millis(20));
+  s.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWithNoEvents) {
+  Scheduler s;
+  s.run_until(Time::seconds_i(5));
+  EXPECT_EQ(s.now(), Time::seconds_i(5));
+}
+
+TEST(Scheduler, RunUntilDoesNotMoveClockBackwards) {
+  Scheduler s;
+  s.run_until(Time::seconds_i(5));
+  s.run_until(Time::seconds_i(2));
+  EXPECT_EQ(s.now(), Time::seconds_i(5));
+}
+
+TEST(Scheduler, RunLimitStopsEarly) {
+  Scheduler s;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) s.at(Time::millis(i), [&] { ++fired; });
+  EXPECT_EQ(s.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(s.run(), 7u);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  std::vector<int> order;
+  std::function<void(int)> chain = [&](int depth) {
+    order.push_back(depth);
+    if (depth < 5) {
+      s.after(Time::millis(1), [&, depth] { chain(depth + 1); });
+    }
+  };
+  s.at(Time::zero(), [&] { chain(0); });
+  s.run();
+  EXPECT_EQ(order.size(), 6u);
+  EXPECT_EQ(s.now(), Time::millis(5));
+}
+
+TEST(Scheduler, ExecutedCounterAccumulates) {
+  Scheduler s;
+  for (int i = 0; i < 4; ++i) s.at(Time::millis(i), [] {});
+  s.run();
+  EXPECT_EQ(s.executed(), 4u);
+}
+
+TEST(Scheduler, CancelledEventsDoNotRun) {
+  Scheduler s;
+  bool fired = false;
+  auto h = s.at(Time::millis(5), [&] { fired = true; });
+  h.cancel();
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.executed(), 0u);
+}
+
+TEST(Scheduler, InterleavedRunUntilAndCancellation) {
+  Scheduler s;
+  int fired = 0;
+  auto h1 = s.at(Time::millis(10), [&] { ++fired; });
+  s.at(Time::millis(20), [&] { ++fired; });
+  s.run_until(Time::millis(5));
+  h1.cancel();
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace enviromic::sim

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+namespace enviromic::sim {
+namespace {
+
+TEST(Time, DefaultIsZero) {
+  EXPECT_EQ(Time().raw_ticks(), 0);
+  EXPECT_TRUE(Time().is_zero());
+  EXPECT_FALSE(Time().is_negative());
+}
+
+TEST(Time, UnitConversionsAreExact) {
+  EXPECT_EQ(Time::jiffies(1).raw_ticks(), 1000);
+  EXPECT_EQ(Time::millis(1).raw_ticks(), 32768);
+  EXPECT_EQ(Time::seconds_i(1).raw_ticks(), 32768000);
+  EXPECT_EQ(Time::seconds_i(1), Time::millis(1000));
+  EXPECT_EQ(Time::millis(1000), Time::jiffies(32768));
+}
+
+TEST(Time, JiffyIsExactlyOne32768thOfASecond) {
+  EXPECT_EQ(Time::jiffies(32768), Time::seconds_i(1));
+  EXPECT_DOUBLE_EQ(Time::jiffies(1).to_seconds(), 1.0 / 32768.0);
+}
+
+TEST(Time, FractionalSecondsRoundToNearestTick) {
+  EXPECT_EQ(Time::seconds(0.5).raw_ticks(), 16384000);
+  EXPECT_EQ(Time::seconds(1.0), Time::seconds_i(1));
+  EXPECT_EQ(Time::seconds(-0.5).raw_ticks(), -16384000);
+}
+
+TEST(Time, ToConversions) {
+  const Time t = Time::millis(1500);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(t.to_millis(), 1500.0);
+  EXPECT_DOUBLE_EQ(Time::jiffies(10).to_jiffies(), 10.0);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::seconds_i(2);
+  const Time b = Time::millis(500);
+  EXPECT_EQ((a + b).to_millis(), 2500.0);
+  EXPECT_EQ((a - b).to_millis(), 1500.0);
+  Time c = a;
+  c += b;
+  EXPECT_EQ(c, Time::millis(2500));
+  c -= a;
+  EXPECT_EQ(c, b);
+  EXPECT_EQ((b * 4), a);
+}
+
+TEST(Time, DivisionAndModulo) {
+  EXPECT_EQ(Time::seconds_i(10) / Time::seconds_i(3), 3);
+  EXPECT_EQ(Time::seconds_i(10) % Time::seconds_i(3), Time::seconds_i(1));
+}
+
+TEST(Time, ScaledRounds) {
+  EXPECT_EQ(Time::seconds_i(2).scaled(0.5), Time::seconds_i(1));
+  EXPECT_EQ(Time::millis(10).scaled(1.5), Time::millis(15));
+  EXPECT_EQ(Time::ticks(3).scaled(0.5).raw_ticks(), 2);  // round half to even? llround: 1.5 -> 2
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(Time::millis(1), Time::millis(2));
+  EXPECT_GT(Time::seconds_i(1), Time::millis(999));
+  EXPECT_LE(Time::zero(), Time::zero());
+  EXPECT_TRUE(Time::millis(-5).is_negative());
+}
+
+TEST(Time, MaxIsLargerThanAnyPracticalTime) {
+  EXPECT_GT(Time::max(), Time::seconds_i(100LL * 365 * 24 * 3600));
+}
+
+TEST(Time, StringRendering) {
+  EXPECT_EQ(Time::millis(1500).str(), "1.500000s");
+  EXPECT_EQ(Time::zero().str(), "0.000000s");
+}
+
+TEST(Time, NegativeDurationsBehave) {
+  const Time d = Time::millis(100) - Time::millis(250);
+  EXPECT_TRUE(d.is_negative());
+  EXPECT_EQ(d + Time::millis(250), Time::millis(100));
+}
+
+}  // namespace
+}  // namespace enviromic::sim

@@ -1,0 +1,106 @@
+// Time synchronization: clock error bounds, flooding, idle back-off.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "world_fixture.h"
+
+namespace enviromic::core {
+namespace {
+
+using testing::WorldBuilder;
+
+TEST(TimeSync, RootClockErrorBoundedByDrift) {
+  auto world = WorldBuilder{}.mode(Mode::kCooperativeOnly).seed(121).grid(2, 2);
+  world->start();
+  world->run_until(sim::Time::seconds_i(60));
+  // Node 0 is the sync root: its corrected frame *defines* network time, so
+  // the only divergence from true simulation time is its crystal drift
+  // (<= 30 ppm over 60 s => <= 1.8 ms, plus the initial pin rounding).
+  EXPECT_LT(std::abs(world->node(0).clock().error_seconds()), 0.005);
+}
+
+TEST(TimeSync, AllNodesConvergeWellUnderChunkDuration) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(122)
+                   .lossless_radio()
+                   .grid(4, 4);
+  world->start();
+  world->run_until(sim::Time::seconds_i(120));
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    // Recording chunks are 1 s; timestamps must be good to ~100 ms so
+    // stitched files line up (paper Fig 8).
+    EXPECT_LT(std::abs(world->node(i).clock().error_seconds()), 0.1)
+        << "node " << world->node(i).id();
+  }
+}
+
+TEST(TimeSync, UnsyncedClockHasRealError) {
+  // Without sync (uncoordinated mode never starts it), raw offsets persist.
+  auto world = WorldBuilder{}.mode(Mode::kUncoordinated).seed(123).grid(4, 4);
+  world->start();
+  world->run_until(sim::Time::seconds_i(60));
+  double worst = 0.0;
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    worst = std::max(worst, std::abs(world->node(i).clock().error_seconds()));
+  }
+  EXPECT_GT(worst, 0.005);  // some node drew a visible offset
+}
+
+TEST(TimeSync, ErrorStaysBoundedOverLongRuns) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(124)
+                   .lossless_radio()
+                   .grid(3, 3);
+  world->start();
+  for (int minute = 1; minute <= 20; ++minute) {
+    world->run_until(sim::Time::seconds_i(60 * minute));
+    for (std::size_t i = 0; i < world->node_count(); ++i) {
+      EXPECT_LT(std::abs(world->node(i).clock().error_seconds()), 0.1);
+    }
+  }
+}
+
+TEST(TimeSync, BeaconsFloodToMultiHopNodes) {
+  // A 10-node line, 3 ft spacing, comm range 4 ft: the far end is ~7 hops
+  // from the root and can only sync via rebroadcasts.
+  WorldBuilder b;
+  b.mode(Mode::kCooperativeOnly).seed(125).lossless_radio();
+  auto world = std::make_unique<World>(b.cfg);
+  for (int i = 0; i < 10; ++i) world->add_node({3.0 * i, 0.0});
+  world->start();
+  world->run_until(sim::Time::seconds_i(180));
+  auto& far = world->node(9);
+  EXPECT_GT(far.timesync().last_seq(), 0u);
+  EXPECT_LT(std::abs(far.clock().error_seconds()), 0.2);
+}
+
+TEST(TimeSync, IdleBackoffReducesBeaconRate) {
+  // Quiet network: after the idle threshold, the root stretches its period.
+  WorldBuilder b;
+  b.mode(Mode::kCooperativeOnly).seed(126).lossless_radio();
+  auto quiet = b.grid(2, 2);
+  quiet->start();
+  quiet->run_until(sim::Time::seconds_i(1200));
+  const auto quiet_beacons = quiet->node(0).timesync().beacons_sent();
+
+  // Busy network: periodic events keep note_activity() fresh.
+  auto busy = WorldBuilder{}
+                  .mode(Mode::kCooperativeOnly)
+                  .seed(126)
+                  .lossless_radio()
+                  .perfect_detection()
+                  .grid(2, 2);
+  for (int k = 0; k < 12; ++k) {
+    testing::add_event(*busy, {1, 1}, 60.0 + k * 90.0, 65.0 + k * 90.0, 3.0);
+  }
+  busy->start();
+  busy->run_until(sim::Time::seconds_i(1200));
+  const auto busy_beacons = busy->node(0).timesync().beacons_sent();
+  EXPECT_LT(quiet_beacons, busy_beacons);
+}
+
+}  // namespace
+}  // namespace enviromic::core

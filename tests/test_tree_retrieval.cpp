@@ -1,0 +1,156 @@
+// Spanning-tree retrieval (paper §II-C's first design): flooded queries
+// build a tree, replies route up it to the sink, and gap windows are
+// re-flooded.
+#include <gtest/gtest.h>
+
+#include "world_fixture.h"
+
+namespace enviromic::core {
+namespace {
+
+using testing::WorldBuilder;
+
+storage::Chunk chunk_at(Node& n, net::EventId ev, double start_s,
+                        double end_s) {
+  storage::Chunk c;
+  c.meta.key = n.store().next_key(n.id());
+  c.meta.bytes = 500;
+  c.meta.recorded_by = n.id();
+  c.meta.event = ev;
+  c.meta.start = sim::Time::seconds(start_s);
+  c.meta.end = sim::Time::seconds(end_s);
+  return c;
+}
+
+std::unique_ptr<World> line_world(std::uint64_t seed, int n) {
+  WorldBuilder b;
+  b.mode(Mode::kCooperativeOnly).seed(seed).lossless_radio();
+  auto world = std::make_unique<World>(b.cfg);
+  for (int i = 0; i < n; ++i) world->add_node({3.0 * i, 0.0});
+  return world;
+}
+
+TEST(TreeRetrieval, RepliesRouteMultiHopToTheSink) {
+  // Node 5 (12 ft away, 4 hops at 4 ft range) holds a chunk; a flooded
+  // query from node 1 must bring the descriptor all the way back.
+  auto world = line_world(271, 6);
+  auto& far = world->node(4);
+  far.store().append(chunk_at(far, {far.id(), 1}, 1, 2));
+  world->start();
+  std::vector<net::QueryReply> replies;
+  world->node(0).retrieval().start_query(
+      sim::Time::zero(), sim::Time::seconds_i(100), /*hops=*/6,
+      [&](const net::QueryReply& r) { replies.push_back(r); });
+  world->run_for(sim::Time::seconds_i(10));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].sender, far.id());
+  // Intermediate nodes actually relayed.
+  std::uint32_t relayed = 0;
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    relayed += world->node(i).retrieval().stats().replies_relayed;
+  }
+  EXPECT_GE(relayed, 2u);
+}
+
+TEST(TreeRetrieval, WholeNetworkDrainsToCornerSink) {
+  auto world = line_world(272, 7);
+  for (std::size_t i = 1; i < world->node_count(); ++i) {
+    auto& n = world->node(i);
+    n.store().append(chunk_at(n, {n.id(), 1}, i * 10.0, i * 10.0 + 2.0));
+  }
+  world->start();
+  std::size_t got = 0;
+  world->node(0).retrieval().start_query(
+      sim::Time::zero(), sim::Time::seconds_i(1000), /*hops=*/8,
+      [&](const net::QueryReply&) { ++got; });
+  world->run_for(sim::Time::seconds_i(15));
+  EXPECT_EQ(got, world->node_count() - 1);
+}
+
+TEST(TreeRetrieval, SingleHopMissesWhatTheTreeFinds) {
+  // The contrast the paper weighs in §II-C.
+  auto run = [](std::uint8_t hops) {
+    auto world = line_world(273, 6);
+    for (std::size_t i = 1; i < world->node_count(); ++i) {
+      auto& n = world->node(i);
+      n.store().append(chunk_at(n, {n.id(), 1}, 5, 7));
+    }
+    world->start();
+    std::size_t got = 0;
+    world->node(0).retrieval().start_query(
+        sim::Time::zero(), sim::Time::seconds_i(1000), hops,
+        [&](const net::QueryReply&) { ++got; });
+    world->run_for(sim::Time::seconds_i(15));
+    return got;
+  };
+  EXPECT_EQ(run(1), 1u);  // only the adjacent node
+  EXPECT_EQ(run(8), 5u);  // everyone
+}
+
+TEST(TreeRetrieval, FindGapWindowsFlagsMissingParts) {
+  storage::FileIndex idx;
+  storage::ChunkMeta a;
+  a.event = {1, 0};
+  a.key = 1;
+  a.start = sim::Time::seconds_i(0);
+  a.end = sim::Time::seconds_i(2);
+  storage::ChunkMeta b = a;
+  b.key = 2;
+  b.start = sim::Time::seconds_i(5);
+  b.end = sim::Time::seconds_i(6);
+  idx.add(a, 10);
+  idx.add(b, 11);
+  const auto gaps = find_gap_windows(idx);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].first, sim::Time::seconds_i(2));
+  EXPECT_EQ(gaps[0].second, sim::Time::seconds_i(5));
+}
+
+TEST(TreeRetrieval, GapReQueryRetrievesTheMissingChunk) {
+  // First query window misses a later chunk; the sink detects the gap in
+  // the reassembled file and re-floods for it (paper: "their IDs are
+  // flooded until all parts are retrieved successfully").
+  auto world = line_world(274, 5);
+  const net::EventId ev{99, 1};
+  auto& n2 = world->node(2);
+  auto& n3 = world->node(3);
+  n2.store().append(chunk_at(n2, ev, 10, 12));
+  n2.store().append(chunk_at(n2, ev, 15, 17));
+  n3.store().append(chunk_at(n3, ev, 12, 15));  // middle piece elsewhere
+  world->start();
+
+  storage::FileIndex fetched;
+  auto collect = [&](const net::QueryReply& r) {
+    storage::ChunkMeta m;
+    m.key = r.chunk_key;
+    m.event = r.event;
+    m.start = r.start;
+    m.end = r.end;
+    m.recorded_by = r.recorded_by;
+    m.bytes = r.bytes;
+    fetched.add(m, r.sender);
+  };
+  // Round 1: a window that misses the middle chunk's holder? Query only
+  // [14, 20): fetches the tail chunk, leaving [12, 15) unknown... then the
+  // file summary shows the gap [12, 15) within what we hold.
+  world->node(0).retrieval().start_query(sim::Time::seconds_i(9),
+                                         sim::Time::seconds_i(12), 8, collect);
+  world->run_for(sim::Time::seconds_i(10));
+  world->node(0).retrieval().start_query(sim::Time::seconds_i(15),
+                                         sim::Time::seconds_i(20), 8, collect);
+  world->run_for(sim::Time::seconds_i(10));
+  ASSERT_EQ(fetched.chunk_count(), 2u);
+  const auto gaps = find_gap_windows(fetched);
+  ASSERT_EQ(gaps.size(), 1u);
+
+  // Round 2: re-flood exactly the gap window.
+  world->node(0).retrieval().start_query(gaps[0].first, gaps[0].second, 8,
+                                         collect);
+  world->run_for(sim::Time::seconds_i(10));
+  fetched.deduplicate();
+  EXPECT_EQ(fetched.chunk_count(), 3u);
+  EXPECT_TRUE(find_gap_windows(fetched).empty());
+}
+
+}  // namespace
+}  // namespace enviromic::core

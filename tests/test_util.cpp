@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/geometry.h"
+#include "util/contour.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace enviromic {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(util::mean(xs), 5.0);
+  EXPECT_NEAR(util::variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(util::stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  EXPECT_EQ(util::mean({}), 0.0);
+  EXPECT_EQ(util::variance({}), 0.0);
+  EXPECT_EQ(util::variance({5.0}), 0.0);
+  EXPECT_EQ(util::ci90_halfwidth({5.0}), 0.0);
+}
+
+TEST(Stats, Ci90ShrinksWithSamples) {
+  std::vector<double> small = {1, 2, 3, 4, 5};
+  std::vector<double> large;
+  for (int i = 0; i < 20; ++i) large.insert(large.end(), small.begin(), small.end());
+  EXPECT_GT(util::ci90_halfwidth(small), util::ci90_halfwidth(large));
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 100), 10.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 50), 5.5);
+  EXPECT_EQ(util::percentile({}, 50), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  auto [lo, hi] = util::minmax({3.0, -1.0, 7.0});
+  EXPECT_EQ(lo, -1.0);
+  EXPECT_EQ(hi, 7.0);
+}
+
+TEST(Stats, EwmaConverges) {
+  util::Ewma e(0.5, 0.0);
+  for (int i = 0; i < 30; ++i) e.update(10.0);
+  EXPECT_NEAR(e.value(), 10.0, 1e-6);
+}
+
+TEST(Stats, EwmaFormulaMatchesPaper) {
+  // R(t) = R(t-1)(1-a) + r*a
+  util::Ewma e(0.25, 100.0);
+  e.update(200.0);
+  EXPECT_DOUBLE_EQ(e.value(), 100.0 * 0.75 + 200.0 * 0.25);
+}
+
+TEST(Stats, AccumulatorTracksAll) {
+  util::Accumulator a;
+  a.add(3);
+  a.add(-1);
+  a.add(10);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), -1.0);
+  EXPECT_EQ(a.max(), 10.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+}
+
+TEST(Table, AlignedOutputContainsCellsAndRule) {
+  util::Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvQuotesSpecials) {
+  util::Table t({"a", "b"});
+  t.add_row({"x,y", "he said \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(out.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(util::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(util::fmt(static_cast<long long>(-42)), "-42");
+}
+
+TEST(Contour, GridAccessAndAggregates) {
+  util::Grid g(3, 2, 1.0);
+  g.at(2, 1) = 7.0;
+  g.at(0, 0) = -2.0;
+  EXPECT_EQ(g.nx(), 3u);
+  EXPECT_EQ(g.ny(), 2u);
+  EXPECT_EQ(g.max(), 7.0);
+  EXPECT_EQ(g.min(), -2.0);
+  EXPECT_DOUBLE_EQ(g.total(), 1 * 4 + 7 - 2);
+}
+
+TEST(Contour, RenderHasOneRowPerY) {
+  util::Grid g(4, 3);
+  g.at(0, 0) = 1.0;
+  std::ostringstream os;
+  util::render_contour(os, g, "test");
+  // title + 3 rows + scale line
+  int lines = 0;
+  for (char c : os.str()) lines += c == '\n';
+  EXPECT_EQ(lines, 5);
+}
+
+TEST(Contour, ExtremeCellsGetExtremeGlyphs) {
+  util::Grid g(2, 1);
+  g.at(0, 0) = 0.0;
+  g.at(1, 0) = 100.0;
+  std::ostringstream os;
+  util::render_contour(os, g, "t");
+  const std::string out = os.str();
+  EXPECT_NE(out.find('@'), std::string::npos);  // max glyph present
+}
+
+TEST(Geometry, DistanceAndLerp) {
+  sim::Position a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(sim::distance(a, b), 5.0);
+  const auto mid = sim::lerp(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(mid.x, 1.5);
+  EXPECT_DOUBLE_EQ(mid.y, 2.0);
+  EXPECT_EQ(sim::lerp(a, b, 0.0), a);
+  EXPECT_EQ(sim::lerp(a, b, 1.0), b);
+}
+
+}  // namespace
+}  // namespace enviromic

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/wav.h"
+
+namespace enviromic::util {
+namespace {
+
+WavData sample_wav() {
+  WavData wav;
+  wav.sample_rate_hz = 2730;
+  for (int i = 0; i < 500; ++i) {
+    wav.samples.push_back(static_cast<std::uint8_t>(128 + (i % 64) - 32));
+  }
+  return wav;
+}
+
+TEST(Wav, SerializeHasRiffHeaderAndExactSize) {
+  const auto wav = sample_wav();
+  const auto bytes = wav_serialize(wav);
+  ASSERT_GE(bytes.size(), 44u);
+  EXPECT_EQ(bytes[0], 'R');
+  EXPECT_EQ(bytes[1], 'I');
+  EXPECT_EQ(bytes[2], 'F');
+  EXPECT_EQ(bytes[3], 'F');
+  EXPECT_EQ(bytes.size(), 44u + wav.samples.size());
+}
+
+TEST(Wav, RoundTrip) {
+  const auto wav = sample_wav();
+  const auto back = wav_parse(wav_serialize(wav));
+  EXPECT_EQ(back.sample_rate_hz, wav.sample_rate_hz);
+  EXPECT_EQ(back.samples, wav.samples);
+}
+
+TEST(Wav, EmptySamplesRoundTrip) {
+  WavData wav;
+  wav.sample_rate_hz = 8000;
+  const auto back = wav_parse(wav_serialize(wav));
+  EXPECT_EQ(back.sample_rate_hz, 8000u);
+  EXPECT_TRUE(back.samples.empty());
+}
+
+TEST(Wav, ParseRejectsGarbage) {
+  EXPECT_THROW(wav_parse({1, 2, 3}), std::invalid_argument);
+  std::vector<std::uint8_t> not_riff(64, 0);
+  EXPECT_THROW(wav_parse(not_riff), std::invalid_argument);
+  // Valid header, truncated data.
+  auto bytes = wav_serialize(sample_wav());
+  bytes.resize(bytes.size() - 10);
+  EXPECT_THROW(wav_parse(bytes), std::invalid_argument);
+}
+
+TEST(Wav, FileRoundTrip) {
+  const auto wav = sample_wav();
+  const std::string path = ::testing::TempDir() + "enviromic_test.wav";
+  ASSERT_TRUE(wav_write_file(path, wav));
+  const auto back = wav_read_file(path);
+  EXPECT_EQ(back.samples, wav.samples);
+  std::remove(path.c_str());
+}
+
+TEST(Wav, MissingFileThrows) {
+  EXPECT_THROW(wav_read_file("/nonexistent/nowhere.wav"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace enviromic::util

@@ -1,0 +1,160 @@
+// Deployment builders and event plans.
+#include <gtest/gtest.h>
+
+#include "world_fixture.h"
+
+namespace enviromic::core {
+namespace {
+
+using testing::WorldBuilder;
+
+TEST(Workload, GridPlacesRowMajorAtSpacing) {
+  auto world = std::make_unique<World>(WorldBuilder{}.cfg);
+  const auto pos = grid_deployment(*world, 3, 2, 2.0, {1.0, 1.0});
+  ASSERT_EQ(pos.size(), 6u);
+  EXPECT_EQ(world->node_count(), 6u);
+  EXPECT_EQ(pos[0], (sim::Position{1, 1}));
+  EXPECT_EQ(pos[1], (sim::Position{3, 1}));
+  EXPECT_EQ(pos[3], (sim::Position{1, 3}));
+  EXPECT_EQ(pos[5], (sim::Position{5, 3}));
+  // Node ids are assigned in placement order starting at 1.
+  EXPECT_EQ(world->node(0).id(), 1u);
+  EXPECT_EQ(world->node(5).id(), 6u);
+}
+
+TEST(Workload, ForestRespectsMinSeparationAndBounds) {
+  auto world = std::make_unique<World>(WorldBuilder{}.cfg);
+  const auto pos =
+      forest_deployment(*world, 25, 100.0, 100.0, 8.0, sim::Rng(3));
+  ASSERT_EQ(pos.size(), 25u);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    EXPECT_GE(pos[i].x, 0.0);
+    EXPECT_LE(pos[i].x, 100.0);
+    EXPECT_GE(pos[i].y, 0.0);
+    EXPECT_LE(pos[i].y, 100.0);
+    for (std::size_t j = i + 1; j < pos.size(); ++j) {
+      EXPECT_GE(sim::distance(pos[i], pos[j]), 8.0);
+    }
+  }
+}
+
+TEST(Workload, ForestIsDeterministicPerSeed) {
+  auto w1 = std::make_unique<World>(WorldBuilder{}.cfg);
+  auto w2 = std::make_unique<World>(WorldBuilder{}.cfg);
+  const auto p1 = forest_deployment(*w1, 10, 50, 50, 5.0, sim::Rng(9));
+  const auto p2 = forest_deployment(*w2, 10, 50, 50, 5.0, sim::Rng(9));
+  EXPECT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) EXPECT_EQ(p1[i], p2[i]);
+}
+
+TEST(Workload, IndoorPlanMatchesPaperParameters) {
+  auto world = std::make_unique<World>(WorldBuilder{}.cfg);
+  IndoorEventPlanConfig cfg;
+  cfg.horizon = sim::Time::seconds_i(4400);
+  cfg.generators = {{5, 3}, {11, 7}};
+  const auto plan = schedule_indoor_events(*world, cfg, sim::Rng(17));
+  // Poisson(20 s) over 4400 s => ~220 events; durations U(3,7) => mean 5 s.
+  EXPECT_NEAR(static_cast<double>(plan.events.size()), 220.0, 50.0);
+  EXPECT_NEAR(plan.total_event_time.to_seconds(),
+              5.0 * static_cast<double>(plan.events.size()),
+              0.6 * static_cast<double>(plan.events.size()));
+  for (const auto& e : plan.events) {
+    EXPECT_GE(e.start, sim::Time::zero());
+    EXPECT_LE(e.end, cfg.horizon);
+    const double dur = (e.end - e.start).to_seconds();
+    EXPECT_LE(dur, 7.01);
+    const bool at_gen0 = e.at == cfg.generators[0];
+    const bool at_gen1 = e.at == cfg.generators[1];
+    EXPECT_TRUE(at_gen0 || at_gen1);
+  }
+  EXPECT_EQ(world->field().sources().size(), plan.events.size());
+}
+
+TEST(Workload, IndoorEventsUseBothGenerators) {
+  auto world = std::make_unique<World>(WorldBuilder{}.cfg);
+  IndoorEventPlanConfig cfg;
+  cfg.horizon = sim::Time::seconds_i(4400);
+  cfg.generators = {{5, 3}, {11, 7}};
+  const auto plan = schedule_indoor_events(*world, cfg, sim::Rng(18));
+  int g0 = 0, g1 = 0;
+  for (const auto& e : plan.events) {
+    (e.at == cfg.generators[0] ? g0 : g1)++;
+  }
+  EXPECT_GT(g0, 50);
+  EXPECT_GT(g1, 50);
+}
+
+TEST(Workload, IndoorSourceHeardByExactlyFourGridNodes) {
+  // "we restrict that only four nodes can hear and record each event".
+  WorldBuilder b;
+  auto world = std::make_unique<World>(b.cfg);
+  grid_deployment(*world, 8, 6, 2.0);
+  IndoorEventPlanConfig cfg;
+  cfg.horizon = sim::Time::seconds_i(200);
+  cfg.generators = {{5, 3}};
+  schedule_indoor_events(*world, cfg, sim::Rng(19));
+  world->start();
+  ASSERT_FALSE(world->field().sources().empty());
+  const auto& s = world->field().sources()[0];
+  int hearers = 0;
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    if (sim::distance(world->node(i).position(), {5, 3}) < s.audible_range())
+      ++hearers;
+  }
+  EXPECT_EQ(hearers, 4);
+}
+
+TEST(Workload, MobileEventCrossesAtConfiguredSpeed) {
+  auto world = std::make_unique<World>(WorldBuilder{}.cfg);
+  MobileEventConfig cfg;
+  cfg.from = {0, 0};
+  cfg.to = {18, 0};
+  cfg.speed = 2.0;
+  cfg.start = sim::Time::seconds_i(5);
+  cfg.duration = sim::Time::seconds_i(9);
+  add_mobile_event(*world, cfg);
+  const auto& s = world->field().sources()[0];
+  EXPECT_EQ(s.position_at(sim::Time::seconds_i(5)), (sim::Position{0, 0}));
+  const auto mid = s.position_at(sim::Time::seconds_i(10));
+  EXPECT_NEAR(mid.x, 10.0, 1e-9);
+}
+
+TEST(Workload, OutdoorPlanHasAllComponents) {
+  auto world = std::make_unique<World>(WorldBuilder{}.cfg);
+  OutdoorPlanConfig cfg;
+  cfg.horizon = sim::Time::seconds_i(3 * 3600);
+  const auto plan = schedule_outdoor_events(*world, cfg, sim::Rng(20));
+  EXPECT_GT(plan.vehicles, 10u);
+  EXPECT_GT(plan.walkers, 5u);
+  EXPECT_GT(plan.birds, 100u);
+  EXPECT_GT(plan.spike_events, 10u);
+  EXPECT_EQ(world->field().sources().size(),
+            plan.vehicles + plan.walkers + plan.birds + plan.spike_events);
+}
+
+TEST(Workload, OutdoorSpikesLandInTheirWindows) {
+  auto world = std::make_unique<World>(WorldBuilder{}.cfg);
+  OutdoorPlanConfig cfg;
+  cfg.vehicle_mean_gap = sim::Time::seconds_i(100000);  // isolate spikes
+  cfg.walker_mean_gap = sim::Time::seconds_i(100000);
+  cfg.bird_mean_gap = sim::Time::seconds_i(100000);
+  const auto plan = schedule_outdoor_events(*world, cfg, sim::Rng(21));
+  ASSERT_GT(plan.spike_events, 0u);
+  for (const auto& s : world->field().sources()) {
+    const double t0 = s.start().to_seconds();
+    const bool spike1 = t0 >= 2700.0 && t0 <= 3300.0;
+    const bool spike2 = t0 >= 5400.0 && t0 <= 7200.0;
+    EXPECT_TRUE(spike1 || spike2) << "event at " << t0;
+  }
+}
+
+TEST(Workload, OutdoorSpikesCanBeDisabled) {
+  auto world = std::make_unique<World>(WorldBuilder{}.cfg);
+  OutdoorPlanConfig cfg;
+  cfg.include_spikes = false;
+  const auto plan = schedule_outdoor_events(*world, cfg, sim::Rng(22));
+  EXPECT_EQ(plan.spike_events, 0u);
+}
+
+}  // namespace
+}  // namespace enviromic::core
