@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_prelude"
+  "../bench/ablation_prelude.pdb"
+  "CMakeFiles/ablation_prelude.dir/ablation_prelude.cpp.o"
+  "CMakeFiles/ablation_prelude.dir/ablation_prelude.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prelude.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_data_mule"
+  "../bench/ext_data_mule.pdb"
+  "CMakeFiles/ext_data_mule.dir/ext_data_mule.cpp.o"
+  "CMakeFiles/ext_data_mule.dir/ext_data_mule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_data_mule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_global_balancing"
+  "../bench/ext_global_balancing.pdb"
+  "CMakeFiles/ext_global_balancing.dir/ext_global_balancing.cpp.o"
+  "CMakeFiles/ext_global_balancing.dir/ext_global_balancing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_global_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_scalability"
+  "../bench/ext_scalability.pdb"
+  "CMakeFiles/ext_scalability.dir/ext_scalability.cpp.o"
+  "CMakeFiles/ext_scalability.dir/ext_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

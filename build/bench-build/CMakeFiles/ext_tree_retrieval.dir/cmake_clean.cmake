@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_tree_retrieval"
+  "../bench/ext_tree_retrieval.pdb"
+  "CMakeFiles/ext_tree_retrieval.dir/ext_tree_retrieval.cpp.o"
+  "CMakeFiles/ext_tree_retrieval.dir/ext_tree_retrieval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tree_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

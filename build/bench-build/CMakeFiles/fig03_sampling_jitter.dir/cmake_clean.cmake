@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_sampling_jitter"
+  "../bench/fig03_sampling_jitter.pdb"
+  "CMakeFiles/fig03_sampling_jitter.dir/fig03_sampling_jitter.cpp.o"
+  "CMakeFiles/fig03_sampling_jitter.dir/fig03_sampling_jitter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_sampling_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

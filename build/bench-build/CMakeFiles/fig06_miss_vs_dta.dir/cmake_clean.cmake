@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_miss_vs_dta"
+  "../bench/fig06_miss_vs_dta.pdb"
+  "CMakeFiles/fig06_miss_vs_dta.dir/fig06_miss_vs_dta.cpp.o"
+  "CMakeFiles/fig06_miss_vs_dta.dir/fig06_miss_vs_dta.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_miss_vs_dta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_miss_vs_dta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_task_timeline"
+  "../bench/fig07_task_timeline.pdb"
+  "CMakeFiles/fig07_task_timeline.dir/fig07_task_timeline.cpp.o"
+  "CMakeFiles/fig07_task_timeline.dir/fig07_task_timeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_task_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_voice_stitching"
+  "../bench/fig08_voice_stitching.pdb"
+  "CMakeFiles/fig08_voice_stitching.dir/fig08_voice_stitching.cpp.o"
+  "CMakeFiles/fig08_voice_stitching.dir/fig08_voice_stitching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_voice_stitching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_redundancy"
+  "../bench/fig11_redundancy.pdb"
+  "CMakeFiles/fig11_redundancy.dir/fig11_redundancy.cpp.o"
+  "CMakeFiles/fig11_redundancy.dir/fig11_redundancy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_messages"
+  "../bench/fig12_messages.pdb"
+  "CMakeFiles/fig12_messages.dir/fig12_messages.cpp.o"
+  "CMakeFiles/fig12_messages.dir/fig12_messages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

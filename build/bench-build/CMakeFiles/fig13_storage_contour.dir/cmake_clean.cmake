@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_storage_contour"
+  "../bench/fig13_storage_contour.pdb"
+  "CMakeFiles/fig13_storage_contour.dir/fig13_storage_contour.cpp.o"
+  "CMakeFiles/fig13_storage_contour.dir/fig13_storage_contour.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_storage_contour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_overhead_contour"
+  "../bench/fig14_overhead_contour.pdb"
+  "CMakeFiles/fig14_overhead_contour.dir/fig14_overhead_contour.cpp.o"
+  "CMakeFiles/fig14_overhead_contour.dir/fig14_overhead_contour.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_overhead_contour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_overhead_contour.
+# This may be replaced when dependencies are built.

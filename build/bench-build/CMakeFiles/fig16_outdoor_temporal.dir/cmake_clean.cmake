@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_outdoor_temporal"
+  "../bench/fig16_outdoor_temporal.pdb"
+  "CMakeFiles/fig16_outdoor_temporal.dir/fig16_outdoor_temporal.cpp.o"
+  "CMakeFiles/fig16_outdoor_temporal.dir/fig16_outdoor_temporal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_outdoor_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

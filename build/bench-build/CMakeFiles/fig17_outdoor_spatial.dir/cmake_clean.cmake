@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_outdoor_spatial"
+  "../bench/fig17_outdoor_spatial.pdb"
+  "CMakeFiles/fig17_outdoor_spatial.dir/fig17_outdoor_spatial.cpp.o"
+  "CMakeFiles/fig17_outdoor_spatial.dir/fig17_outdoor_spatial.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_outdoor_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

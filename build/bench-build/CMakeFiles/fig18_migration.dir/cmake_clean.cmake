@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_migration"
+  "../bench/fig18_migration.pdb"
+  "CMakeFiles/fig18_migration.dir/fig18_migration.cpp.o"
+  "CMakeFiles/fig18_migration.dir/fig18_migration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

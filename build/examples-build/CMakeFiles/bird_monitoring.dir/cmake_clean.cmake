@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/bird_monitoring"
+  "../examples/bird_monitoring.pdb"
+  "CMakeFiles/bird_monitoring.dir/bird_monitoring.cpp.o"
+  "CMakeFiles/bird_monitoring.dir/bird_monitoring.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bird_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/data_mule_patrol"
+  "../examples/data_mule_patrol.pdb"
+  "CMakeFiles/data_mule_patrol.dir/data_mule_patrol.cpp.o"
+  "CMakeFiles/data_mule_patrol.dir/data_mule_patrol.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_mule_patrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

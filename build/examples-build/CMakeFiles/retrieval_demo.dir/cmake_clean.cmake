@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/retrieval_demo"
+  "../examples/retrieval_demo.pdb"
+  "CMakeFiles/retrieval_demo.dir/retrieval_demo.cpp.o"
+  "CMakeFiles/retrieval_demo.dir/retrieval_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retrieval_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

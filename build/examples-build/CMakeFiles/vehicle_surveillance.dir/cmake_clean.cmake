@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/vehicle_surveillance"
+  "../examples/vehicle_surveillance.pdb"
+  "CMakeFiles/vehicle_surveillance.dir/vehicle_surveillance.cpp.o"
+  "CMakeFiles/vehicle_surveillance.dir/vehicle_surveillance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vehicle_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acoustic/detector.cpp" "src/CMakeFiles/enviromic.dir/acoustic/detector.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/acoustic/detector.cpp.o.d"
+  "/root/repo/src/acoustic/field.cpp" "src/CMakeFiles/enviromic.dir/acoustic/field.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/acoustic/field.cpp.o.d"
+  "/root/repo/src/acoustic/microphone.cpp" "src/CMakeFiles/enviromic.dir/acoustic/microphone.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/acoustic/microphone.cpp.o.d"
+  "/root/repo/src/acoustic/mobility.cpp" "src/CMakeFiles/enviromic.dir/acoustic/mobility.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/acoustic/mobility.cpp.o.d"
+  "/root/repo/src/acoustic/sampler.cpp" "src/CMakeFiles/enviromic.dir/acoustic/sampler.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/acoustic/sampler.cpp.o.d"
+  "/root/repo/src/acoustic/source.cpp" "src/CMakeFiles/enviromic.dir/acoustic/source.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/acoustic/source.cpp.o.d"
+  "/root/repo/src/acoustic/waveform.cpp" "src/CMakeFiles/enviromic.dir/acoustic/waveform.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/acoustic/waveform.cpp.o.d"
+  "/root/repo/src/analysis/correlate.cpp" "src/CMakeFiles/enviromic.dir/analysis/correlate.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/analysis/correlate.cpp.o.d"
+  "/root/repo/src/core/balancer.cpp" "src/CMakeFiles/enviromic.dir/core/balancer.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/balancer.cpp.o.d"
+  "/root/repo/src/core/bulk_transfer.cpp" "src/CMakeFiles/enviromic.dir/core/bulk_transfer.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/bulk_transfer.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/enviromic.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/enviromic.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/ground_truth.cpp" "src/CMakeFiles/enviromic.dir/core/ground_truth.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/ground_truth.cpp.o.d"
+  "/root/repo/src/core/group.cpp" "src/CMakeFiles/enviromic.dir/core/group.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/group.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/enviromic.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/mule.cpp" "src/CMakeFiles/enviromic.dir/core/mule.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/mule.cpp.o.d"
+  "/root/repo/src/core/neighborhood.cpp" "src/CMakeFiles/enviromic.dir/core/neighborhood.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/neighborhood.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/CMakeFiles/enviromic.dir/core/node.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/node.cpp.o.d"
+  "/root/repo/src/core/recorder.cpp" "src/CMakeFiles/enviromic.dir/core/recorder.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/recorder.cpp.o.d"
+  "/root/repo/src/core/retrieval.cpp" "src/CMakeFiles/enviromic.dir/core/retrieval.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/retrieval.cpp.o.d"
+  "/root/repo/src/core/tasking.cpp" "src/CMakeFiles/enviromic.dir/core/tasking.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/tasking.cpp.o.d"
+  "/root/repo/src/core/timesync.cpp" "src/CMakeFiles/enviromic.dir/core/timesync.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/timesync.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/CMakeFiles/enviromic.dir/core/workload.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/workload.cpp.o.d"
+  "/root/repo/src/core/world.cpp" "src/CMakeFiles/enviromic.dir/core/world.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/world.cpp.o.d"
+  "/root/repo/src/energy/battery.cpp" "src/CMakeFiles/enviromic.dir/energy/battery.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/energy/battery.cpp.o.d"
+  "/root/repo/src/energy/energy_model.cpp" "src/CMakeFiles/enviromic.dir/energy/energy_model.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/energy/energy_model.cpp.o.d"
+  "/root/repo/src/net/channel.cpp" "src/CMakeFiles/enviromic.dir/net/channel.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/net/channel.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/CMakeFiles/enviromic.dir/net/message.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/net/message.cpp.o.d"
+  "/root/repo/src/net/radio.cpp" "src/CMakeFiles/enviromic.dir/net/radio.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/net/radio.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/enviromic.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/log.cpp" "src/CMakeFiles/enviromic.dir/sim/log.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/sim/log.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/enviromic.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/enviromic.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/time.cpp" "src/CMakeFiles/enviromic.dir/sim/time.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/sim/time.cpp.o.d"
+  "/root/repo/src/storage/chunk.cpp" "src/CMakeFiles/enviromic.dir/storage/chunk.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/storage/chunk.cpp.o.d"
+  "/root/repo/src/storage/chunk_store.cpp" "src/CMakeFiles/enviromic.dir/storage/chunk_store.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/storage/chunk_store.cpp.o.d"
+  "/root/repo/src/storage/codec.cpp" "src/CMakeFiles/enviromic.dir/storage/codec.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/storage/codec.cpp.o.d"
+  "/root/repo/src/storage/eeprom.cpp" "src/CMakeFiles/enviromic.dir/storage/eeprom.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/storage/eeprom.cpp.o.d"
+  "/root/repo/src/storage/file_index.cpp" "src/CMakeFiles/enviromic.dir/storage/file_index.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/storage/file_index.cpp.o.d"
+  "/root/repo/src/storage/flash.cpp" "src/CMakeFiles/enviromic.dir/storage/flash.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/storage/flash.cpp.o.d"
+  "/root/repo/src/util/contour.cpp" "src/CMakeFiles/enviromic.dir/util/contour.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/util/contour.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/enviromic.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/enviromic.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/wav.cpp" "src/CMakeFiles/enviromic.dir/util/wav.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/util/wav.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

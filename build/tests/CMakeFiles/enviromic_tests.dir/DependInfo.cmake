@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_acoustic.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_acoustic.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_acoustic.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_balancer.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_balancer.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_balancer.cpp.o.d"
+  "/root/repo/tests/test_bulk_transfer.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_bulk_transfer.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_bulk_transfer.cpp.o.d"
+  "/root/repo/tests/test_channel.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_channel.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_channel.cpp.o.d"
+  "/root/repo/tests/test_chunk_store.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_chunk_store.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_chunk_store.cpp.o.d"
+  "/root/repo/tests/test_codec.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_codec.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_codec.cpp.o.d"
+  "/root/repo/tests/test_detector.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_detector.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_detector.cpp.o.d"
+  "/root/repo/tests/test_duty_gossip.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_duty_gossip.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_duty_gossip.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_energy.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_energy.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_energy.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_file_index.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_file_index.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_file_index.cpp.o.d"
+  "/root/repo/tests/test_flash.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_flash.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_flash.cpp.o.d"
+  "/root/repo/tests/test_group.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_group.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_group.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_intervals.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_intervals.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_intervals.cpp.o.d"
+  "/root/repo/tests/test_line_topologies.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_line_topologies.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_line_topologies.cpp.o.d"
+  "/root/repo/tests/test_log.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_log.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_log.cpp.o.d"
+  "/root/repo/tests/test_messages.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_messages.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_messages.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_mule.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_mule.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_mule.cpp.o.d"
+  "/root/repo/tests/test_neighborhood.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_neighborhood.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_neighborhood.cpp.o.d"
+  "/root/repo/tests/test_node.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_node.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_node.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_recorder.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_recorder.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_recorder.cpp.o.d"
+  "/root/repo/tests/test_recovery.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_recovery.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_recovery.cpp.o.d"
+  "/root/repo/tests/test_retrieval.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_retrieval.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_retrieval.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_tasking.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_tasking.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_tasking.cpp.o.d"
+  "/root/repo/tests/test_time.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_time.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_time.cpp.o.d"
+  "/root/repo/tests/test_timesync.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_timesync.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_timesync.cpp.o.d"
+  "/root/repo/tests/test_trace_logging.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_trace_logging.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_trace_logging.cpp.o.d"
+  "/root/repo/tests/test_tree_retrieval.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_tree_retrieval.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_tree_retrieval.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_wav.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_wav.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_wav.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/enviromic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

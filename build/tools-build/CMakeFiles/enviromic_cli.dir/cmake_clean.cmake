@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/enviromic_cli"
+  "../tools/enviromic_cli.pdb"
+  "CMakeFiles/enviromic_cli.dir/enviromic_cli.cpp.o"
+  "CMakeFiles/enviromic_cli.dir/enviromic_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enviromic_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
