@@ -262,13 +262,13 @@ bench-build/CMakeFiles/fig06_miss_vs_dta.dir/fig06_miss_vs_dta.cpp.o: \
  /root/repo/src/net/radio.h /root/repo/src/storage/chunk_store.h \
  /root/repo/src/storage/eeprom.h /root/repo/src/storage/flash.h \
  /root/repo/src/core/workload.h /root/repo/src/core/world.h \
- /root/repo/src/core/node.h /root/repo/src/core/group.h \
+ /root/repo/src/core/faults.h /root/repo/src/net/channel.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/core/node.h /root/repo/src/core/group.h \
  /root/repo/src/core/neighborhood.h /root/repo/src/core/recorder.h \
  /root/repo/src/core/retrieval.h /root/repo/src/core/tasking.h \
  /root/repo/src/core/timesync.h /root/repo/src/energy/energy_model.h \
- /root/repo/src/energy/battery.h /root/repo/src/net/channel.h \
- /root/repo/src/core/mule.h /root/repo/src/sim/log.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/util/contour.h /root/repo/src/util/table.h \
- /root/repo/src/util/wav.h
+ /root/repo/src/energy/battery.h /root/repo/src/core/mule.h \
+ /root/repo/src/sim/log.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/contour.h \
+ /root/repo/src/util/table.h /root/repo/src/util/wav.h

@@ -20,6 +20,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/bulk_transfer.cpp" "src/CMakeFiles/enviromic.dir/core/bulk_transfer.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/bulk_transfer.cpp.o.d"
   "/root/repo/src/core/config.cpp" "src/CMakeFiles/enviromic.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/config.cpp.o.d"
   "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/enviromic.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/faults.cpp" "src/CMakeFiles/enviromic.dir/core/faults.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/faults.cpp.o.d"
   "/root/repo/src/core/ground_truth.cpp" "src/CMakeFiles/enviromic.dir/core/ground_truth.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/ground_truth.cpp.o.d"
   "/root/repo/src/core/group.cpp" "src/CMakeFiles/enviromic.dir/core/group.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/group.cpp.o.d"
   "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/enviromic.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/enviromic.dir/core/metrics.cpp.o.d"

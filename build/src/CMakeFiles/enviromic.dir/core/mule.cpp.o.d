@@ -228,39 +228,40 @@ src/CMakeFiles/enviromic.dir/core/mule.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/sim/time.h \
  /root/repo/src/core/world.h /root/repo/src/acoustic/field.h \
  /root/repo/src/acoustic/source.h /root/repo/src/acoustic/waveform.h \
- /root/repo/src/sim/rng.h /root/repo/src/core/ground_truth.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/intervals.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/core/metrics.h /root/repo/src/net/radio.h \
+ /root/repo/src/sim/rng.h /root/repo/src/core/faults.h \
+ /root/repo/src/net/channel.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/message.h \
+ /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/net/radio.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/net/message.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/storage/chunk_store.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/sim/scheduler.h /root/repo/src/sim/event_queue.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/optional /root/repo/src/storage/chunk.h \
- /root/repo/src/storage/eeprom.h /root/repo/src/storage/flash.h \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/core/node.h /root/repo/src/acoustic/detector.h \
- /root/repo/src/acoustic/microphone.h /root/repo/src/sim/scheduler.h \
- /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/stats.h \
- /root/repo/src/acoustic/sampler.h /root/repo/src/core/balancer.h \
- /root/repo/src/core/config.h /root/repo/src/storage/codec.h \
- /root/repo/src/core/bulk_transfer.h /root/repo/src/core/group.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/core/ground_truth.h \
+ /root/repo/src/util/intervals.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/core/metrics.h /root/repo/src/core/bulk_transfer.h \
+ /usr/include/c++/12/optional /root/repo/src/core/config.h \
+ /root/repo/src/storage/codec.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/storage/chunk.h \
+ /root/repo/src/storage/chunk_store.h /root/repo/src/storage/eeprom.h \
+ /root/repo/src/storage/flash.h /root/repo/src/core/node.h \
+ /root/repo/src/acoustic/detector.h /root/repo/src/acoustic/microphone.h \
+ /root/repo/src/util/stats.h /root/repo/src/acoustic/sampler.h \
+ /root/repo/src/core/balancer.h /root/repo/src/core/group.h \
  /root/repo/src/core/neighborhood.h /root/repo/src/core/recorder.h \
  /root/repo/src/core/retrieval.h /root/repo/src/storage/file_index.h \
  /root/repo/src/core/tasking.h /root/repo/src/core/timesync.h \
- /root/repo/src/energy/energy_model.h /root/repo/src/energy/battery.h \
- /root/repo/src/net/channel.h
+ /root/repo/src/energy/energy_model.h /root/repo/src/energy/battery.h

@@ -221,11 +221,13 @@ src/CMakeFiles/enviromic.dir/core/recorder.cpp.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/core/metrics.h /root/repo/src/core/ground_truth.h \
- /root/repo/src/acoustic/field.h /root/repo/src/acoustic/source.h \
- /root/repo/src/acoustic/mobility.h /root/repo/src/sim/geometry.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/core/metrics.h /root/repo/src/core/bulk_transfer.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/storage/chunk.h \
+ /root/repo/src/core/ground_truth.h /root/repo/src/acoustic/field.h \
+ /root/repo/src/acoustic/source.h /root/repo/src/acoustic/mobility.h \
+ /root/repo/src/sim/geometry.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -248,16 +250,14 @@ src/CMakeFiles/enviromic.dir/core/recorder.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/acoustic/waveform.h /root/repo/src/sim/rng.h \
  /root/repo/src/util/intervals.h /root/repo/src/net/radio.h \
- /root/repo/src/storage/chunk_store.h /root/repo/src/storage/chunk.h \
- /root/repo/src/storage/eeprom.h /root/repo/src/storage/flash.h \
- /root/repo/src/core/node.h /root/repo/src/acoustic/detector.h \
- /root/repo/src/acoustic/microphone.h /root/repo/src/sim/scheduler.h \
- /root/repo/src/util/stats.h /root/repo/src/acoustic/sampler.h \
- /root/repo/src/core/balancer.h /root/repo/src/core/bulk_transfer.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/core/group.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/core/neighborhood.h /root/repo/src/core/retrieval.h \
- /root/repo/src/storage/file_index.h /root/repo/src/core/tasking.h \
- /root/repo/src/core/timesync.h /root/repo/src/energy/energy_model.h \
- /root/repo/src/energy/battery.h /root/repo/src/net/channel.h
+ /root/repo/src/storage/chunk_store.h /root/repo/src/storage/eeprom.h \
+ /root/repo/src/storage/flash.h /root/repo/src/core/node.h \
+ /root/repo/src/acoustic/detector.h /root/repo/src/acoustic/microphone.h \
+ /root/repo/src/sim/scheduler.h /root/repo/src/util/stats.h \
+ /root/repo/src/acoustic/sampler.h /root/repo/src/core/balancer.h \
+ /root/repo/src/core/group.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/neighborhood.h \
+ /root/repo/src/core/retrieval.h /root/repo/src/storage/file_index.h \
+ /root/repo/src/core/tasking.h /root/repo/src/core/timesync.h \
+ /root/repo/src/energy/energy_model.h /root/repo/src/energy/battery.h \
+ /root/repo/src/net/channel.h

@@ -174,9 +174,8 @@ src/CMakeFiles/enviromic.dir/core/timesync.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc /root/repo/src/storage/codec.h \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/net/message.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/sim/rng.h \
- /root/repo/src/sim/scheduler.h /root/repo/src/sim/event_queue.h \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/sim/event_queue.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -216,6 +215,7 @@ src/CMakeFiles/enviromic.dir/core/timesync.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/rng.h /root/repo/src/sim/scheduler.h \
  /root/repo/src/core/neighborhood.h /root/repo/src/net/radio.h \
  /root/repo/src/sim/geometry.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_balancer.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_balancer.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_balancer.cpp.o.d"
   "/root/repo/tests/test_bulk_transfer.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_bulk_transfer.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_bulk_transfer.cpp.o.d"
   "/root/repo/tests/test_channel.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_channel.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_channel.cpp.o.d"
+  "/root/repo/tests/test_chaos.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_chaos.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_chaos.cpp.o.d"
   "/root/repo/tests/test_chunk_store.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_chunk_store.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_chunk_store.cpp.o.d"
   "/root/repo/tests/test_codec.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_codec.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_codec.cpp.o.d"
   "/root/repo/tests/test_detector.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_detector.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_detector.cpp.o.d"
@@ -22,6 +23,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_event_queue.cpp.o.d"
   "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_experiment.cpp.o.d"
   "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_faults.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_faults.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_faults.cpp.o.d"
   "/root/repo/tests/test_file_index.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_file_index.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_file_index.cpp.o.d"
   "/root/repo/tests/test_flash.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_flash.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_flash.cpp.o.d"
   "/root/repo/tests/test_group.cpp" "tests/CMakeFiles/enviromic_tests.dir/test_group.cpp.o" "gcc" "tests/CMakeFiles/enviromic_tests.dir/test_group.cpp.o.d"

@@ -23,5 +23,20 @@ echo "== cli smoke"
 ./build/tools/enviromic_cli --scenario mobile --runs 3 > /dev/null
 ./build/tools/enviromic_cli --scenario indoor --horizon 300 --sample 300 > /dev/null
 ./build/tools/enviromic_cli --scenario voice > /dev/null
+# Chaos path exits nonzero if any end-state invariant is violated.
+./build/tools/enviromic_cli --faults crash=0.3,downtime=60,burst=1 \
+  --horizon 900 --seed 3
+./build/tools/enviromic_cli --faults crash=0.5,downtime=45,brownout=0.3,clockstep=0.3,asym=0.2 \
+  --horizon 900 --seed 9 > /dev/null
+
+echo "== asan/ubsan build + fault tests"
+cmake -B build-asan -G Ninja \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -O1 -fno-omit-frame-pointer"
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure \
+  -R "FaultPlan|FaultSpecParse|ChannelFaults|CrashReboot|CrashMidProtocol|Chaos|Recovery|BulkTransfer"
+./build-asan/tools/enviromic_cli --faults crash=0.5,downtime=45,burst=1 \
+  --horizon 600 --seed 7 > /dev/null
 
 echo "CI OK"

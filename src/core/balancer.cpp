@@ -20,7 +20,20 @@ void Balancer::start() {
   // Stagger ticks across nodes so beacons do not synchronize.
   const auto stagger = sim::Time::ticks(node_.rng().uniform_int(
       0, node_.cfg().beacon_period.raw_ticks()));
-  node_.sched().after(stagger, [this] { tick(); });
+  tick_timer_ = node_.sched().after(stagger, [this] { tick(); });
+}
+
+void Balancer::reset() {
+  tick_timer_.cancel();
+  started_ = false;
+  neighbors_.clear();
+  est_mean_free_ = -1.0;
+  bytes_this_period_ = 0;
+  rate_.reset(node_.cfg().initial_rate_bytes_per_s);
+}
+
+void Balancer::note_peer_unreachable(net::NodeId id) {
+  neighbors_.erase(id);
 }
 
 void Balancer::note_recorded_bytes(std::uint64_t bytes) {
@@ -87,7 +100,7 @@ void Balancer::note_neighbor(net::NodeId id, double ttl_storage_s,
 }
 
 void Balancer::tick() {
-  node_.sched().after(node_.cfg().beacon_period, [this] { tick(); });
+  tick_timer_ = node_.sched().after(node_.cfg().beacon_period, [this] { tick(); });
   if (node_.cfg().mode != Mode::kFull) return;
   update_rate_if_due();
   node_.energy().advance(node_.sched().now());

@@ -37,6 +37,16 @@ class Balancer {
 
   void start();
 
+  /// Forget all soft state and stop ticking — the node crashed or rebooted.
+  /// The rate EWMA restarts from R0 (paper §II-B: the initial-rate rule),
+  /// since the pre-crash acquisition history died with RAM. `start()` may be
+  /// called again afterwards.
+  void reset();
+
+  /// Drop one neighbour's beacon soft state (it stopped responding), so the
+  /// next evaluation cannot pick it until it beacons again.
+  void note_peer_unreachable(net::NodeId id);
+
   /// Recorder reports freshly acquired audio (attempted, whether or not the
   /// store had room — R measures environmental input while awake).
   void note_recorded_bytes(std::uint64_t bytes);
@@ -64,6 +74,9 @@ class Balancer {
   /// strategy; falls back to the local free space before any exchange).
   double estimated_mean_free() const;
 
+  /// Neighbours with live beacon soft state (instrumentation).
+  std::size_t neighbor_count() const { return neighbors_.size(); }
+
   const BalancerStats& stats() const { return stats_; }
 
  private:
@@ -86,6 +99,7 @@ class Balancer {
   /// Gossip estimate of network-mean free bytes (global strategy).
   double est_mean_free_ = -1.0;
   sim::Time last_session_end_;
+  sim::EventHandle tick_timer_;
   bool started_ = false;
   BalancerStats stats_;
 };

@@ -22,6 +22,7 @@ void BulkTransfer::start_session(net::NodeId to, int max_chunks) {
   tx_ = SendSession{};
   tx_->to = to;
   tx_->chunks_left = max_chunks;
+  last_tx_activity_ = node_.sched().now();
   ++stats_.sessions;
   send_offer();
 }
@@ -65,6 +66,7 @@ void BulkTransfer::handle(const net::TransferGrant& m) {
   ack_timer_.cancel();
   tx_->grant_received = true;
   tx_->granted_bytes = m.bytes;
+  last_tx_activity_ = node_.sched().now();
   next_chunk();
 }
 
@@ -130,6 +132,7 @@ void BulkTransfer::do_send_fragment() {
     end_session(/*aborted=*/true);
     return;
   }
+  last_tx_activity_ = node_.sched().now();
   arm_ack_timer();
 }
 
@@ -156,6 +159,7 @@ void BulkTransfer::handle(const net::TransferAck& m) {
     return;
   ack_timer_.cancel();
   tx_->retries = 0;
+  last_tx_activity_ = node_.sched().now();
   if (tx_->frag_index + 1 < tx_->frag_count) {
     ++tx_->frag_index;
     send_fragment();
@@ -191,9 +195,11 @@ void BulkTransfer::handle(const net::TransferData& m) {
     st.from = m.sender;
     rx_.emplace(m.chunk_key, std::move(st));
     it = rx_.find(m.chunk_key);
+    arm_rx_sweep();
   }
   RecvState& st = it->second;
   st.frag_count = m.frag_count;
+  st.last_activity = node_.sched().now();
   if (m.frag_index == 0) {
     st.meta.key = m.chunk_key;
     st.meta.event = m.event;
@@ -265,7 +271,66 @@ void BulkTransfer::end_session(bool aborted) {
   const std::uint64_t moved = tx_->bytes_moved;
   ack_timer_.cancel();
   tx_.reset();
+  if (aborted) {
+    // The peer stopped responding mid-session: drop its beacon soft state so
+    // the balancer does not immediately re-target it.
+    node_.balancer().note_peer_unreachable(to);
+  }
   node_.balancer().on_session_end(to, moved);
+}
+
+void BulkTransfer::arm_rx_sweep() {
+  if (rx_sweep_timer_.pending()) return;
+  rx_sweep_timer_ = node_.sched().after(
+      node_.cfg().transfer_rx_timeout.scaled(0.5), [this] { sweep_rx(); });
+}
+
+void BulkTransfer::sweep_rx() {
+  const sim::Time now = node_.sched().now();
+  const sim::Time timeout = node_.cfg().transfer_rx_timeout;
+  for (auto it = rx_.begin(); it != rx_.end();) {
+    if (now - it->second.last_activity >= timeout) {
+      ++stats_.rx_expired;
+      sim::LogStream(sim::LogLevel::kTrace, now, "bulk")
+          << "node " << node_.id() << " expires partial chunk "
+          << it->first << " from " << it->second.from;
+      it = rx_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!rx_.empty()) arm_rx_sweep();
+}
+
+void BulkTransfer::reset() {
+  if (tx_) {
+    ++stats_.aborts;
+    if (tx_->current) ++stats_.duplicate_risks;
+    tx_.reset();
+  }
+  ack_timer_.cancel();
+  rx_sweep_timer_.cancel();
+  rx_.clear();
+  completed_.clear();
+  completed_order_.clear();
+}
+
+bool BulkTransfer::tx_stuck(sim::Time now) const {
+  if (!tx_) return false;
+  // Generous bound: a live session makes progress (or aborts) within the
+  // retry budget; anything slower means a timer was lost.
+  const sim::Time budget =
+      node_.cfg().transfer_ack_timeout * (node_.cfg().transfer_max_retries + 4);
+  return now - last_tx_activity_ > budget;
+}
+
+bool BulkTransfer::rx_stuck(sim::Time now) const {
+  for (const auto& [key, st] : rx_) {
+    (void)key;
+    if (now - st.last_activity > node_.cfg().transfer_rx_timeout * 2)
+      return true;
+  }
+  return false;
 }
 
 }  // namespace enviromic::core

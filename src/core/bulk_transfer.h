@@ -34,6 +34,7 @@ struct TransferStats {
   std::uint64_t bytes_received = 0;
   std::uint32_t fragments_retried = 0;
   std::uint32_t duplicate_risks = 0;  //!< aborted with receiver state unknown
+  std::uint32_t rx_expired = 0;  //!< partial incoming sessions timed out
 };
 
 class BulkTransfer {
@@ -52,6 +53,22 @@ class BulkTransfer {
   void handle(const net::TransferAck& m);
 
   const TransferStats& stats() const { return stats_; }
+
+  /// Partial incoming chunks currently buffered (not yet completed or
+  /// expired).
+  std::size_t rx_pending() const { return rx_.size(); }
+
+  /// Drop all session state without notifying peers — the node crashed or
+  /// rebooted. An in-flight outgoing chunk counts as a duplicate risk (the
+  /// receiver may have completed it) and the session as an abort.
+  void reset();
+
+  /// True when an outgoing session has seen no progress for far longer than
+  /// the retry budget allows — i.e. the session leaked (chaos invariant).
+  bool tx_stuck(sim::Time now) const;
+  /// True when any partial incoming session outlived the reassembly timeout
+  /// without being swept (chaos invariant).
+  bool rx_stuck(sim::Time now) const;
 
  private:
   struct SendSession {
@@ -73,6 +90,7 @@ class BulkTransfer {
     std::uint32_t frag_count = 0;
     std::set<std::uint32_t> got;
     std::vector<std::uint8_t> payload;
+    sim::Time last_activity;
   };
 
   void send_offer();
@@ -80,12 +98,16 @@ class BulkTransfer {
   void send_fragment();
   void do_send_fragment();
   void arm_ack_timer();
+  void arm_rx_sweep();
+  void sweep_rx();
   void end_session(bool aborted);
   void send_ack(net::NodeId to, std::uint64_t key, std::uint32_t frag);
 
   Node& node_;
   std::optional<SendSession> tx_;
   sim::EventHandle ack_timer_;
+  sim::EventHandle rx_sweep_timer_;
+  sim::Time last_tx_activity_;
   std::map<std::uint64_t, RecvState> rx_;
   /// Recently completed chunk keys, re-acked idempotently.
   std::deque<std::uint64_t> completed_order_;

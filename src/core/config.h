@@ -119,6 +119,11 @@ struct ProtocolConfig {
   /// Pacing between fragments: mote bulk transfer shares one CSMA channel
   /// with live control traffic, so effective throughput is ~1-3 kB/s.
   sim::Time transfer_fragment_spacing = sim::Time::millis(30);
+  /// Receiver-side reassembly timeout: a partial incoming session with no
+  /// fragment activity for this long is discarded (the sender crashed or
+  /// gave up). Must comfortably exceed the sender's worst-case silence,
+  /// ack_timeout * max_retries ≈ 0.7 s with the defaults.
+  sim::Time transfer_rx_timeout = sim::Time::seconds_i(5);
 
   // --- Duty cycling --------------------------------------------------------
   /// Fraction of each duty period the node is awake (radio + detector on).

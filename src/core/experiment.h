@@ -125,6 +125,54 @@ struct OutdoorRunResult {
 
 OutdoorRunResult run_outdoor(const OutdoorRunConfig& cfg);
 
+// --- Chaos soak: indoor workload under randomized faults -----------------------
+
+struct ChaosRunConfig {
+  std::uint64_t seed = 7;
+  sim::Time horizon = sim::Time::seconds_i(1200);
+  int grid_nx = 6;
+  int grid_ny = 4;
+  double spacing_ft = 2.0;
+  IndoorEventPlanConfig events;  //!< horizon is overwritten from `horizon`
+  FaultPlanConfig faults;
+  net::BurstLossConfig burst;
+  double link_asymmetry_max = 0.0;
+  double beta_max = 2.0;
+  /// Small flash so balancing actually triggers within the horizon.
+  double flash_scale = 0.1;
+  /// Quiet tail after the last scheduled fault/event so in-flight sessions
+  /// drain before the invariants are checked.
+  sim::Time grace = sim::Time::seconds_i(120);
+};
+
+struct ChaosRunResult {
+  Metrics::Snapshot final_snapshot;
+  std::size_t nodes = 0;
+  std::uint32_t nodes_down_at_end = 0;  //!< crashed, reboot not yet due
+  std::uint32_t nodes_lost = 0;         //!< permanently failed
+  /// Every surviving node's store, checkpointed and re-recovered offline,
+  /// yields exactly the chunks the live store holds.
+  bool stores_recoverable = true;
+  /// drain_all(deduplicate) holds every distinct live chunk exactly once.
+  bool retrieval_exact_once = true;
+  /// crashes == reboots + still-down (every transient crash either rebooted
+  /// or is awaiting its reboot at the horizon).
+  bool counters_consistent = true;
+  std::uint32_t stuck_rx_sessions = 0;
+  std::uint32_t stuck_tx_sessions = 0;
+  std::uint64_t live_chunks = 0;
+
+  bool invariants_hold() const {
+    return stores_recoverable && retrieval_exact_once &&
+           counters_consistent && stuck_rx_sessions == 0 &&
+           stuck_tx_sessions == 0;
+  }
+};
+
+/// Run the indoor scenario under a randomized fault plan + channel faults
+/// and check the end-state invariants the fault model promises.
+ChaosRunResult run_chaos(const ChaosRunConfig& cfg);
+
 // --- Helpers shared by figure harnesses ----------------------------------------
 
 /// Default node parameters used across the experiments (paper defaults with

@@ -1,0 +1,130 @@
+#include "core/faults.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+
+namespace enviromic::core {
+
+FaultPlan FaultPlan::randomized(const FaultPlanConfig& cfg,
+                                const std::vector<net::NodeId>& nodes,
+                                sim::Time horizon, sim::Rng rng) {
+  FaultPlan plan;
+  const double horizon_s = horizon.to_seconds();
+  for (net::NodeId id : nodes) {
+    if (cfg.crash_probability > 0.0 && rng.chance(cfg.crash_probability)) {
+      FaultSpec f;
+      f.kind = FaultSpec::Kind::kCrash;
+      f.node = id;
+      f.at = sim::Time::seconds(rng.uniform(0.0, horizon_s));
+      const double down_s = std::max(
+          1.0, rng.exponential(cfg.downtime_mean.to_seconds()));
+      f.downtime = sim::Time::seconds(down_s);
+      f.permanent = cfg.permanent_fraction > 0.0 &&
+                    rng.chance(cfg.permanent_fraction);
+      f.lose_data = f.permanent && cfg.lose_data_fraction > 0.0 &&
+                    rng.chance(cfg.lose_data_fraction);
+      plan.events.push_back(f);
+    }
+    if (cfg.brownout_probability > 0.0 &&
+        rng.chance(cfg.brownout_probability)) {
+      FaultSpec f;
+      f.kind = FaultSpec::Kind::kBrownout;
+      f.node = id;
+      f.at = sim::Time::seconds(rng.uniform(0.0, horizon_s));
+      f.downtime = sim::Time::seconds(
+          std::max(0.5, rng.exponential(cfg.brownout_mean.to_seconds())));
+      plan.events.push_back(f);
+    }
+    if (cfg.clock_step_probability > 0.0 &&
+        rng.chance(cfg.clock_step_probability)) {
+      FaultSpec f;
+      f.kind = FaultSpec::Kind::kClockStep;
+      f.node = id;
+      f.at = sim::Time::seconds(rng.uniform(0.0, horizon_s));
+      f.clock_step_s =
+          rng.uniform(-cfg.clock_step_max_s, cfg.clock_step_max_s);
+      plan.events.push_back(f);
+    }
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultSpec& a, const FaultSpec& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+namespace {
+
+bool parse_double(std::string_view v, double& out) {
+  // std::from_chars<double> is not universally available; strtod on a
+  // NUL-terminated copy is fine for short CLI tokens.
+  std::string buf(v);
+  char* end = nullptr;
+  out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size() && !buf.empty();
+}
+
+}  // namespace
+
+bool parse_fault_spec(std::string_view spec, ChaosSpec& out,
+                      std::string& error) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      error = "expected key=value, got '" + std::string(item) + "'";
+      return false;
+    }
+    const std::string_view key = item.substr(0, eq);
+    double value = 0.0;
+    if (!parse_double(item.substr(eq + 1), value)) {
+      error = "bad number in '" + std::string(item) + "'";
+      return false;
+    }
+    if (key == "crash") {
+      out.faults.crash_probability = value;
+    } else if (key == "downtime") {
+      out.faults.downtime_mean = sim::Time::seconds(value);
+    } else if (key == "permanent") {
+      out.faults.permanent_fraction = value;
+    } else if (key == "lose_data") {
+      out.faults.lose_data_fraction = value;
+    } else if (key == "brownout") {
+      out.faults.brownout_probability = value;
+    } else if (key == "brownout_len") {
+      out.faults.brownout_mean = sim::Time::seconds(value);
+    } else if (key == "clockstep") {
+      out.faults.clock_step_probability = value;
+    } else if (key == "clockstep_max") {
+      out.faults.clock_step_max_s = value;
+    } else if (key == "burst") {
+      out.burst.enabled = value != 0.0;
+    } else if (key == "pgb") {
+      out.burst.enabled = true;
+      out.burst.p_good_to_bad = value;
+    } else if (key == "pbg") {
+      out.burst.enabled = true;
+      out.burst.p_bad_to_good = value;
+    } else if (key == "loss_bad") {
+      out.burst.enabled = true;
+      out.burst.loss_bad = value;
+    } else if (key == "loss_good") {
+      out.burst.enabled = true;
+      out.burst.loss_good = value;
+    } else if (key == "asym") {
+      out.link_asymmetry_max = value;
+    } else {
+      error = "unknown fault key '" + std::string(key) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace enviromic::core

@@ -144,9 +144,14 @@ void GroupManager::on_offset() {
 
 void GroupManager::note_foreign_leader(net::NodeId leader,
                                        const net::EventId& event) {
-  if (!is_leader() || leader == self() || event == current_event_) return;
+  // Same-event conflicts happen too: after a leader crash, two members can
+  // both watchdog-elect for the surviving event id. Resolve those with the
+  // same lower-id-wins rule instead of ignoring them (which stalled both
+  // leaders assigning interleaved tasks forever).
+  if (!is_leader() || leader == self()) return;
   if (leader < self()) {
     // Yield: the lower id keeps the group.
+    ++stats_.conflicts_yielded;
     node_.tasking().stop();
     leader_ = leader;
     current_event_ = event;
@@ -216,6 +221,26 @@ void GroupManager::note_task_activity(const net::EventId& event) {
 
 void GroupManager::note_recorder_busy(net::NodeId who, sim::Time until) {
   members_[who].busy_until = until;
+}
+
+void GroupManager::note_member_unreachable(net::NodeId who) {
+  members_.erase(who);
+}
+
+void GroupManager::reset() {
+  hearing_ = false;
+  leader_ = net::kInvalidNode;
+  current_event_ = net::EventId{};
+  last_leader_evidence_ = sim::Time{};
+  members_.clear();
+  election_timer_.cancel();
+  sensing_timer_.cancel();
+  watchdog_timer_.cancel();
+  pending_next_task_at_ = sim::Time{};
+  pending_next_round_ = 0;
+  last_conflict_announce_ = sim::Time{};
+  // next_event_seq_ survives: reusing a pre-crash EventId would collide file
+  // ids for two different acoustic events.
 }
 
 std::vector<std::pair<net::NodeId, GroupManager::MemberInfo>>

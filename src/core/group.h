@@ -29,6 +29,7 @@ struct GroupStats {
   std::uint32_t resigns_sent = 0;
   std::uint32_t sensings_sent = 0;
   std::uint32_t watchdog_reelections = 0;
+  std::uint32_t conflicts_yielded = 0;  //!< duplicate-leader, lower id won
 };
 
 class GroupManager {
@@ -68,6 +69,15 @@ class GroupManager {
 
   /// Overheard TASK_CONFIRM: the recorder is busy until task end.
   void note_recorder_busy(net::NodeId who, sim::Time until);
+
+  /// A member stopped responding (e.g. its TASK_CONFIRM never came and it is
+  /// not known-busy): drop its soft state so assignment stops targeting it.
+  void note_member_unreachable(net::NodeId who);
+
+  /// Forget all group state and cancel timers — the node crashed or
+  /// rebooted. The event-id sequence deliberately survives so a reincarnated
+  /// node cannot mint an EventId already used before the crash.
+  void reset();
 
   bool hearing() const { return hearing_; }
   bool is_leader() const { return leader_ == self() && current_event_.valid(); }

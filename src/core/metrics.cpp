@@ -32,6 +32,7 @@ Metrics::Snapshot Metrics::compute(
     const std::vector<storage::ChunkMeta>* collected) const {
   Snapshot s;
   s.t = now;
+  s.faults = faults_;
 
   // Gather stored-chunk attributions per source.
   std::map<acoustic::SourceId, util::IntervalSet> covered;
@@ -65,6 +66,12 @@ Metrics::Snapshot Metrics::compute(
         it_rec == recorded_bytes_by_node_.end() ? 0 : it_rec->second);
 
     if (view.store) view.store->for_each(account_chunk);
+
+    if (view.transfer) {
+      s.transfer_aborts += view.transfer->aborts;
+      s.transfer_duplicate_risks += view.transfer->duplicate_risks;
+      s.transfer_rx_expired += view.transfer->rx_expired;
+    }
 
     if (view.radio) {
       const auto& ms = view.radio->messages_sent;

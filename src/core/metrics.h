@@ -13,11 +13,27 @@
 #include <map>
 #include <vector>
 
+#include "core/bulk_transfer.h"
 #include "core/ground_truth.h"
 #include "net/radio.h"
 #include "storage/chunk_store.h"
 
 namespace enviromic::core {
+
+/// Fault-injection bookkeeping, aggregated over the whole run.
+struct FaultCounters {
+  std::uint32_t crashes = 0;             //!< transient crashes
+  std::uint32_t permanent_failures = 0;  //!< fail()ed, never coming back
+  std::uint32_t reboots = 0;
+  std::uint32_t brownouts = 0;
+  std::uint32_t clock_steps = 0;
+  std::uint64_t chunks_recovered = 0;    //!< rebuilt from flash on reboot
+  /// Pre-crash chunks missing after recovery (should stay 0: at worst the
+  /// final partially-written chunk is dropped, and the recorder's epoch
+  /// guard prevents partially-written chunks from being committed).
+  std::uint64_t recovery_mismatches = 0;
+  sim::Time downtime_total;              //!< summed crash->reboot intervals
+};
 
 class Metrics {
  public:
@@ -29,6 +45,36 @@ class Metrics {
                      std::uint64_t bytes, bool appended, bool is_prelude);
   void note_migration(net::NodeId from, net::NodeId to, std::uint64_t bytes);
   void note_prelude_erased(std::uint64_t chunk_key);
+
+  // ---- Fault/recovery hooks ---------------------------------------------
+  void note_crash(net::NodeId node, bool permanent) {
+    (void)node;
+    if (permanent) {
+      ++faults_.permanent_failures;
+    } else {
+      ++faults_.crashes;
+    }
+  }
+  void note_reboot(net::NodeId node, sim::Time downtime) {
+    (void)node;
+    ++faults_.reboots;
+    faults_.downtime_total += downtime;
+  }
+  void note_brownout(net::NodeId node) {
+    (void)node;
+    ++faults_.brownouts;
+  }
+  void note_clock_step(net::NodeId node) {
+    (void)node;
+    ++faults_.clock_steps;
+  }
+  void note_recovery(net::NodeId node, std::uint64_t recovered,
+                     std::uint64_t mismatched) {
+    (void)node;
+    faults_.chunks_recovered += recovered;
+    faults_.recovery_mismatches += mismatched;
+  }
+  const FaultCounters& faults() const { return faults_; }
 
   // ---- Raw logs for the figure harnesses ---------------------------------
   struct RecordAct {
@@ -50,6 +96,7 @@ class Metrics {
     net::NodeId id;
     const storage::ChunkStore* store;  //!< null when the mote's data is lost
     const net::RadioStats* radio;
+    const TransferStats* transfer = nullptr;
   };
 
   struct Snapshot {
@@ -65,6 +112,10 @@ class Metrics {
     std::vector<std::uint64_t> per_node_used_bytes;   //!< by view order
     std::vector<std::uint64_t> per_node_packets_sent;
     std::vector<std::uint64_t> per_node_recorded_bytes;  //!< by recorder
+    FaultCounters faults;
+    std::uint32_t transfer_aborts = 0;           //!< summed over views
+    std::uint32_t transfer_duplicate_risks = 0;
+    std::uint32_t transfer_rx_expired = 0;
   };
 
   /// `collected` optionally adds chunks that left the network but were
@@ -80,6 +131,7 @@ class Metrics {
   };
 
   const GroundTruth* gt_;
+  FaultCounters faults_;
   std::map<std::uint64_t, AttributionEntry> attribution_;
   std::vector<RecordAct> log_;
   std::map<std::pair<net::NodeId, net::NodeId>, std::uint64_t> flows_;

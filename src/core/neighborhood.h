@@ -60,6 +60,13 @@ class NeighborhoodBroadcast {
   net::NodeId self() const { return radio_.id(); }
   std::size_t lazy_queue_depth() const { return lazy_.size(); }
 
+  /// Drop the queued lazy messages and the flush timer — the node crashed
+  /// or rebooted; queued soft-state messages died with RAM.
+  void reset() {
+    lazy_.clear();
+    flush_timer_.cancel();
+  }
+
  private:
   bool emit(net::NodeId dst, net::Message first);
   void arm_flush_timer();

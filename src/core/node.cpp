@@ -1,8 +1,10 @@
 #include "core/node.h"
 
 #include <algorithm>
+#include <set>
 
 #include "core/metrics.h"
+#include "sim/log.h"
 
 namespace enviromic::core {
 
@@ -78,33 +80,36 @@ void Node::start() {
         cfg().duty_period.scaled(std::clamp(cfg().duty_cycle, 0.0, 1.0));
     const auto stagger = sim::Time::ticks(
         rng_.uniform_int(0, std::max<std::int64_t>(1, awake.raw_ticks())));
-    sched_.after(stagger, [this] { duty_tick(/*go_to_sleep=*/true); });
+    duty_timer_ =
+        sched_.after(stagger, [this] { duty_tick(/*go_to_sleep=*/true); });
   }
 }
 
 void Node::duty_tick(bool go_to_sleep) {
-  if (failed_) return;
+  if (failed_ || down_) return;
   const double duty = std::clamp(cfg().duty_cycle, 0.0, 1.0);
   const auto awake = cfg().duty_period.scaled(duty);
   const auto asleep_for = cfg().duty_period - awake;
   if (go_to_sleep) {
     if (recording_) {
       // Never interrupt an in-progress recording task; retry shortly.
-      sched_.after(sim::Time::millis(200),
-                   [this] { duty_tick(/*go_to_sleep=*/true); });
+      duty_timer_ = sched_.after(sim::Time::millis(200),
+                                 [this] { duty_tick(/*go_to_sleep=*/true); });
       return;
     }
     asleep_ = true;
     radio_->set_on(false);
     detector_.set_enabled(false);
     energy_.set_radio_on(sched_.now(), false);
-    sched_.after(asleep_for, [this] { duty_tick(/*go_to_sleep=*/false); });
+    duty_timer_ = sched_.after(asleep_for,
+                               [this] { duty_tick(/*go_to_sleep=*/false); });
   } else {
     asleep_ = false;
     radio_->set_on(true);
     detector_.set_enabled(true);
     energy_.set_radio_on(sched_.now(), true);
-    sched_.after(awake, [this] { duty_tick(/*go_to_sleep=*/true); });
+    duty_timer_ =
+        sched_.after(awake, [this] { duty_tick(/*go_to_sleep=*/true); });
   }
 }
 
@@ -115,7 +120,7 @@ sim::Time Node::proc_delay() {
 }
 
 void Node::set_recording(bool recording) {
-  if (failed_ || recording_ == recording) return;
+  if (failed_ || down_ || recording_ == recording) return;
   recording_ = recording;
   const bool radio_on = !recording && !asleep_;
   radio_->set_on(radio_on);
@@ -138,9 +143,105 @@ void Node::fail(bool lose_data) {
     group_.on_offset();
   }
   tasking_.stop();
+  duty_timer_.cancel();
+  if (metrics_) metrics_->note_crash(id_, /*permanent=*/true);
+}
+
+bool Node::crash() {
+  if (failed_ || down_) return false;
+  down_ = true;
+  crash_time_ = sched_.now();
+  recording_ = false;
+  asleep_ = false;
+  duty_timer_.cancel();
+  radio_->set_on(false);
+  detector_.set_enabled(false);
+  energy_.set_radio_on(sched_.now(), false);
+  energy_.set_sampling(sched_.now(), false);
+  // Snapshot the stored keys so reboot can verify recovery against what the
+  // flash actually held (the chaos invariant).
+  precrash_keys_.clear();
+  store_.for_each([this](const storage::ChunkMeta& m) {
+    precrash_keys_.push_back(m.key);
+  });
+  // RAM dies: every component drops its soft state and timers. The flash,
+  // the EEPROM checkpoint, and the store's on-flash image survive.
+  nb_.reset();
+  timesync_.reset();
+  group_.reset();
+  tasking_.stop();
+  recorder_.reset();
+  balancer_.reset();
+  bulk_.reset();
+  retrieval_.reset();
+  if (metrics_) metrics_->note_crash(id_, /*permanent=*/false);
+  sim::LogStream(sim::LogLevel::kDebug, sched_.now(), "fault")
+      << "node " << id_ << " crashes";
+  return true;
+}
+
+bool Node::reboot() {
+  if (failed_ || !down_) return false;
+  down_ = false;
+  // §III-B.3: rebuild the specialized file system from the OOB tags and the
+  // last EEPROM checkpoint — the same path the offline recovery test walks.
+  store_.reload_from_flash();
+  std::uint64_t recovered = 0;
+  std::uint64_t mismatched = 0;
+  {
+    std::set<std::uint64_t> have;
+    store_.for_each(
+        [&](const storage::ChunkMeta& m) { have.insert(m.key); });
+    recovered = have.size();
+    for (const auto k : precrash_keys_) {
+      if (!have.count(k)) ++mismatched;
+    }
+  }
+  precrash_keys_.clear();
+  radio_->set_on(true);
+  detector_.set_enabled(true);
+  energy_.set_radio_on(sched_.now(), true);
+  if (cfg().mode != Mode::kUncoordinated) timesync_.start();
+  if (cfg().mode == Mode::kFull) balancer_.start();
+  if (cfg().duty_cycle < 1.0) {
+    duty_timer_ = sched_.after(cfg().duty_period.scaled(cfg().duty_cycle),
+                               [this] { duty_tick(/*go_to_sleep=*/true); });
+  }
+  if (metrics_) {
+    metrics_->note_recovery(id_, recovered, mismatched);
+    metrics_->note_reboot(id_, sched_.now() - crash_time_);
+  }
+  sim::LogStream(sim::LogLevel::kDebug, sched_.now(), "fault")
+      << "node " << id_ << " reboots after "
+      << (sched_.now() - crash_time_).to_seconds() << "s, " << recovered
+      << " chunks recovered";
+  return true;
+}
+
+void Node::brownout(sim::Time duration) {
+  if (failed_ || down_) return;
+  if (metrics_) metrics_->note_brownout(id_);
+  radio_->set_on(false);
+  energy_.set_radio_on(sched_.now(), false);
+  sched_.after(duration, [this] {
+    if (failed_ || down_) return;
+    // set_recording / duty cycling own the radio while recording or asleep;
+    // let them restore it in that case.
+    if (!recording_ && !asleep_) {
+      radio_->set_on(true);
+      energy_.set_radio_on(sched_.now(), true);
+    }
+  });
+}
+
+void Node::clock_step(double seconds) {
+  if (failed_ || down_) return;
+  clock_.step(seconds);
+  if (metrics_) metrics_->note_clock_step(id_);
 }
 
 void Node::dispatch(const net::Packet& p) {
+  if (failed_ || down_) return;
   for (const auto& m : p.messages) on_message(m, p.src, p.dst);
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "acoustic/detector.h"
 #include "acoustic/microphone.h"
@@ -23,6 +24,7 @@
 #include "energy/energy_model.h"
 #include "net/channel.h"
 #include "net/radio.h"
+#include "sim/event_queue.h"
 #include "sim/geometry.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
@@ -111,6 +113,25 @@ class Node {
   bool failed() const { return failed_; }
   bool data_lost() const { return data_lost_; }
 
+  /// Transient crash: RAM (all soft protocol state, in-flight sessions, the
+  /// recording buffer) dies; flash and the EEPROM checkpoint survive. The
+  /// node stays dark until `reboot()`. Returns false if already down or
+  /// permanently failed.
+  bool crash();
+  /// Come back from a crash: rebuild the chunk store from flash + EEPROM
+  /// (the paper's §III-B.3 recovery path), restart detection, sync, and
+  /// balancing, and rejoin the protocol with fresh soft state. Returns
+  /// false unless the node is transiently down.
+  bool reboot();
+  /// True between crash() and reboot().
+  bool down() const { return down_; }
+
+  /// Radio brownout: the radio drops out for `duration`, protocol state
+  /// stays intact (messages are simply missed — soft state must cope).
+  void brownout(sim::Time duration);
+  /// The crystal jumps by `seconds`; time sync must re-converge.
+  void clock_step(double seconds);
+
   /// Duty cycling: true while the node sleeps (radio + detector dark).
   bool asleep() const { return asleep_; }
 
@@ -143,11 +164,16 @@ class Node {
   Balancer balancer_;
   BulkTransfer bulk_;
   RetrievalService retrieval_;
+  sim::EventHandle duty_timer_;
   bool recording_ = false;
   bool started_ = false;
   bool failed_ = false;
   bool data_lost_ = false;
   bool asleep_ = false;
+  bool down_ = false;
+  sim::Time crash_time_;
+  /// Chunk keys held at crash time, checked against the recovered store.
+  std::vector<std::uint64_t> precrash_keys_;
 };
 
 }  // namespace enviromic::core

@@ -38,16 +38,18 @@ void RecorderComponent::handle(const net::TaskRequest& m) {
   conf.replica = m.replica;
   const sim::Time start_at = m.start_at;
   const sim::Time duration = m.duration;
-  node_.sched().after(node_.proc_delay(), [this, conf, start_at, duration] {
-    if (recording_) return;
+  const std::uint32_t epoch = epoch_;
+  node_.sched().after(node_.proc_delay(), [this, conf, start_at, duration,
+                                           epoch] {
+    if (recording_ || epoch != epoch_) return;
     node_.nb().send_now(conf);
     // "starts recording immediately after the message is successfully sent
     // out" — but not before the task's scheduled start (seamless hand-over).
     const sim::Time begin = std::max(node_.sched().now(), start_at);
     RecordingKind kind;
     kind.event = conf.event;
-    node_.sched().at(begin, [this, kind, duration] {
-      if (recording_) return;
+    node_.sched().at(begin, [this, kind, duration, epoch] {
+      if (recording_ || epoch != epoch_) return;
       ++stats_.tasks_performed;
       begin_recording(kind, duration);
     });
@@ -112,13 +114,24 @@ void RecorderComponent::baseline_on_onset() {
 
 void RecorderComponent::begin_recording(const RecordingKind& kind,
                                         sim::Time duration) {
-  if (node_.failed()) return;
+  if (node_.failed() || node_.down()) return;
   recording_ = true;
   node_.set_recording(true);
   const sim::Time started = node_.sched().now();
-  node_.sched().after(duration, [this, kind, started] {
+  const std::uint32_t epoch = epoch_;
+  node_.sched().after(duration, [this, kind, started, epoch] {
+    // Crossing a crash (epoch bump) means the sampled audio died with RAM:
+    // drop instead of committing a chunk the node never finished writing.
+    if (epoch != epoch_) return;
     finish_recording(kind, started);
   });
+}
+
+void RecorderComponent::reset() {
+  ++epoch_;
+  recording_ = false;
+  overheard_.clear();
+  last_prelude_key_.reset();
 }
 
 void RecorderComponent::finish_recording(const RecordingKind& kind,

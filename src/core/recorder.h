@@ -56,6 +56,11 @@ class RecorderComponent {
   /// still reports the event.
   void baseline_on_onset();
 
+  /// Forget in-flight recording state — the node crashed or rebooted.
+  /// Bumps the epoch so already-scheduled task/finish lambdas from before
+  /// the crash recognize themselves as stale and drop.
+  void reset();
+
   const RecorderStats& stats() const { return stats_; }
 
  private:
@@ -70,6 +75,9 @@ class RecorderComponent {
 
   Node& node_;
   bool recording_ = false;
+  /// Incremented on reset(); pending lambdas carry the epoch they were
+  /// scheduled in and no-op when it no longer matches.
+  std::uint32_t epoch_ = 0;
   /// Overheard (event, round, replica) confirms, for the reject
   /// optimization.
   std::map<std::tuple<net::EventId, std::uint32_t, std::uint8_t>, sim::Time>

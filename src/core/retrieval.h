@@ -61,6 +61,17 @@ class RetrievalService {
 
   const RetrievalStats& stats() const { return stats_; }
 
+  /// Drop all query soft state — the node crashed or rebooted. The query-id
+  /// counter survives so a rebooted sink cannot reuse a live query id.
+  void reset() {
+    seen_.clear();
+    parent_.clear();
+    last_harvest_.clear();
+    harvesting_ = false;
+    active_query_ = 0;
+    on_reply_ = nullptr;
+  }
+
  private:
   void serve(const net::QueryRequest& q);
   void harvest_drain(net::NodeId sink, std::uint32_t query_id);

@@ -171,6 +171,11 @@ void TaskManager::on_confirm_timeout() {
       << " round " << round_;
   ++stats_.confirm_timeouts;
   tried_this_round_.insert(outstanding_);
+  // Drop the silent member's soft state too: if it crashed, the next SENSING
+  // heartbeat never comes and later rounds must not keep targeting it. A
+  // live member whose confirm was merely lost re-registers within one
+  // heartbeat (sensing_period << member_timeout).
+  node_.group().note_member_unreachable(outstanding_);
   outstanding_ = net::kInvalidNode;
   try_candidate();
 }

@@ -20,11 +20,22 @@ void TimeSync::start() {
     // The root's corrected frame *is* the root frame: pin its correction so
     // corrected_now() == raw_now() - (raw_now() - now) == now.
     clock_.set_correction(clock_.raw_now() - sched_.now());
-    // Small phase stagger so multiple worlds don't beat in lockstep.
-    sched_.after(sim::Time::millis(rng_.uniform_int(50, 400)),
-                 [this] { root_tick(); });
+    // Small phase stagger so multiple worlds don't beat in lockstep. Cancel
+    // any previous chain first so a restart does not double the cadence.
+    root_timer_.cancel();
+    root_timer_ = sched_.after(sim::Time::millis(rng_.uniform_int(50, 400)),
+                               [this] { root_tick(); });
   }
   last_activity_ = sched_.now();
+}
+
+void TimeSync::reset() {
+  root_timer_.cancel();
+  have_seq_ = false;
+  last_seq_ = 0;
+  clock_.set_correction(sim::Time{});
+  // seq_ survives on the root: a reboot must not replay already-used flood
+  // sequence numbers (non-roots would discard them as stale).
 }
 
 void TimeSync::note_activity() { last_activity_ = sched_.now(); }
@@ -46,7 +57,7 @@ void TimeSync::root_tick() {
   if (sched_.now() - last_activity_ > cfg_.sync_idle_threshold) {
     period = period.scaled(cfg_.sync_idle_backoff);
   }
-  sched_.after(period, [this] { root_tick(); });
+  root_timer_ = sched_.after(period, [this] { root_tick(); });
 }
 
 void TimeSync::handle(const net::TimeSyncBeacon& b) {

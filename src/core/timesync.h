@@ -12,6 +12,7 @@
 
 #include "core/config.h"
 #include "net/message.h"
+#include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
 #include "sim/time.h"
@@ -41,6 +42,10 @@ class LocalClock {
   void set_correction(sim::Time c) { correction_ = c; }
   sim::Time correction() const { return correction_; }
 
+  /// Fault injection: the crystal jumps by `seconds` (e.g. a brown-out
+  /// glitch). The sync protocol must re-converge.
+  void step(double seconds) { offset_s_ += seconds; }
+
   /// Signed error of corrected_now() against true simulated time (seconds);
   /// instrumentation only.
   double error_seconds() const {
@@ -65,7 +70,14 @@ class TimeSync {
            sim::Rng rng, LocalClock& clock, NeighborhoodBroadcast& nb,
            bool is_root);
 
+  /// Idempotent: calling again (after a reboot) restarts the root's beacon
+  /// chain and re-pins its correction.
   void start();
+
+  /// Forget sync state — the node crashed or rebooted. A non-root loses its
+  /// correction (timestamps drift until the next flood); the root keeps its
+  /// sequence counter so post-reboot floods are not ignored as stale.
+  void reset();
 
   void handle(const net::TimeSyncBeacon& b);
 
@@ -86,6 +98,7 @@ class TimeSync {
   LocalClock& clock_;
   NeighborhoodBroadcast& nb_;
   bool is_root_;
+  sim::EventHandle root_timer_;
   std::uint32_t seq_ = 0;
   std::uint32_t last_seq_ = 0;
   bool have_seq_ = false;

@@ -57,6 +57,42 @@ void World::fail_node_at(net::NodeId id, sim::Time at, bool lose_data) {
   });
 }
 
+void World::crash_node_at(net::NodeId id, sim::Time at, sim::Time downtime) {
+  sched_.at(at, [this, id, downtime] {
+    Node* n = by_id(id);
+    if (!n || !n->crash()) return;
+    if (downtime > sim::Time::zero()) {
+      sched_.after(downtime, [this, id] {
+        if (Node* m = by_id(id)) m->reboot();
+      });
+    }
+  });
+}
+
+void World::apply_faults(const FaultPlan& plan) {
+  for (const auto& f : plan.events) {
+    switch (f.kind) {
+      case FaultSpec::Kind::kCrash:
+        if (f.permanent) {
+          fail_node_at(f.node, f.at, f.lose_data);
+        } else {
+          crash_node_at(f.node, f.at, f.downtime);
+        }
+        break;
+      case FaultSpec::Kind::kBrownout:
+        sched_.at(f.at, [this, f] {
+          if (Node* n = by_id(f.node)) n->brownout(f.downtime);
+        });
+        break;
+      case FaultSpec::Kind::kClockStep:
+        sched_.at(f.at, [this, f] {
+          if (Node* n = by_id(f.node)) n->clock_step(f.clock_step_s);
+        });
+        break;
+    }
+  }
+}
+
 Node* World::by_id(net::NodeId id) {
   for (auto& n : nodes_) {
     if (n->id() == id) return n.get();
@@ -69,8 +105,10 @@ Metrics::Snapshot World::snapshot_with(
   std::vector<Metrics::StoreView> views;
   views.reserve(nodes_.size());
   for (const auto& n : nodes_) {
-    views.push_back(Metrics::StoreView{
-        n->id(), n->data_lost() ? nullptr : &n->store(), &n->radio().stats()});
+    views.push_back(Metrics::StoreView{n->id(),
+                                       n->data_lost() ? nullptr : &n->store(),
+                                       &n->radio().stats(),
+                                       &n->bulk().stats()});
   }
   return metrics_.compute(sched_.now(), views, &collected);
 }
@@ -82,8 +120,10 @@ Metrics::Snapshot World::snapshot() {
   // keep its radio history (messages it sent before dying were real
   // overhead).
   for (const auto& n : nodes_) {
-    views.push_back(Metrics::StoreView{
-        n->id(), n->data_lost() ? nullptr : &n->store(), &n->radio().stats()});
+    views.push_back(Metrics::StoreView{n->id(),
+                                       n->data_lost() ? nullptr : &n->store(),
+                                       &n->radio().stats(),
+                                       &n->bulk().stats()});
   }
   return metrics_.compute(sched_.now(), views);
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "acoustic/field.h"
+#include "core/faults.h"
 #include "core/ground_truth.h"
 #include "core/metrics.h"
 #include "core/node.h"
@@ -64,6 +65,15 @@ class World {
   /// lost motes can cause data loss"). `lose_data` marks the mote as lost
   /// (its stored chunks are unretrievable) rather than merely defunct.
   void fail_node_at(net::NodeId id, sim::Time at, bool lose_data = false);
+
+  /// Schedule a transient crash at `at` with an automatic reboot after
+  /// `downtime` (no reboot when downtime is zero — call Node::reboot()
+  /// yourself or let the node stay down).
+  void crash_node_at(net::NodeId id, sim::Time at, sim::Time downtime);
+
+  /// Schedule every event of a fault plan. Call after start() or before —
+  /// events execute at their times either way.
+  void apply_faults(const FaultPlan& plan);
 
   /// Current metrics snapshot over all nodes.
   Metrics::Snapshot snapshot();

@@ -27,6 +27,7 @@
 #include "core/bulk_transfer.h"
 #include "core/config.h"
 #include "core/experiment.h"
+#include "core/faults.h"
 #include "core/ground_truth.h"
 #include "core/group.h"
 #include "core/metrics.h"

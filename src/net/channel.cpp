@@ -41,6 +41,50 @@ std::vector<NodeId> Channel::neighbors_of(NodeId of) const {
   return out;
 }
 
+double Channel::link_extra_loss(NodeId src, NodeId dst) const {
+  if (cfg_.link_asymmetry_max <= 0.0) return 0.0;
+  // SplitMix64 finalizer over the ordered endpoint pair: deterministic per
+  // directed link, uncorrelated between the two directions of one pair.
+  std::uint64_t x = (static_cast<std::uint64_t>(src) << 32) |
+                    static_cast<std::uint64_t>(dst);
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  const double u = static_cast<double>(x >> 11) * 0x1.0p-53;
+  return cfg_.link_asymmetry_max * u;
+}
+
+bool Channel::link_in_bad_state(NodeId src, NodeId dst) const {
+  const auto it = link_bad_.find({src, dst});
+  return it != link_bad_.end() && it->second;
+}
+
+bool Channel::drop_random(NodeId src, NodeId dst) {
+  if (cfg_.burst.enabled) {
+    bool& bad = link_bad_[{src, dst}];
+    const double p = bad ? cfg_.burst.loss_bad : cfg_.burst.loss_good;
+    const bool lost = p > 0.0 && rng_.chance(p);
+    // Advance the two-state chain after sampling, so loss runs match the
+    // dwell time in the bad state.
+    const double trans = bad ? cfg_.burst.p_bad_to_good : cfg_.burst.p_good_to_bad;
+    if (trans > 0.0 && rng_.chance(trans)) bad = !bad;
+    if (lost) {
+      ++stats_.losses_burst;
+      return true;
+    }
+  }
+  if (cfg_.link_asymmetry_max > 0.0 && rng_.chance(link_extra_loss(src, dst))) {
+    ++stats_.losses_random;
+    return true;
+  }
+  if (rng_.chance(cfg_.loss_probability)) {
+    ++stats_.losses_random;
+    return true;
+  }
+  return false;
+}
+
 bool Channel::medium_busy_near(const sim::Position& pos) const {
   const sim::Time now = sched_.now();
   const double sense = cfg_.comm_range * cfg_.carrier_sense_factor;
@@ -104,9 +148,8 @@ void Channel::begin_transmission(Radio& from, Packet packet) {
         ++stats_.losses_collision;
         continue;
       }
-      if (rng_.chance(cfg_.loss_probability)) {
+      if (drop_random(from.id(), r->id())) {
         r->note_loss();
-        ++stats_.losses_random;
         continue;
       }
       ++stats_.deliveries;

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "net/message.h"
@@ -20,6 +22,19 @@
 #include "sim/scheduler.h"
 
 namespace enviromic::net {
+
+/// Gilbert–Elliott two-state burst-loss model, kept per directed (tx, rx)
+/// link. Each delivery attempt samples a loss with the current state's
+/// probability, then advances the state chain; runs of bad state produce the
+/// correlated losses real 802.15.4 links show (multipath fades, interference
+/// bursts) that an i.i.d. probability cannot.
+struct BurstLossConfig {
+  bool enabled = false;
+  double p_good_to_bad = 0.02;  //!< per-delivery transition probability
+  double p_bad_to_good = 0.25;
+  double loss_good = 0.0;  //!< loss probability while the link is good
+  double loss_bad = 0.85;  //!< loss probability while the link fades
+};
 
 struct ChannelConfig {
   /// Feet. Must exceed the sensing range (paper §II-A.1) so one-hop
@@ -35,6 +50,14 @@ struct ChannelConfig {
   double carrier_sense_factor = 1.5;
   /// Enable receiver-side collision losses.
   bool model_collisions = true;
+  /// Burst (correlated) losses on top of — or instead of — the i.i.d.
+  /// `loss_probability`; disabled by default so existing setups are
+  /// bit-identical.
+  BurstLossConfig burst;
+  /// Per directed link, an extra loss probability drawn deterministically in
+  /// U(0, link_asymmetry_max) from the link endpoints. Nonzero values make
+  /// links asymmetric: A may hear B much better than B hears A.
+  double link_asymmetry_max = 0.0;
 };
 
 /// Global channel statistics, used by the overhead figures.
@@ -44,6 +67,7 @@ struct ChannelStats {
   std::uint64_t losses_random = 0;
   std::uint64_t losses_collision = 0;
   std::uint64_t losses_radio_off = 0;
+  std::uint64_t losses_burst = 0;  //!< Gilbert–Elliott bad-state losses
 };
 
 class Channel {
@@ -65,6 +89,14 @@ class Channel {
   /// Nodes within communication range of `of` (excluding itself).
   std::vector<NodeId> neighbors_of(NodeId of) const;
 
+  /// Extra loss probability of the directed link src -> dst (deterministic
+  /// in the endpoints; 0 unless link_asymmetry_max is set).
+  double link_extra_loss(NodeId src, NodeId dst) const;
+
+  /// Current Gilbert–Elliott state of a directed link (true = bad/fading).
+  /// Links start good; exposed for tests and instrumentation.
+  bool link_in_bad_state(NodeId src, NodeId dst) const;
+
  private:
   friend class Radio;
 
@@ -79,6 +111,10 @@ class Channel {
   void begin_transmission(Radio& from, Packet packet);
   bool medium_busy_near(const sim::Position& pos) const;
   bool collided(const Radio& receiver, const ActiveTx& tx) const;
+  /// Sample the non-collision loss processes for one delivery attempt on the
+  /// directed link src -> dst (mutates the burst state chain). Returns true
+  /// when the packet is lost and bumps the matching stats counter.
+  bool drop_random(NodeId src, NodeId dst);
   void unregister(Radio* r);
 
   sim::Scheduler& sched_;
@@ -87,6 +123,8 @@ class Channel {
   ChannelStats stats_;
   std::vector<Radio*> radios_;
   std::vector<ActiveTx> active_;  //!< pruned lazily
+  /// Gilbert–Elliott state per directed link; absent entries are good.
+  std::map<std::pair<NodeId, NodeId>, bool> link_bad_;
 };
 
 }  // namespace enviromic::net

@@ -1,5 +1,6 @@
 #include "storage/chunk_store.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace enviromic::storage {
@@ -141,42 +142,70 @@ void ChunkStore::checkpoint() {
 ChunkStore ChunkStore::recover(Flash& flash, Eeprom& eeprom,
                                ChunkStoreConfig cfg) {
   ChunkStore store(flash, eeprom, cfg);
-  const auto& cp = eeprom.load();
-  if (!cp) return store;  // never checkpointed: treat as empty
-  store.chunk_counter_ = cp->chunk_counter;
-  store.head_block_ = cp->head_block % std::max(1u, flash.block_count());
+  store.reload_from_flash();
+  return store;
+}
 
-  // Walk forward from the checkpointed head re-reading OOB tags. We do not
-  // trust `used_blocks` alone: appends after the checkpoint extended the
-  // tail, pops advanced the head. Skip cleared/invalid leading blocks (pops
-  // after checkpoint), then accept well-formed chunks until the tags stop
-  // chaining.
-  std::uint32_t block = store.head_block_;
-  std::uint32_t scanned = 0;
-  const std::uint32_t total = flash.block_count();
-  // Skip popped (cleared) blocks at the head.
-  while (scanned < total && !flash.tag(block)) {
-    block = store.ring_next(block);
-    ++scanned;
-  }
-  store.head_block_ = block;
-  while (scanned < total) {
-    const auto& first = flash.tag(block);
-    if (!first || first->frag_index != 0) break;
-    const std::uint32_t n = first->frag_count;
-    if (n == 0 || n > total - (scanned)) break;
-    // Validate the whole fragment chain before committing.
-    bool ok = true;
-    std::uint32_t b = block;
-    for (std::uint32_t i = 0; i < n; ++i) {
-      const auto& t = flash.tag(b);
-      if (!t || t->chunk_key != first->chunk_key || t->frag_index != i) {
-        ok = false;
-        break;
-      }
-      b = store.ring_next(b);
+void ChunkStore::reload_from_flash() {
+  chunks_.clear();
+  head_block_ = 0;
+  used_blocks_ = 0;
+  used_payload_ = 0;
+  chunk_counter_ = 0;
+  mutations_since_checkpoint_ = 0;
+
+  // The flash contents are authoritative: pops clear OOB tags and appends
+  // overwrite them, so a full ring scan reconstructs the queue even when the
+  // EEPROM checkpoint is stale — or was never written at all (a node can
+  // crash before its first checkpoint with received chunks already on
+  // flash). The checkpoint contributes the counter floor and a fallback
+  // scan origin.
+  const auto& cp = eeprom_.load();
+  const std::uint32_t total = flash_.block_count();
+  if (total == 0) return;
+
+  // Pops clear OOB tags and appends overwrite them, so the blocks holding
+  // valid tags are exactly the live queue, laid out contiguously in ring
+  // order. The checkpointed head may lag arbitrarily — pops advanced the
+  // real head past it, and appends may even have wrapped fresh data over
+  // it — so it only serves as a fallback scan origin. Any cleared block
+  // sits in the free gap, and the first chunk start after the gap is the
+  // true queue head; scanning the ring once from there reconstructs the
+  // queue in age order.
+  std::uint32_t origin = cp ? cp->head_block % total : 0;
+  for (std::uint32_t i = 0; i < total; ++i) {
+    if (!flash_.tag(i)) {
+      origin = i;
+      break;
     }
-    if (!ok) break;
+  }
+  std::uint32_t block = origin;
+  std::uint32_t scanned = 0;
+  bool have_head = false;
+  while (scanned < total) {
+    const auto& first = flash_.tag(block);
+    if (!first || first->frag_index != 0) {
+      // Cleared, or mid-chain of a chunk wrapping past the origin (only
+      // possible when the flash is full); its start turns up later in the
+      // scan and the chain validation below wraps back through here.
+      block = ring_next(block);
+      ++scanned;
+      continue;
+    }
+    const std::uint32_t n = first->frag_count;
+    bool ok = n > 0 && n <= total;
+    std::uint32_t b = block;
+    for (std::uint32_t i = 0; ok && i < n; ++i) {
+      const auto& t = flash_.tag(b);
+      if (!t || t->chunk_key != first->chunk_key || t->frag_index != i)
+        ok = false;
+      b = ring_next(b);
+    }
+    if (!ok) {
+      block = ring_next(block);
+      ++scanned;
+      continue;
+    }
     ChunkMeta meta;
     meta.key = first->chunk_key;
     meta.event = first->event;
@@ -185,13 +214,32 @@ ChunkStore ChunkStore::recover(Flash& flash, Eeprom& eeprom,
     meta.recorded_by = first->recorded_by;
     meta.bytes = first->chunk_bytes;
     meta.is_prelude = first->is_prelude;
-    store.chunks_.push_back(Stored{meta, block, n});
-    store.used_blocks_ += n;
-    store.used_payload_ += meta.bytes;
+    chunks_.push_back(Stored{meta, block, n});
+    if (!have_head) {
+      head_block_ = block;
+      have_head = true;
+    }
+    used_blocks_ += n;
+    used_payload_ += meta.bytes;
     block = b;
     scanned += n;
   }
-  return store;
+  if (!have_head) head_block_ = origin;
+
+  // Counter floor: the checkpoint lags the live counter by at most
+  // checkpoint_every_appends mints, and keys minted just before the crash
+  // may already have migrated to other nodes — restart past the margin so
+  // they cannot be reissued (which would alias two different chunks under
+  // one key). Recovered keys raise the floor further; taking foreign keys'
+  // counters into account only overshoots, which is harmless. With no
+  // checkpoint at all, fewer than checkpoint_every_appends mutations ever
+  // happened (the first checkpoint would have fired), so the margin alone
+  // clears every key this node could have minted.
+  std::uint32_t floor = cp ? cp->chunk_counter : 0;
+  for (const auto& sc : chunks_) {
+    floor = std::max(floor, static_cast<std::uint32_t>(sc.meta.key));
+  }
+  chunk_counter_ = floor + cfg_.checkpoint_every_appends + 1;
 }
 
 }  // namespace enviromic::storage

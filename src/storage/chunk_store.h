@@ -80,6 +80,13 @@ class ChunkStore {
   static ChunkStore recover(Flash& flash, Eeprom& eeprom,
                             ChunkStoreConfig cfg = {});
 
+  /// In-place variant of `recover()` for a live node rebooting: drop all
+  /// in-RAM state and rebuild the queue from this store's own flash + EEPROM.
+  /// The chunk counter restarts past the checkpointed value with a safety
+  /// margin, so keys minted before the crash (including ones already
+  /// migrated to other nodes) are never reissued.
+  void reload_from_flash();
+
   std::uint64_t appends() const { return appends_; }
   std::uint64_t rejected_appends() const { return rejected_; }
 

@@ -1,0 +1,74 @@
+// Chaos soak: the indoor workload under randomized crashes, reboots,
+// brownouts, clock steps, and a bursty asymmetric channel. After the storm
+// plus a grace period, the end state must satisfy the fault model's
+// promises: every surviving node's store survives a checkpoint/recover
+// round trip, physical collection retrieves every distinct live chunk
+// exactly once, no transfer session is stuck, and the fault counters add
+// up.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace enviromic::core {
+namespace {
+
+ChaosRunConfig storm(std::uint64_t seed) {
+  ChaosRunConfig cfg;
+  cfg.seed = seed;
+  cfg.horizon = sim::Time::seconds_i(900);
+  cfg.faults.crash_probability = 0.5;
+  cfg.faults.downtime_mean = sim::Time::seconds_i(45);
+  cfg.faults.brownout_probability = 0.3;
+  cfg.faults.clock_step_probability = 0.3;
+  cfg.burst.enabled = true;
+  cfg.link_asymmetry_max = 0.2;
+  return cfg;
+}
+
+class ChaosSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSoak, InvariantsHoldAfterStorm) {
+  const auto res = run_chaos(storm(GetParam()));
+  const auto& f = res.final_snapshot.faults;
+
+  // The storm actually happened.
+  EXPECT_GT(f.crashes, 0u);
+  EXPECT_GT(f.reboots, 0u);
+  EXPECT_GT(res.live_chunks, 0u);
+
+  EXPECT_TRUE(res.stores_recoverable);
+  EXPECT_TRUE(res.retrieval_exact_once);
+  EXPECT_TRUE(res.counters_consistent);
+  EXPECT_EQ(res.stuck_tx_sessions, 0u);
+  EXPECT_EQ(res.stuck_rx_sessions, 0u);
+  EXPECT_EQ(f.recovery_mismatches, 0u);
+  EXPECT_TRUE(res.invariants_hold());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoak,
+                         ::testing::Values(1ull, 2ull, 3ull, 9ull, 21ull));
+
+TEST(Chaos, PermanentFailuresLoseOnlyTheLostData) {
+  ChaosRunConfig cfg = storm(5);
+  cfg.faults.permanent_fraction = 0.4;
+  cfg.faults.lose_data_fraction = 0.5;
+  const auto res = run_chaos(cfg);
+  EXPECT_TRUE(res.invariants_hold());
+  EXPECT_GT(res.nodes_lost, 0u);
+  // Defunct motes are excluded from the crash==reboot accounting.
+  EXPECT_EQ(res.final_snapshot.faults.permanent_failures, res.nodes_lost);
+}
+
+TEST(Chaos, QuietPlanDegradesToPlainIndoorRun) {
+  ChaosRunConfig cfg;
+  cfg.seed = 11;
+  cfg.horizon = sim::Time::seconds_i(600);
+  const auto res = run_chaos(cfg);
+  EXPECT_EQ(res.final_snapshot.faults.crashes, 0u);
+  EXPECT_EQ(res.final_snapshot.faults.reboots, 0u);
+  EXPECT_TRUE(res.invariants_hold());
+  EXPECT_GT(res.live_chunks, 0u);
+}
+
+}  // namespace
+}  // namespace enviromic::core

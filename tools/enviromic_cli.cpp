@@ -4,6 +4,7 @@
 //   enviromic_cli --scenario mobile --trc 0.5 --dta 30 --runs 15
 //   enviromic_cli --scenario outdoor --seed 9 --csv
 //   enviromic_cli --scenario voice
+//   enviromic_cli --scenario chaos --faults crash=0.3,downtime=60
 //
 // Prints the scenario's headline metrics; --csv emits the time series for
 // plotting, --contours renders the spatial storage distribution.
@@ -32,12 +33,14 @@ struct Args {
   bool csv = false;
   bool contours = false;
   bool gossip = false;
+  bool have_faults = false;
+  core::ChaosSpec chaos;
 };
 
 void usage() {
   std::puts(
       "usage: enviromic_cli [options]\n"
-      "  --scenario indoor|outdoor|mobile|voice   (default indoor)\n"
+      "  --scenario indoor|outdoor|mobile|voice|chaos (default indoor)\n"
       "  --mode uncoordinated|coop|full           (default full)\n"
       "  --beta <beta_max>                        (default 2)\n"
       "  --gossip                                 global balancing strategy\n"
@@ -47,7 +50,11 @@ void usage() {
       "  --trc <seconds>  --dta <ms>              mobile scenario knobs\n"
       "  --runs <n>                               repetitions (mobile)\n"
       "  --csv                                    CSV time series output\n"
-      "  --contours                               storage contour at end\n");
+      "  --contours                               storage contour at end\n"
+      "  --faults k=v[,k=v...]                    fault plan; implies chaos\n"
+      "      keys: crash downtime permanent lose_data brownout brownout_len\n"
+      "            clockstep clockstep_max burst pgb pbg loss_bad loss_good\n"
+      "            asym   (e.g. --faults crash=0.3,downtime=60,burst=1)\n");
 }
 
 bool parse(int argc, char** argv, Args& args) {
@@ -84,6 +91,13 @@ bool parse(int argc, char** argv, Args& args) {
       args.dta_ms = std::atoi(next("--dta"));
     } else if (a == "--runs") {
       args.runs = std::atoi(next("--runs"));
+    } else if (a == "--faults") {
+      std::string err;
+      if (!core::parse_fault_spec(next("--faults"), args.chaos, err)) {
+        std::fprintf(stderr, "bad --faults spec: %s\n", err.c_str());
+        return false;
+      }
+      args.have_faults = true;
     } else if (a == "--csv") {
       args.csv = true;
     } else if (a == "--contours") {
@@ -204,6 +218,54 @@ int run_voice_cli(const Args& args) {
   return 0;
 }
 
+int run_chaos_cli(const Args& args) {
+  core::ChaosRunConfig cfg;
+  cfg.seed = args.seed;
+  cfg.horizon = sim::Time::seconds(args.horizon_s);
+  cfg.beta_max = args.beta;
+  if (args.have_faults) {
+    cfg.faults = args.chaos.faults;
+    cfg.burst = args.chaos.burst;
+    cfg.link_asymmetry_max = args.chaos.link_asymmetry_max;
+  } else {
+    // Bare `--scenario chaos`: a representative default storm.
+    cfg.faults.crash_probability = 0.3;
+    cfg.faults.downtime_mean = sim::Time::seconds_i(60);
+    cfg.burst.enabled = true;
+  }
+  const auto res = core::run_chaos(cfg);
+  const auto& f = res.final_snapshot.faults;
+  std::printf("chaos[seed=%llu] nodes=%zu chunks=%llu miss=%.3f\n",
+              static_cast<unsigned long long>(args.seed), res.nodes,
+              static_cast<unsigned long long>(res.live_chunks),
+              res.final_snapshot.miss_ratio);
+  std::printf(
+      "  faults: crashes=%u reboots=%u permanent=%u brownouts=%u "
+      "clock_steps=%u downtime=%.0fs\n",
+      f.crashes, f.reboots, f.permanent_failures, f.brownouts, f.clock_steps,
+      f.downtime_total.to_seconds());
+  std::printf(
+      "  recovery: chunks_recovered=%llu mismatches=%llu down_at_end=%u "
+      "lost=%u\n",
+      static_cast<unsigned long long>(f.chunks_recovered),
+      static_cast<unsigned long long>(f.recovery_mismatches),
+      res.nodes_down_at_end, res.nodes_lost);
+  std::printf(
+      "  transfers: aborts=%u duplicate_risks=%u rx_expired=%u "
+      "stuck_tx=%u stuck_rx=%u\n",
+      res.final_snapshot.transfer_aborts,
+      res.final_snapshot.transfer_duplicate_risks,
+      res.final_snapshot.transfer_rx_expired, res.stuck_tx_sessions,
+      res.stuck_rx_sessions);
+  std::printf(
+      "  invariants: stores_recoverable=%d retrieval_exact_once=%d "
+      "counters_consistent=%d => %s\n",
+      res.stores_recoverable ? 1 : 0, res.retrieval_exact_once ? 1 : 0,
+      res.counters_consistent ? 1 : 0,
+      res.invariants_hold() ? "OK" : "VIOLATED");
+  return res.invariants_hold() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -212,6 +274,7 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  if (args.have_faults || args.scenario == "chaos") return run_chaos_cli(args);
   if (args.scenario == "indoor") return run_indoor_cli(args);
   if (args.scenario == "mobile") return run_mobile_cli(args);
   if (args.scenario == "outdoor") return run_outdoor_cli(args);
