@@ -1,0 +1,420 @@
+// Wall-clock performance harness for the simulator's hot paths, and the
+// first point of the repo's perf trajectory (results/BENCH_sim.json).
+//
+// Three workloads, sized so the O(N) vs O(1) delivery paths separate:
+//   1. event-queue churn — schedule/cancel/pop storms, the pattern CSMA
+//      back-offs and protocol watchdogs produce (exercises eager cancel
+//      release + tombstone compaction);
+//   2. broadcast storm — N radios on a dense grid, staggered periodic
+//      broadcasts through the raw Channel, timed with the spatial index on
+//      and off (the paper-independent measure of the delivery path);
+//   3. chaos scenario — the full indoor workload under randomized faults at
+//      50/200/500 nodes (the end-to-end number a user actually feels).
+//
+// Every indexed/linear pair is also checked for bit-identical results: the
+// spatial index must be a pure acceleration, so diverging channel counters
+// or metrics fail the run (exit 2).
+//
+// Usage: perf_substrates [--quick] [--out PATH] [--baseline PATH]
+//                        [--max-regress FRACTION]
+// --quick shrinks horizons for the CI smoke lane and skips the 500-node
+// linear soak; the regression gate compares chaos_200_ms against the
+// baseline JSON and fails (exit 3) on > FRACTION regression.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "enviromic.h"
+
+using namespace enviromic;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+// --- 1. Event-queue churn ----------------------------------------------------
+
+double bench_event_queue_churn(int rounds, std::uint64_t* ops_out) {
+  sim::EventQueue q;
+  std::uint64_t fired = 0, ops = 0;
+  const auto t0 = Clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    // A wave of timers, most of which get cancelled before firing — the
+    // protocol stack's signature load (back-off retries, watchdog re-arms).
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(1000);
+    const auto base = sim::Time::millis(r * 10);
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(
+          q.schedule(base + sim::Time::ticks(i), [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < 1000; ++i) {
+      if (i % 4 != 0) handles[static_cast<size_t>(i)].cancel();
+    }
+    while (!q.empty()) q.pop().second();
+    ops += 2000;  // schedules + (cancels or pops)
+  }
+  const double ms = ms_since(t0);
+  *ops_out = ops;
+  if (fired == 0) std::fprintf(stderr, "event queue fired nothing?\n");
+  return ms;
+}
+
+// --- 2. Broadcast storm through the raw Channel ------------------------------
+
+struct StormResult {
+  double ms = 0.0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t transmissions = 0;
+  std::uint64_t received = 0;  //!< sum over receive handlers
+};
+
+struct StormParams {
+  int n_nodes = 500;
+  double sim_seconds = 10.0;
+  /// Grid pitch in feet; comm_range stays 4.0, so 4.0 ft spacing gives the
+  /// four cardinal neighbors (a sparse field), 2.0 ft the dense indoor grid.
+  double spacing = 4.0;
+  /// 1 Hz with a 25 KB chunk (~0.8 s air time) keeps every node just inside
+  /// half-duplex (duty ~0.8) with ~400 transmissions concurrently in
+  /// flight — the saturated regime where the linear path's O(active)
+  /// interference scans dominate.
+  double rate_hz = 1.0;
+  /// Audio-chunk payload per broadcast. Long air times keep many
+  /// transmissions concurrently in flight, which is what separates the
+  /// O(recipients x active) linear interference scan from the grid gather.
+  std::uint32_t payload_bytes = 25000;
+  /// Carrier sensing off models the hidden-terminal storm the paper's
+  /// single-channel MAC degenerates to under saturation; with CSMA on the
+  /// spatial backoff serializes the medium and the bench would mostly time
+  /// the scheduler instead of the delivery path.
+  double carrier_sense_factor = 0.0;
+};
+
+StormResult broadcast_storm(const StormParams& sp, bool indexed) {
+  sim::Scheduler sched;
+  net::ChannelConfig cfg;
+  cfg.comm_range = 4.0;
+  cfg.loss_probability = 0.05;
+  cfg.carrier_sense_factor = sp.carrier_sense_factor;
+  cfg.use_spatial_index = indexed;
+  net::Channel channel(sched, sim::Rng(1234), cfg);
+
+  const int side = static_cast<int>(std::ceil(std::sqrt(sp.n_nodes)));
+  std::vector<std::unique_ptr<net::Radio>> radios;
+  StormResult out;
+  for (int i = 0; i < sp.n_nodes; ++i) {
+    const double x = sp.spacing * (i % side);
+    const double y = sp.spacing * (i / side);
+    radios.push_back(
+        channel.create_radio(static_cast<net::NodeId>(i + 1), {x, y}));
+    radios.back()->set_receive_handler(
+        [&out](const net::Packet&) { ++out.received; });
+  }
+
+  // Every node broadcasts an audio chunk fragment at rate_hz, staggered
+  // across the period so starts spread evenly.
+  const auto period =
+      sim::Time::ticks(static_cast<std::int64_t>(
+          static_cast<double>(sim::Time::seconds_i(1).raw_ticks()) /
+          sp.rate_hz));
+  const auto horizon = sim::Time::seconds(sp.sim_seconds);
+  // Self-re-arming beacons: the heap carries one pending send per node (plus
+  // in-flight deliveries) instead of every future send, and the re-arm
+  // schedule is a pure function of the period, so indexed and linear runs
+  // still execute identical event sequences.
+  std::function<void(net::Radio*, sim::Time)> arm =
+      [&](net::Radio* r, sim::Time when) {
+        if (when >= horizon) return;
+        sched.at(when, [&, r, when] {
+          net::Packet p;
+          p.src = r->id();
+          p.dst = net::kBroadcast;
+          net::TransferData d;
+          d.sender = r->id();
+          d.payload_bytes = sp.payload_bytes;
+          p.messages.push_back(std::move(d));
+          r->send(p);
+          arm(r, when + period);
+        });
+      };
+  const auto t0 = Clock::now();
+  for (int i = 0; i < sp.n_nodes; ++i) {
+    arm(radios[static_cast<size_t>(i)].get(),
+        sim::Time::ticks(period.raw_ticks() * i / sp.n_nodes));
+  }
+  sched.run();
+  out.ms = ms_since(t0);
+  out.deliveries = channel.stats().deliveries;
+  out.transmissions = channel.stats().transmissions;
+  return out;
+}
+
+// --- 3. Full chaos scenario --------------------------------------------------
+
+core::ChaosRunConfig chaos_config(int grid_nx, int grid_ny, double horizon_s,
+                                  bool indexed) {
+  core::ChaosRunConfig cfg;
+  cfg.seed = 7;
+  cfg.grid_nx = grid_nx;
+  cfg.grid_ny = grid_ny;
+  cfg.horizon = sim::Time::seconds(horizon_s);
+  cfg.faults.crash_probability = 0.3;
+  cfg.faults.downtime_mean = sim::Time::seconds_i(45);
+  cfg.faults.brownout_probability = 0.2;
+  cfg.burst.enabled = true;
+  cfg.link_asymmetry_max = 0.1;
+  cfg.spatial_index = indexed;
+  return cfg;
+}
+
+struct ChaosTimed {
+  double ms = 0.0;
+  core::ChaosRunResult result;
+};
+
+ChaosTimed timed_chaos(int grid_nx, int grid_ny, double horizon_s,
+                       bool indexed) {
+  const auto cfg = chaos_config(grid_nx, grid_ny, horizon_s, indexed);
+  ChaosTimed out;
+  const auto t0 = Clock::now();
+  out.result = core::run_chaos(cfg);
+  out.ms = ms_since(t0);
+  return out;
+}
+
+bool chaos_runs_identical(const core::ChaosRunResult& a,
+                          const core::ChaosRunResult& b) {
+  const auto& sa = a.final_snapshot;
+  const auto& sb = b.final_snapshot;
+  return a.channel_stats.transmissions == b.channel_stats.transmissions &&
+         a.channel_stats.deliveries == b.channel_stats.deliveries &&
+         a.channel_stats.losses_random == b.channel_stats.losses_random &&
+         a.channel_stats.losses_collision == b.channel_stats.losses_collision &&
+         a.channel_stats.losses_radio_off == b.channel_stats.losses_radio_off &&
+         a.channel_stats.losses_burst == b.channel_stats.losses_burst &&
+         sa.total_messages == sb.total_messages &&
+         sa.miss_ratio == sb.miss_ratio &&
+         sa.per_node_used_bytes == sb.per_node_used_bytes &&
+         a.live_chunks == b.live_chunks;
+}
+
+// --- JSON plumbing -----------------------------------------------------------
+
+/// Extract `"key": <number>` from a (flat, trusted) JSON file we wrote
+/// ourselves; returns false when absent.
+bool json_number(const std::string& text, const std::string& key, double* out) {
+  const auto at = text.find("\"" + key + "\"");
+  if (at == std::string::npos) return false;
+  const auto colon = text.find(':', at);
+  if (colon == std::string::npos) return false;
+  return std::sscanf(text.c_str() + colon + 1, "%lf", out) == 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "results/BENCH_sim.json";
+  std::string baseline_path;
+  double max_regress = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--quick")) {
+      quick = true;
+    } else if (!std::strcmp(argv[i], "--one") && i + 4 < argc) {
+      // One 500-node storm config (spacing, payload, indexed, seconds), for
+      // profiling.
+      StormParams sp;
+      sp.spacing = std::atof(argv[i + 1]);
+      sp.payload_bytes = static_cast<std::uint32_t>(std::atoi(argv[i + 2]));
+      const bool ix = std::atoi(argv[i + 3]) != 0;
+      sp.sim_seconds = std::atof(argv[i + 4]);
+      const auto r = broadcast_storm(sp, ix);
+      std::printf("one: %s %.1f ms tx %llu deliveries %llu\n",
+                  ix ? "indexed" : "linear", r.ms,
+                  static_cast<unsigned long long>(r.transmissions),
+                  static_cast<unsigned long long>(r.deliveries));
+      return 0;
+    } else if (!std::strcmp(argv[i], "--sweep")) {
+      // Parameter sweep over the 500-node storm, for tuning the committed
+      // scenario; prints a table and exits.
+      for (const double spacing : {2.0, 4.0}) {
+        for (const std::uint32_t payload : {5000u, 12500u, 25000u, 50000u}) {
+          StormParams sp;
+          sp.spacing = spacing;
+          sp.payload_bytes = payload;
+          const auto ix = broadcast_storm(sp, true);
+          const auto lin = broadcast_storm(sp, false);
+          std::printf(
+              "spacing %.0f payload %5u: indexed %7.1f ms linear %7.1f ms "
+              "(%4.1fx) tx %llu deliveries %llu\n",
+              spacing, payload, ix.ms, lin.ms,
+              ix.ms > 0 ? lin.ms / ix.ms : 0.0,
+              static_cast<unsigned long long>(ix.transmissions),
+              static_cast<unsigned long long>(ix.deliveries));
+          if (ix.deliveries != lin.deliveries ||
+              ix.transmissions != lin.transmissions) {
+            std::printf("  DIVERGENCE!\n");
+          }
+        }
+      }
+      return 0;
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--baseline") && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--max-regress") && i + 1 < argc) {
+      max_regress = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out PATH] [--baseline PATH] "
+                   "[--max-regress F]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  // Read the baseline before running, so --out and --baseline may point at
+  // the same file (the CI smoke lane overwrites the committed trajectory
+  // point after gating against it).
+  std::string baseline_text;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    baseline_text = ss.str();
+  }
+
+  std::map<std::string, double> results;
+  bool determinism_ok = true;
+
+  // 1. Event-queue churn.
+  {
+    std::uint64_t ops = 0;
+    const double ms = bench_event_queue_churn(quick ? 200 : 2000, &ops);
+    results["event_queue_churn_ms"] = ms;
+    results["event_queue_ops_per_sec"] =
+        ms > 0 ? static_cast<double>(ops) / (ms / 1000.0) : 0.0;
+    std::printf("event-queue churn: %.1f ms (%.2fM ops/s)\n", ms,
+                results["event_queue_ops_per_sec"] / 1e6);
+  }
+
+  // 2. Broadcast storms, indexed vs linear.
+  const double storm_s = quick ? 10.0 : 30.0;
+  for (const int n : {200, 500}) {
+    StormParams sp;
+    sp.n_nodes = n;
+    sp.sim_seconds = storm_s;
+    const auto indexed = broadcast_storm(sp, /*indexed=*/true);
+    const auto linear = broadcast_storm(sp, /*indexed=*/false);
+    const std::string tag = "broadcast_" + std::to_string(n);
+    results[tag + "_indexed_ms"] = indexed.ms;
+    results[tag + "_linear_ms"] = linear.ms;
+    results[tag + "_speedup"] = indexed.ms > 0 ? linear.ms / indexed.ms : 0.0;
+    if (indexed.deliveries != linear.deliveries ||
+        indexed.transmissions != linear.transmissions ||
+        indexed.received != linear.received) {
+      determinism_ok = false;
+      std::fprintf(stderr, "DIVERGENCE: broadcast %d indexed vs linear\n", n);
+    }
+    std::printf(
+        "broadcast storm %3d nodes: indexed %.1f ms, linear %.1f ms "
+        "(%.1fx), %llu deliveries\n",
+        n, indexed.ms, linear.ms, results[tag + "_speedup"],
+        static_cast<unsigned long long>(indexed.deliveries));
+  }
+
+  // 3. Chaos scenarios. 50 and 200 nodes always; the 500-node pair only in
+  // the full run (the linear soak is the slow one). The 200-node scenario is
+  // the regression-gated metric, so it always runs the full horizon — quick
+  // numbers must stay comparable with the committed full-run baseline.
+  const double chaos_s = quick ? 180.0 : 600.0;
+  {
+    const auto c50 = timed_chaos(10, 5, chaos_s, true);
+    results["chaos_50_ms"] = c50.ms;
+    std::printf("chaos  50 nodes: %.1f ms\n", c50.ms);
+
+    const auto c200 = timed_chaos(20, 10, 600.0, true);
+    results["chaos_200_ms"] = c200.ms;
+    std::printf("chaos 200 nodes: %.1f ms\n", c200.ms);
+    const auto c200_lin = timed_chaos(20, 10, 600.0, false);
+    results["chaos_200_linear_ms"] = c200_lin.ms;
+    results["chaos_200_speedup"] =
+        c200.ms > 0 ? c200_lin.ms / c200.ms : 0.0;
+    if (!chaos_runs_identical(c200.result, c200_lin.result)) {
+      determinism_ok = false;
+      std::fprintf(stderr, "DIVERGENCE: chaos 200 indexed vs linear\n");
+    }
+    std::printf("chaos 200 linear: %.1f ms (%.1fx)\n", c200_lin.ms,
+                results["chaos_200_speedup"]);
+
+    if (!quick) {
+      const auto c500 = timed_chaos(25, 20, chaos_s, true);
+      results["chaos_500_ms"] = c500.ms;
+      const auto c500_lin = timed_chaos(25, 20, chaos_s, false);
+      results["chaos_500_linear_ms"] = c500_lin.ms;
+      results["chaos_500_speedup"] =
+          c500.ms > 0 ? c500_lin.ms / c500.ms : 0.0;
+      if (!chaos_runs_identical(c500.result, c500_lin.result)) {
+        determinism_ok = false;
+        std::fprintf(stderr, "DIVERGENCE: chaos 500 indexed vs linear\n");
+      }
+      std::printf("chaos 500 nodes: indexed %.1f ms, linear %.1f ms (%.1fx)\n",
+                  c500.ms, c500_lin.ms, results["chaos_500_speedup"]);
+    }
+  }
+
+  // Emit the JSON trajectory point.
+  {
+    std::ofstream out(out_path);
+    out << "{\n  \"bench\": \"perf_substrates\",\n  \"schema\": 1,\n"
+        << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
+        << "  \"determinism_ok\": " << (determinism_ok ? "true" : "false")
+        << ",\n  \"results\": {\n";
+    bool first = true;
+    for (const auto& [k, v] : results) {
+      if (!first) out << ",\n";
+      first = false;
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.3f", v);
+      out << "    \"" << k << "\": " << buf;
+    }
+    out << "\n  }\n}\n";
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  if (!determinism_ok) {
+    std::fprintf(stderr, "FAIL: indexed and linear runs diverged\n");
+    return 2;
+  }
+
+  // Regression gate against the committed baseline.
+  if (!baseline_text.empty()) {
+    double base_200 = 0.0;
+    if (json_number(baseline_text, "chaos_200_ms", &base_200) &&
+        base_200 > 0.0) {
+      const double now_200 = results["chaos_200_ms"];
+      const double ratio = now_200 / base_200;
+      std::printf("regression gate: chaos_200_ms %.1f vs baseline %.1f "
+                  "(%.2fx, limit %.2fx)\n",
+                  now_200, base_200, ratio, 1.0 + max_regress);
+      if (ratio > 1.0 + max_regress) {
+        std::fprintf(stderr, "FAIL: chaos_200_ms regressed %.0f%% (> %.0f%%)\n",
+                     (ratio - 1.0) * 100.0, max_regress * 100.0);
+        return 3;
+      }
+    } else {
+      std::printf("regression gate: no usable baseline, skipping\n");
+    }
+  }
+  return 0;
+}

@@ -4,15 +4,28 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
+cmake -B build  # reuse the existing generator if configured
 cmake --build build
 
 ctest --test-dir build --output-on-failure
 
 for b in build/bench/*; do
+  # perf_substrates is wall-clock timing, not a figure; it gets its own
+  # gated smoke step below.
+  [ "$(basename "$b")" = perf_substrates ] && continue
   echo "== bench: $(basename "$b")"
   "$b" > /dev/null
 done
+
+echo "== perf smoke (regression gate vs committed baseline)"
+# Fails on indexed/linear divergence (exit 2) or when the 200-node chaos
+# scenario regresses more than 25% against the committed trajectory point
+# (exit 3). Writes the quick-mode numbers next to the committed full-mode
+# trajectory point, never over it (only scripts/run_bench.sh updates that).
+./build/bench/perf_substrates --quick \
+  --out results/BENCH_sim.ci.json \
+  --baseline results/BENCH_sim.json \
+  --max-regress 0.25
 
 for e in build/examples/*; do
   echo "== example: $(basename "$e")"

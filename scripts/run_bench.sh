@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Run the wall-clock perf harness and (re)write the perf trajectory point at
+# results/BENCH_sim.json. Pass --quick for the CI smoke lane (shorter
+# horizons, no 500-node linear soak); any further args go straight through
+# to perf_substrates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build >/dev/null  # reuse the existing generator
+cmake --build build --target perf_substrates >/dev/null
+
+mkdir -p results
+./build/bench/perf_substrates \
+  --out results/BENCH_sim.json \
+  --baseline results/BENCH_sim.json \
+  "$@"

@@ -288,6 +288,7 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
   }
   wc.channel.burst = cfg.burst;
   wc.channel.link_asymmetry_max = cfg.link_asymmetry_max;
+  wc.channel.use_spatial_index = cfg.spatial_index;
   World world(wc);
 
   grid_deployment(world, cfg.grid_nx, cfg.grid_ny, cfg.spacing_ft);
@@ -317,6 +318,7 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
 
   ChaosRunResult r;
   r.nodes = world.node_count();
+  r.live_events_at_end = world.sched().pending();
   const sim::Time now = world.sched().now();
   std::set<std::uint64_t> live_keys;
   for (std::size_t i = 0; i < world.node_count(); ++i) {
@@ -361,6 +363,7 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
       world.drain_all(/*deduplicate=*/true).chunk_count() == live_keys.size();
 
   r.final_snapshot = world.snapshot();
+  r.channel_stats = world.channel().stats();
   const auto& f = r.final_snapshot.faults;
   r.counters_consistent = f.crashes == f.reboots + r.nodes_down_at_end;
   return r;

@@ -143,10 +143,16 @@ struct ChaosRunConfig {
   /// Quiet tail after the last scheduled fault/event so in-flight sessions
   /// drain before the invariants are checked.
   sim::Time grace = sim::Time::seconds_i(120);
+  /// Channel spatial index; the determinism test and the bench harness flip
+  /// this off to A/B against the linear delivery path.
+  bool spatial_index = true;
 };
 
 struct ChaosRunResult {
   Metrics::Snapshot final_snapshot;
+  /// Channel counters at the end of the run; the determinism test compares
+  /// them bit for bit between index-on and index-off runs.
+  net::ChannelStats channel_stats;
   std::size_t nodes = 0;
   std::uint32_t nodes_down_at_end = 0;  //!< crashed, reboot not yet due
   std::uint32_t nodes_lost = 0;         //!< permanently failed
@@ -161,11 +167,20 @@ struct ChaosRunResult {
   std::uint32_t stuck_rx_sessions = 0;
   std::uint32_t stuck_tx_sessions = 0;
   std::uint64_t live_chunks = 0;
+  /// Live scheduler events at the horizon (EventQueue::live_count, i.e.
+  /// cancelled timers excluded). The steady-state workload keeps a bounded
+  /// number of periodic timers per node; a runaway value means some
+  /// component is re-arming itself without making progress.
+  std::size_t live_events_at_end = 0;
+  /// Upper bound used by the stuck-session invariant: generous per-node
+  /// budget of periodic timers + in-flight transfers.
+  static constexpr std::size_t kLiveEventsPerNodeBound = 64;
 
   bool invariants_hold() const {
     return stores_recoverable && retrieval_exact_once &&
            counters_consistent && stuck_rx_sessions == 0 &&
-           stuck_tx_sessions == 0;
+           stuck_tx_sessions == 0 &&
+           live_events_at_end <= nodes * kLiveEventsPerNodeBound;
   }
 };
 

@@ -23,6 +23,7 @@ Node& World::add_node(sim::Position pos, const NodeParams& params) {
   nodes_.push_back(std::make_unique<Node>(id, pos, params, sched_, channel_,
                                           field_, rng_.fork(id), is_root,
                                           &metrics_));
+  nodes_by_id_.emplace(id, nodes_.back().get());
   return *nodes_.back();
 }
 
@@ -94,10 +95,8 @@ void World::apply_faults(const FaultPlan& plan) {
 }
 
 Node* World::by_id(net::NodeId id) {
-  for (auto& n : nodes_) {
-    if (n->id() == id) return n.get();
-  }
-  return nullptr;
+  const auto it = nodes_by_id_.find(id);
+  return it == nodes_by_id_.end() ? nullptr : it->second;
 }
 
 Metrics::Snapshot World::snapshot_with(

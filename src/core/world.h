@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "acoustic/field.h"
@@ -95,6 +96,8 @@ class World {
   GroundTruth gt_;
   Metrics metrics_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  /// id -> node, so fault events against big deployments resolve in O(1).
+  std::unordered_map<net::NodeId, Node*> nodes_by_id_;
   acoustic::SourceId next_source_ = 0;
   net::NodeId next_node_ = 1;
   bool started_ = false;

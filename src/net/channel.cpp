@@ -6,16 +6,102 @@
 namespace enviromic::net {
 
 Channel::Channel(sim::Scheduler& sched, sim::Rng rng, ChannelConfig cfg)
-    : sched_(sched), rng_(rng), cfg_(cfg) {}
+    : sched_(sched), rng_(rng), cfg_(cfg) {
+  grid_on_ = cfg_.use_spatial_index && cfg_.comm_range > 0.0;
+  cell_size_ = cfg_.comm_range;
+  active_cell_size_ = 2.0 * cfg_.comm_range;
+}
+
+std::uint64_t Channel::cell_for(const sim::Position& p) const {
+  return sim::cell_key(sim::cell_of(p, cell_size_));
+}
+
+std::uint64_t Channel::active_cell_for(const sim::Position& p) const {
+  return sim::cell_key(sim::cell_of(p, active_cell_size_));
+}
+
+void Channel::grid_insert(Radio* r) {
+  if (!grid_on_) return;
+  r->cell_key_ = cell_for(r->position());
+  cells_[r->cell_key_].push_back(r);
+}
+
+void Channel::grid_erase(Radio* r) {
+  if (!grid_on_) return;
+  const auto it = cells_.find(r->cell_key_);
+  if (it == cells_.end()) return;
+  auto& bucket = it->second;
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), r), bucket.end());
+  if (bucket.empty()) cells_.erase(it);
+}
 
 std::unique_ptr<Radio> Channel::create_radio(NodeId id, sim::Position pos) {
   auto radio = std::make_unique<Radio>(*this, id, pos);
+  radio->reg_seq_ = next_reg_seq_++;
+  ++topology_epoch_;
   radios_.push_back(radio.get());
+  registered_.insert(radio.get());
+  by_id_.emplace(id, radio.get());  // keeps the first-registered radio
+  grid_insert(radio.get());
   return radio;
 }
 
 void Channel::unregister(Radio* r) {
+  ++topology_epoch_;
   radios_.erase(std::remove(radios_.begin(), radios_.end(), r), radios_.end());
+  registered_.erase(r);
+  if (in_delivery_) dead_in_delivery_.push_back(r);
+  grid_erase(r);
+  const auto it = by_id_.find(r->id());
+  if (it != by_id_.end() && it->second == r) {
+    by_id_.erase(it);
+    // Rebind the id to the next-registered radio with the same id, matching
+    // what a linear first-match scan of the registry would now find.
+    for (Radio* other : radios_) {
+      if (other->id() == r->id()) {
+        by_id_.emplace(other->id(), other);
+        break;
+      }
+    }
+  }
+}
+
+void Channel::move_radio(Radio* r, const sim::Position& p) {
+  r->pos_ = p;
+  ++topology_epoch_;
+  if (!grid_on_) return;
+  const std::uint64_t key = cell_for(p);
+  if (key == r->cell_key_) return;
+  grid_erase(r);
+  r->cell_key_ = key;
+  cells_[key].push_back(r);
+}
+
+void Channel::radios_in_range(const sim::Position& pos, double range,
+                              std::vector<Radio*>& out) const {
+  out.clear();
+  if (!grid_on_) {
+    for (Radio* r : radios_) {
+      if (sim::distance(r->position(), pos) <= range) out.push_back(r);
+    }
+    return;
+  }
+  const sim::CellCoord c = sim::cell_of(pos, cell_size_);
+  const std::int32_t reach = sim::cell_reach(range, cell_size_);
+  for (std::int32_t dy = -reach; dy <= reach; ++dy) {
+    for (std::int32_t dx = -reach; dx <= reach; ++dx) {
+      const auto it = cells_.find(sim::cell_key({c.x + dx, c.y + dy}));
+      if (it == cells_.end()) continue;
+      for (Radio* r : it->second) {
+        if (sim::distance(r->position(), pos) <= range) out.push_back(r);
+      }
+    }
+  }
+  // Registration order == the order a linear scan of `radios_` would visit,
+  // so downstream RNG draws are bit-identical with the index off.
+  std::sort(out.begin(), out.end(), [](const Radio* a, const Radio* b) {
+    return a->reg_seq_ < b->reg_seq_;
+  });
 }
 
 sim::Time Channel::air_time(std::uint32_t bytes) const {
@@ -24,19 +110,14 @@ sim::Time Channel::air_time(std::uint32_t bytes) const {
 }
 
 std::vector<NodeId> Channel::neighbors_of(NodeId of) const {
-  const Radio* self = nullptr;
-  for (const Radio* r : radios_) {
-    if (r->id() == of) {
-      self = r;
-      break;
-    }
-  }
   std::vector<NodeId> out;
-  if (!self) return out;
-  for (const Radio* r : radios_) {
-    if (r == self) continue;
-    if (sim::distance(r->position(), self->position()) <= cfg_.comm_range)
-      out.push_back(r->id());
+  const auto it = by_id_.find(of);
+  if (it == by_id_.end()) return out;
+  const Radio* self = it->second;
+  std::vector<Radio*> in_range;
+  radios_in_range(self->position(), cfg_.comm_range, in_range);
+  for (const Radio* r : in_range) {
+    if (r != self) out.push_back(r->id());
   }
   return out;
 }
@@ -86,11 +167,32 @@ bool Channel::drop_random(NodeId src, NodeId dst) {
 }
 
 bool Channel::medium_busy_near(const sim::Position& pos) const {
-  const sim::Time now = sched_.now();
   const double sense = cfg_.comm_range * cfg_.carrier_sense_factor;
-  for (const auto& tx : active_) {
-    if (tx.end <= now) continue;
-    if (sim::distance(tx.pos, pos) <= sense) return true;
+  if (sense <= 0.0) return false;  // carrier sensing disabled
+  const sim::Time now = sched_.now();
+  const std::int32_t reach =
+      grid_on_ ? sim::cell_reach(sense, active_cell_size_) : 0;
+  // The grid only pays off once the flat list outgrows the bucket probes;
+  // a lightly loaded medium (the common case) scans a handful of entries.
+  const std::size_t probes =
+      static_cast<std::size_t>(2 * reach + 1) * (2 * reach + 1);
+  if (!grid_on_ || active_.size() <= probes) {
+    for (const auto& tx : active_) {
+      if (tx.end <= now) continue;
+      if (sim::distance(tx.pos, pos) <= sense) return true;
+    }
+    return false;
+  }
+  const sim::CellCoord c = sim::cell_of(pos, active_cell_size_);
+  for (std::int32_t dy = -reach; dy <= reach; ++dy) {
+    for (std::int32_t dx = -reach; dx <= reach; ++dx) {
+      const auto it = active_cells_.find(sim::cell_key({c.x + dx, c.y + dy}));
+      if (it == active_cells_.end()) continue;
+      for (const auto& tx : it->second) {
+        if (tx.end <= now) continue;
+        if (sim::distance(tx.pos, pos) <= sense) return true;
+      }
+    }
   }
   return false;
 }
@@ -118,32 +220,85 @@ void Channel::start_send(Radio& from, Packet packet, int attempt) {
   begin_transmission(from, std::move(packet));
 }
 
+void Channel::prune_active(sim::Time now) {
+  // Prune finished transmissions. Keep anything that could still overlap a
+  // transmission in flight. The grid mirror prunes with the same predicate
+  // so both query paths see exactly the same survivors. Every query already
+  // skips ended transmissions by timestamp, so prune cadence never changes
+  // results — once the list is large, scanning it on every delivery would
+  // itself be a hot-path O(active) cost, so pruning goes amortized.
+  if (active_.size() >= 64 && ++prune_skips_ < 256) return;
+  prune_skips_ = 0;
+  active_.erase(std::remove_if(active_.begin(), active_.end(),
+                               [now](const ActiveTx& t) { return t.end < now; }),
+                active_.end());
+  if (!grid_on_) return;
+  // Drained buckets are kept, not erased: per-radio probe caches hold
+  // pointers into this map, and the bucket count is bounded by the coarse
+  // cells the deployment has ever touched.
+  for (auto& [key, bucket] : active_cells_) {
+    bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                                [now](const ActiveTx& t) { return t.end < now; }),
+                 bucket.end());
+  }
+}
+
 void Channel::begin_transmission(Radio& from, Packet packet) {
   const sim::Time start = sched_.now();
   const sim::Time end = start + air_time(packet.total_bytes());
-  active_.push_back(ActiveTx{from.id(), from.position(), start, end});
+  const ActiveTx tx{from.id(), from.position(), start, end};
+  active_.push_back(tx);
+  if (grid_on_) active_cells_[active_cell_for(tx.pos)].push_back(tx);
   ++stats_.transmissions;
   from.note_sent(packet, start, end);
 
   // Deliveries resolve at transmission end; collision checks look at every
   // transmission that overlapped [start, end] at the receiver.
   sched_.at(end, [this, &from, packet = std::move(packet), start, end]() {
+    if (registered_.find(&from) == registered_.end()) {
+      // The sender was torn down while its packet was in the air; nothing to
+      // deliver (its transmission still occupied the medium until now).
+      prune_active(sched_.now());
+      return;
+    }
     const ActiveTx me{from.id(), from.position(), start, end};
-    for (Radio* r : radios_) {
+    // Snapshot the recipients before delivering: protocol handlers run from
+    // r->deliver() can crash a node under a FaultPlan and unregister radios,
+    // which would invalidate any live iterator into the registry. Radios
+    // unregistered mid-loop land in `dead_in_delivery_` and are skipped.
+    // With the index on, the sender's epoch-stamped neighbor cache makes the
+    // gather O(neighbors) on repeat transmissions from a static node; the
+    // loop still runs over channel-owned delivery_scratch_ (a handler could
+    // tear down `from` itself, taking its cache with it).
+    if (grid_on_) {
+      if (from.nbr_epoch_ != topology_epoch_) {
+        radios_in_range(from.position(), cfg_.comm_range, from.nbr_cache_);
+        from.nbr_epoch_ = topology_epoch_;
+      }
+      delivery_scratch_ = from.nbr_cache_;
+    } else {
+      radios_in_range(me.pos, cfg_.comm_range, delivery_scratch_);
+    }
+    if (cfg_.model_collisions) gather_interferers(me, from);
+    in_delivery_ = true;
+    for (Radio* r : delivery_scratch_) {
       if (r == &from) continue;
+      if (!dead_in_delivery_.empty() &&
+          std::find(dead_in_delivery_.begin(), dead_in_delivery_.end(), r) !=
+              dead_in_delivery_.end()) {
+        continue;
+      }
       if (packet.dst != kBroadcast && packet.dst != r->id()) {
         // Unicast packets are still heard by everyone in range (overhearing
         // is load-bearing for EnviroMic: TASK_CONFIRM suppression and soft
         // state both rely on it), so do not skip delivery here.
       }
-      if (sim::distance(r->position(), from.position()) > cfg_.comm_range)
-        continue;
       if (!r->is_on()) {
         r->note_missed_off();
         ++stats_.losses_radio_off;
         continue;
       }
-      if (cfg_.model_collisions && collided(*r, me)) {
+      if (cfg_.model_collisions && collided(*r)) {
         r->note_loss();
         ++stats_.losses_collision;
         continue;
@@ -155,22 +310,87 @@ void Channel::begin_transmission(Radio& from, Packet packet) {
       ++stats_.deliveries;
       r->deliver(packet, start, end);
     }
-    // Prune finished transmissions. Keep anything that could still overlap a
-    // transmission in flight.
-    const sim::Time now = sched_.now();
-    active_.erase(std::remove_if(active_.begin(), active_.end(),
-                                 [now](const ActiveTx& t) { return t.end < now; }),
-                  active_.end());
+    in_delivery_ = false;
+    dead_in_delivery_.clear();
+    prune_active(sched_.now());
   });
 }
 
-bool Channel::collided(const Radio& receiver, const ActiveTx& tx) const {
-  for (const auto& other : active_) {
-    if (other.src == tx.src && other.start == tx.start) continue;  // self
-    // Temporal overlap?
-    if (other.end <= tx.start || other.start >= tx.end) continue;
-    // The interferer must reach this receiver.
-    if (sim::distance(other.pos, receiver.position()) <= cfg_.comm_range)
+void Channel::gather_interferers(const ActiveTx& me, Radio& from) {
+  interferers_scratch_.clear();
+  const auto overlaps_me = [&me](const ActiveTx& other) {
+    if (other.src == me.src && other.start == me.start) return false;  // self
+    return other.end > me.start && other.start < me.end;
+  };
+  // Any receiver of `me` is within comm_range of the sender; its interferers
+  // are within comm_range of it, hence within 2x comm_range of the sender.
+  const double horizon = 2.0 * cfg_.comm_range;
+  const std::int32_t reach =
+      grid_on_ ? sim::cell_reach(horizon, active_cell_size_) : 0;
+  const std::size_t probes =
+      static_cast<std::size_t>(2 * reach + 1) * (2 * reach + 1);
+  // Adaptive cut as in medium_busy_near: hash probes only pay off once the
+  // flat list outgrows them.
+  if (!grid_on_ || active_.size() <= probes) {
+    for (const auto& other : active_) {
+      if (overlaps_me(other)) interferers_scratch_.push_back(other.pos);
+    }
+    return;
+  }
+  // Distance pre-filter with a safety margin. A bare `<= horizon` test could
+  // drop a boundary interferer the exact per-receiver test would accept when
+  // the computed distances disagree by an ulp, but the slack below exceeds
+  // any accumulated rounding (relative error ~1e-15 at simulation scales) by
+  // many orders of magnitude, so the filtered set is still a strict superset
+  // of every receiver's true interferers and verdicts stay bit-identical
+  // with the linear path. The cells alone admit candidates up to ~3x
+  // comm_range away; trimming them here is what keeps collided() cheap.
+  const double slack = horizon + 1e-6;
+  const double slack_sq = slack * slack;
+  const auto scan = [&](const std::vector<ActiveTx>& bucket) {
+    for (const auto& other : bucket) {
+      if (!overlaps_me(other)) continue;
+      const double ddx = other.pos.x - me.pos.x;
+      const double ddy = other.pos.y - me.pos.y;
+      if (ddx * ddx + ddy * ddy > slack_sq) continue;
+      interferers_scratch_.push_back(other.pos);
+    }
+  };
+  const sim::CellCoord c = sim::cell_of(me.pos, active_cell_size_);
+  if (reach == 1) {
+    // Common case (active_cell_size_ == 2 * comm_range): the probe pattern
+    // is a fixed 3x3, so the sender caches the nine bucket pointers. The
+    // cache self-validates against the cell coordinate (mobility-safe) and
+    // creating missing buckets up front keeps it valid as cells fill later.
+    if (!from.probe_cache_ok_ || !(from.probe_cell_ == c)) {
+      std::size_t k = 0;
+      for (std::int32_t dy = -1; dy <= 1; ++dy) {
+        for (std::int32_t dx = -1; dx <= 1; ++dx) {
+          const std::uint64_t key = sim::cell_key({c.x + dx, c.y + dy});
+          from.probe_cache_[k++] = &active_cells_.try_emplace(key).first->second;
+        }
+      }
+      from.probe_cell_ = c;
+      from.probe_cache_ok_ = true;
+    }
+    for (const auto* bucket : from.probe_cache_) scan(*bucket);
+    return;
+  }
+  for (std::int32_t dy = -reach; dy <= reach; ++dy) {
+    for (std::int32_t dx = -reach; dx <= reach; ++dx) {
+      const auto it = active_cells_.find(sim::cell_key({c.x + dx, c.y + dy}));
+      if (it == active_cells_.end()) continue;
+      scan(it->second);
+    }
+  }
+}
+
+bool Channel::collided(const Radio& receiver) const {
+  // The gathered set is a superset of this receiver's true interferers in
+  // both index modes; the exact distance test below makes the verdict
+  // identical either way.
+  for (const auto& pos : interferers_scratch_) {
+    if (sim::distance(pos, receiver.position()) <= cfg_.comm_range)
       return true;
   }
   return false;
@@ -183,6 +403,10 @@ Radio::Radio(Channel& channel, NodeId id, sim::Position pos)
     : channel_(channel), id_(id), pos_(pos) {}
 
 Radio::~Radio() { channel_.unregister(this); }
+
+void Radio::set_position(const sim::Position& p) {
+  channel_.move_radio(this, p);
+}
 
 bool Radio::send(Packet packet) {
   if (!on_) return false;

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -58,6 +60,13 @@ struct ChannelConfig {
   /// U(0, link_asymmetry_max) from the link endpoints. Nonzero values make
   /// links asymmetric: A may hear B much better than B hears A.
   double link_asymmetry_max = 0.0;
+  /// Use the uniform-grid spatial index (cell size = comm_range) for
+  /// delivery, carrier sensing, and neighbor queries instead of linear scans
+  /// over every radio. Results are bit-identical either way — candidates are
+  /// visited in registration order, so the RNG draw sequence matches the
+  /// linear path exactly; the flag exists for the determinism test and for
+  /// A/B timing in the bench harness.
+  bool use_spatial_index = true;
 };
 
 /// Global channel statistics, used by the overhead figures.
@@ -69,6 +78,18 @@ struct ChannelStats {
   std::uint64_t losses_radio_off = 0;
   std::uint64_t losses_burst = 0;  //!< Gilbert–Elliott bad-state losses
 };
+
+namespace detail {
+/// A transmission currently on the air. Lives at namespace scope (not nested
+/// in Channel) so Radio can hold pointers to active-cell buckets without
+/// depending on channel.h; it is still an implementation detail.
+struct ActiveTx {
+  NodeId src;
+  sim::Position pos;
+  sim::Time start;
+  sim::Time end;
+};
+}  // namespace detail
 
 class Channel {
  public:
@@ -97,34 +118,98 @@ class Channel {
   /// Links start good; exposed for tests and instrumentation.
   bool link_in_bad_state(NodeId src, NodeId dst) const;
 
+  /// True when the grid index is active (config flag and comm_range > 0).
+  bool spatial_index_active() const { return grid_on_; }
+
  private:
   friend class Radio;
 
-  struct ActiveTx {
-    NodeId src;
-    sim::Position pos;
-    sim::Time start;
-    sim::Time end;
-  };
+  using ActiveTx = detail::ActiveTx;
 
   void start_send(Radio& from, Packet packet, int attempt);
   void begin_transmission(Radio& from, Packet packet);
   bool medium_busy_near(const sim::Position& pos) const;
-  bool collided(const Radio& receiver, const ActiveTx& tx) const;
+  /// Collect into `interferers_scratch_` every active transmission that
+  /// temporally overlaps `me` and could reach any receiver of `me` (i.e.
+  /// within 2x comm_range of the sender — the union of all receivers'
+  /// interference discs). One gather per delivery event replaces a full
+  /// active-list scan per recipient.
+  void gather_interferers(const ActiveTx& me, Radio& from);
+  /// Did any gathered interferer reach this receiver? Exact distance test,
+  /// so the verdict is identical whichever superset the gather produced.
+  bool collided(const Radio& receiver) const;
   /// Sample the non-collision loss processes for one delivery attempt on the
   /// directed link src -> dst (mutates the burst state chain). Returns true
   /// when the packet is lost and bumps the matching stats counter.
   bool drop_random(NodeId src, NodeId dst);
   void unregister(Radio* r);
+  /// Radio-initiated position change; keeps the grid cell current (data
+  /// mules move every tick, so this must be O(1)).
+  void move_radio(Radio* r, const sim::Position& p);
+
+  // --- Spatial index -------------------------------------------------------
+  // Radios bucket into cells of side comm_range (range queries visit 3x3).
+  // Active transmissions bucket into coarser cells of side 2*comm_range:
+  // their queries use larger radii (interference horizon 2r, carrier sense
+  // 1.5r), and the coarse grid covers both with a 3x3 probe instead of 5x5.
+  // Invariants: every registered radio appears in exactly the cell bucket of
+  // its current position; `registered_` mirrors `radios_` as a set; bucket
+  // order is arbitrary (queries re-sort candidates by registration sequence
+  // to reproduce the linear scan's visit order bit for bit). Active
+  // transmissions are double-booked in `active_` and `active_cells_` and
+  // pruned together with the same predicate, so grid queries see exactly the
+  // transmissions the linear scan would.
+  std::uint64_t cell_for(const sim::Position& p) const;
+  std::uint64_t active_cell_for(const sim::Position& p) const;
+  void grid_insert(Radio* r);
+  void grid_erase(Radio* r);
+  /// Fill `out` with the registered radios within `range` of `pos`, in
+  /// registration order. Used by the delivery loop and neighbors_of; the
+  /// snapshot is immune to register/unregister during delivery callbacks.
+  void radios_in_range(const sim::Position& pos, double range,
+                       std::vector<Radio*>& out) const;
+  void prune_active(sim::Time now);
 
   sim::Scheduler& sched_;
   sim::Rng rng_;
   ChannelConfig cfg_;
   ChannelStats stats_;
-  std::vector<Radio*> radios_;
+  std::vector<Radio*> radios_;  //!< registration order (delivery visit order)
   std::vector<ActiveTx> active_;  //!< pruned lazily
   /// Gilbert–Elliott state per directed link; absent entries are good.
   std::map<std::pair<NodeId, NodeId>, bool> link_bad_;
+
+  bool grid_on_ = false;
+  double cell_size_ = 0.0;         //!< radio cells: comm_range
+  double active_cell_size_ = 0.0;  //!< active-tx cells: 2 * comm_range
+  /// Bumped on every registration, unregistration, and position change;
+  /// per-radio neighbor caches are valid only while their stamp matches.
+  std::uint64_t topology_epoch_ = 1;
+  std::uint64_t next_reg_seq_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<Radio*>> cells_;
+  std::unordered_map<std::uint64_t, std::vector<ActiveTx>> active_cells_;
+  /// Recipient snapshot reused across delivery events (one live use at a
+  /// time: nested channel work from receive handlers never re-enters the
+  /// delivery gather synchronously — new transmissions resolve later).
+  std::vector<Radio*> delivery_scratch_;
+  /// Positions of interferer candidates for the delivery event in flight
+  /// (same single-use discipline as delivery_scratch_; the per-receiver test
+  /// only needs positions, and the compact layout keeps its scan tight).
+  std::vector<sim::Position> interferers_scratch_;
+  /// Liveness check for the delivery snapshot: a radio destroyed by a
+  /// receive handler (crash under a FaultPlan) unregisters itself and must
+  /// be skipped instead of dereferenced. `registered_` answers "is this
+  /// sender still alive" once per delivery event; `dead_in_delivery_`
+  /// records radios torn down while the recipient loop is running, so the
+  /// per-recipient liveness check is an empty-vector test instead of a hash
+  /// probe.
+  std::unordered_set<const Radio*> registered_;
+  bool in_delivery_ = false;
+  std::vector<const Radio*> dead_in_delivery_;
+  /// Deliveries since the last prune of a large active list (prune cadence
+  /// is amortized once the list is big; see prune_active).
+  std::uint32_t prune_skips_ = 0;
+  std::unordered_map<NodeId, Radio*> by_id_;  //!< first-registered wins
 };
 
 }  // namespace enviromic::net

@@ -7,8 +7,10 @@
 // can charge the battery.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "net/message.h"
 #include "sim/geometry.h"
@@ -17,6 +19,10 @@
 namespace enviromic::net {
 
 class Channel;
+
+namespace detail {
+struct ActiveTx;  // defined in channel.h
+}
 
 /// Counters a radio keeps about its own traffic.
 struct RadioStats {
@@ -47,7 +53,9 @@ class Radio {
 
   NodeId id() const { return id_; }
   const sim::Position& position() const { return pos_; }
-  void set_position(const sim::Position& p) { pos_ = p; }
+  /// Mobility-safe: updates the channel's spatial index along with the
+  /// position (defined in channel.cpp).
+  void set_position(const sim::Position& p);
 
   bool is_on() const { return on_; }
   /// Turning the radio off aborts nothing in flight at other nodes, but this
@@ -78,6 +86,24 @@ class Radio {
   Channel& channel_;
   NodeId id_;
   sim::Position pos_;
+  /// Registration sequence; queries sort candidates by it so the spatial
+  /// index visits radios in the same order as a linear scan of the registry.
+  std::uint64_t reg_seq_ = 0;
+  std::uint64_t cell_key_ = 0;  //!< current grid cell (valid while indexed)
+  /// Cached in-range neighbor snapshot (registration order, includes self),
+  /// valid while nbr_epoch_ matches the channel's topology epoch. Static
+  /// deployments re-broadcast from the same spot constantly, so the delivery
+  /// gather is a cache hit for every transmission after a node's first.
+  std::vector<Radio*> nbr_cache_;
+  std::uint64_t nbr_epoch_ = 0;
+  /// Cached pointers to the 3x3 coarse-cell buckets around this radio's
+  /// transmit position, valid while probe_cell_ matches the position's cell.
+  /// The channel never erases active-cell buckets and unordered_map keeps
+  /// references stable across rehash, so the pointers cannot dangle; this
+  /// turns the per-delivery interferer gather's 9 hash probes into 9 loads.
+  std::array<std::vector<detail::ActiveTx>*, 9> probe_cache_{};
+  sim::CellCoord probe_cell_{};
+  bool probe_cache_ok_ = false;
   bool on_ = true;
   ReceiveHandler on_receive_;
   ActivityHandler on_activity_;

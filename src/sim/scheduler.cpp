@@ -16,8 +16,9 @@ EventHandle Scheduler::after(Time d, Callback cb) {
 
 std::uint64_t Scheduler::run(std::uint64_t limit) {
   std::uint64_t n = 0;
-  while (n < limit && !queue_.empty()) {
-    auto [t, cb] = queue_.pop();
+  Time t;
+  EventQueue::Callback cb;
+  while (n < limit && queue_.pop_next(Time::max(), &t, &cb)) {
     now_ = t;
     cb();
     ++n;
@@ -28,8 +29,9 @@ std::uint64_t Scheduler::run(std::uint64_t limit) {
 
 std::uint64_t Scheduler::run_until(Time t) {
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.next_time() <= t) {
-    auto [et, cb] = queue_.pop();
+  Time et;
+  EventQueue::Callback cb;
+  while (queue_.pop_next(t, &et, &cb)) {
     now_ = et;
     cb();
     ++n;

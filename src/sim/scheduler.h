@@ -34,8 +34,8 @@ class Scheduler {
   /// Number of events executed so far.
   std::uint64_t executed() const { return executed_; }
 
-  /// Number of events currently scheduled (including tombstones).
-  std::size_t pending() const { return queue_.scheduled_count(); }
+  /// Number of live scheduled events (cancelled timers excluded).
+  std::size_t pending() const { return queue_.live_count(); }
 
  private:
   EventQueue queue_;

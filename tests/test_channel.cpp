@@ -183,6 +183,89 @@ TEST(Channel, NeighborsOfRespectsRange) {
   EXPECT_TRUE(f.channel->neighbors_of(99).empty());
 }
 
+TEST(Channel, SpatialIndexMatchesLinearNeighborQueries) {
+  // Same deployment (including negative coordinates, which exercise the
+  // floor-based cell partition) queried with the grid index on and off must
+  // agree exactly, including neighbor order.
+  auto indexed_cfg = ChannelFixture::make_default();
+  auto linear_cfg = ChannelFixture::make_default();
+  linear_cfg.use_spatial_index = false;
+  ChannelFixture indexed(indexed_cfg);
+  ChannelFixture linear(linear_cfg);
+
+  std::vector<std::unique_ptr<Radio>> keep;
+  sim::Rng rng(99);
+  for (NodeId id = 1; id <= 60; ++id) {
+    const sim::Position pos{rng.uniform(-40.0, 40.0), rng.uniform(-40.0, 40.0)};
+    keep.push_back(indexed.channel->create_radio(id, pos));
+    keep.push_back(linear.channel->create_radio(id, pos));
+  }
+  for (NodeId id = 1; id <= 60; ++id) {
+    EXPECT_EQ(indexed.channel->neighbors_of(id), linear.channel->neighbors_of(id))
+        << "node " << id;
+  }
+  EXPECT_TRUE(indexed.channel->spatial_index_active());
+  EXPECT_FALSE(linear.channel->spatial_index_active());
+}
+
+TEST(Channel, MovedRadioIsTrackedAcrossCells) {
+  // A mobile radio (data mule) must be found through the grid at its current
+  // position, not the cell it was registered in.
+  ChannelFixture f;
+  auto a = f.channel->create_radio(1, {0, 0});
+  auto b = f.channel->create_radio(2, {100, 100});
+  int received = 0;
+  b->set_receive_handler([&](const Packet&) { ++received; });
+
+  a->send(f.packet_from(1));
+  f.sched.run();
+  EXPECT_EQ(received, 0);
+
+  b->set_position({5, 0});
+  EXPECT_EQ(f.channel->neighbors_of(1), (std::vector<NodeId>{2}));
+  a->send(f.packet_from(1));
+  f.sched.run();
+  EXPECT_EQ(received, 1);
+
+  b->set_position({200, 200});
+  EXPECT_TRUE(f.channel->neighbors_of(1).empty());
+  a->send(f.packet_from(1));
+  f.sched.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Channel, RadioDestroyedByReceiveHandlerDuringDelivery) {
+  // A receive handler that tears down another radio (a node crashing under a
+  // fault plan) must not derail the in-progress delivery loop: the destroyed
+  // radio is skipped, everyone else still hears the packet.
+  ChannelFixture f;
+  auto a = f.channel->create_radio(1, {0, 0});
+  auto b = f.channel->create_radio(2, {1, 0});
+  auto c = f.channel->create_radio(3, {2, 0});
+  auto d = f.channel->create_radio(4, {3, 0});
+  int c_received = 0, d_received = 0;
+  b->set_receive_handler([&](const Packet&) { c.reset(); });
+  c->set_receive_handler([&](const Packet&) { ++c_received; });
+  d->set_receive_handler([&](const Packet&) { ++d_received; });
+  a->send(f.packet_from(1));
+  f.sched.run();
+  EXPECT_EQ(c, nullptr);
+  EXPECT_EQ(c_received, 0);  // destroyed before its delivery slot
+  EXPECT_EQ(d_received, 1);  // later recipients still served
+}
+
+TEST(Channel, IdRebindsToNextRadioAfterUnregister) {
+  ChannelFixture f;
+  auto a = f.channel->create_radio(1, {0, 0});
+  auto b = f.channel->create_radio(2, {5, 0});
+  b.reset();
+  EXPECT_TRUE(f.channel->neighbors_of(2).empty());
+  EXPECT_TRUE(f.channel->neighbors_of(1).empty());
+  auto b2 = f.channel->create_radio(2, {3, 0});
+  EXPECT_EQ(f.channel->neighbors_of(2), (std::vector<NodeId>{1}));
+  EXPECT_EQ(f.channel->neighbors_of(1), (std::vector<NodeId>{2}));
+}
+
 TEST(Channel, MessageTypeCountersTrack) {
   ChannelFixture f;
   auto a = f.channel->create_radio(1, {0, 0});

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -97,6 +98,92 @@ TEST(EventQueue, TotalScheduledCounts) {
   EventQueue q;
   for (int i = 0; i < 5; ++i) q.schedule(Time::millis(i), [] {});
   EXPECT_EQ(q.total_scheduled(), 5u);
+}
+
+TEST(EventQueue, CancelReleasesCallbackEagerly) {
+  // Cancelled timers must not pin their captures (Packets, Radio refs)
+  // until they bubble to the heap top: cancel() drops the callback at once.
+  EventQueue q;
+  auto resource = std::make_shared<int>(7);
+  EXPECT_EQ(resource.use_count(), 1);
+  auto h = q.schedule(Time::millis(1), [resource] { (void)*resource; });
+  EXPECT_EQ(resource.use_count(), 2);
+  h.cancel();
+  EXPECT_EQ(resource.use_count(), 1);
+}
+
+TEST(EventQueue, PopReleasesCallbackCaptures) {
+  EventQueue q;
+  auto resource = std::make_shared<int>(7);
+  q.schedule(Time::millis(1), [resource] { (void)*resource; });
+  {
+    auto [t, cb] = q.pop();
+    cb();
+    EXPECT_EQ(resource.use_count(), 2);  // held by the popped callback only
+  }
+  EXPECT_EQ(resource.use_count(), 1);
+}
+
+TEST(EventQueue, LiveCountExcludesTombstones) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(q.schedule(Time::millis(i), [] {}));
+  }
+  EXPECT_EQ(q.live_count(), 10u);
+  EXPECT_EQ(q.scheduled_count(), 10u);
+  for (int i = 0; i < 4; ++i) handles[static_cast<size_t>(2 * i)].cancel();
+  // Tombstones may still sit in the heap, but neither count reports them.
+  EXPECT_EQ(q.live_count(), 6u);
+  EXPECT_EQ(q.scheduled_count(), 6u);
+  q.pop().second();
+  EXPECT_EQ(q.live_count(), 5u);
+}
+
+TEST(EventQueue, CompactionPreservesPopOrder) {
+  // Cancel far more than half of a large schedule so compaction triggers,
+  // then verify the survivors still fire in exact (time, seq) order.
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  std::vector<int> fired;
+  for (int i = 0; i < 500; ++i) {
+    handles.push_back(q.schedule(Time::millis(i), [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 500; ++i) {
+    if (i % 5 != 0) handles[static_cast<size_t>(i)].cancel();
+  }
+  EXPECT_EQ(q.live_count(), 100u);
+  // Churn after the cancellations so maybe_compact() runs on a dirty heap.
+  for (int i = 0; i < 50; ++i) {
+    auto h = q.schedule(Time::millis(1000 + i), [] {});
+    h.cancel();
+  }
+  while (!q.empty()) q.pop().second();
+  ASSERT_EQ(fired.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], 5 * i);
+  EXPECT_EQ(q.live_count(), 0u);
+}
+
+TEST(EventQueue, CancelAfterQueueDestructionIsSafe) {
+  EventHandle h;
+  {
+    EventQueue q;
+    h = q.schedule(Time::millis(1), [] {});
+  }
+  EXPECT_TRUE(h.pending());  // the queue died, but the record survives
+  h.cancel();                // must not touch freed queue state
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, TotalScheduledIsMonotone) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(Time::millis(i), [] {});
+  EXPECT_EQ(q.total_scheduled(), 5u);
+  auto h = q.schedule(Time::millis(9), [] {});
+  h.cancel();
+  // Cancellation and popping never decrease the lifetime counter.
+  q.pop().second();
+  EXPECT_EQ(q.total_scheduled(), 6u);
 }
 
 TEST(EventQueue, ManyEventsStressOrdering) {
