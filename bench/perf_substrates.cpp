@@ -7,7 +7,9 @@
 //      release + tombstone compaction);
 //   2. broadcast storm — N radios on a dense grid, staggered periodic
 //      broadcasts through the raw Channel, timed with the spatial index on
-//      and off (the paper-independent measure of the delivery path);
+//      and off (the paper-independent measure of the delivery path); run
+//      once with carrier sense off (hidden-terminal saturation) and once
+//      with CSMA on (the backoff path's constants);
 //   3. chaos scenario — the full indoor workload under randomized faults at
 //      50/200/500 nodes (the end-to-end number a user actually feels).
 //
@@ -308,29 +310,39 @@ int main(int argc, char** argv) {
                 results["event_queue_ops_per_sec"] / 1e6);
   }
 
-  // 2. Broadcast storms, indexed vs linear.
+  // 2. Broadcast storms, indexed vs linear. The base variant keeps carrier
+  // sense off (hidden-terminal saturation, the delivery path's worst case);
+  // the CSMA variant uses the channel's default sense range so the spatial
+  // backoff serializes the medium and the backoff/retry machinery is what
+  // gets timed (ROADMAP open item: track the backoff path's constants).
   const double storm_s = quick ? 10.0 : 30.0;
-  for (const int n : {200, 500}) {
-    StormParams sp;
-    sp.n_nodes = n;
-    sp.sim_seconds = storm_s;
-    const auto indexed = broadcast_storm(sp, /*indexed=*/true);
-    const auto linear = broadcast_storm(sp, /*indexed=*/false);
-    const std::string tag = "broadcast_" + std::to_string(n);
-    results[tag + "_indexed_ms"] = indexed.ms;
-    results[tag + "_linear_ms"] = linear.ms;
-    results[tag + "_speedup"] = indexed.ms > 0 ? linear.ms / indexed.ms : 0.0;
-    if (indexed.deliveries != linear.deliveries ||
-        indexed.transmissions != linear.transmissions ||
-        indexed.received != linear.received) {
-      determinism_ok = false;
-      std::fprintf(stderr, "DIVERGENCE: broadcast %d indexed vs linear\n", n);
+  for (const bool csma : {false, true}) {
+    for (const int n : {200, 500}) {
+      StormParams sp;
+      sp.n_nodes = n;
+      sp.sim_seconds = storm_s;
+      if (csma) sp.carrier_sense_factor = net::ChannelConfig{}.carrier_sense_factor;
+      const auto indexed = broadcast_storm(sp, /*indexed=*/true);
+      const auto linear = broadcast_storm(sp, /*indexed=*/false);
+      const std::string tag =
+          "broadcast_" + std::to_string(n) + (csma ? "_csma" : "");
+      results[tag + "_indexed_ms"] = indexed.ms;
+      results[tag + "_linear_ms"] = linear.ms;
+      results[tag + "_speedup"] = indexed.ms > 0 ? linear.ms / indexed.ms : 0.0;
+      if (indexed.deliveries != linear.deliveries ||
+          indexed.transmissions != linear.transmissions ||
+          indexed.received != linear.received) {
+        determinism_ok = false;
+        std::fprintf(stderr, "DIVERGENCE: broadcast %d%s indexed vs linear\n",
+                     n, csma ? " (csma)" : "");
+      }
+      std::printf(
+          "broadcast storm %3d nodes%s: indexed %.1f ms, linear %.1f ms "
+          "(%.1fx), %llu deliveries\n",
+          n, csma ? " (csma)" : "       ", indexed.ms, linear.ms,
+          results[tag + "_speedup"],
+          static_cast<unsigned long long>(indexed.deliveries));
     }
-    std::printf(
-        "broadcast storm %3d nodes: indexed %.1f ms, linear %.1f ms "
-        "(%.1fx), %llu deliveries\n",
-        n, indexed.ms, linear.ms, results[tag + "_speedup"],
-        static_cast<unsigned long long>(indexed.deliveries));
   }
 
   // 3. Chaos scenarios. 50 and 200 nodes always; the 500-node pair only in

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Run the wall-clock perf harness and (re)write the perf trajectory point at
-# results/BENCH_sim.json. Pass --quick for the CI smoke lane (shorter
-# horizons, no 500-node linear soak); any further args go straight through
-# to perf_substrates.
+# results/BENCH_sim.json. Covers the event-queue churn, the broadcast storms
+# (carrier sense off and the CSMA-on backoff variant), and the chaos soaks.
+# Pass --quick for the CI smoke lane (shorter horizons, no 500-node linear
+# soak); any further args go straight through to perf_substrates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -15,11 +15,19 @@ Detector::Detector(sim::Scheduler& sched, const Microphone& mic, sim::Rng rng,
 void Detector::start() {
   assert(!started_);
   started_ = true;
-  poll();
+  if (external_pump_) {
+    poll_once();
+  } else {
+    poll();
+  }
 }
 
 void Detector::poll() {
   sched_.after(cfg_.poll_interval, [this] { poll(); });
+  poll_once();
+}
+
+void Detector::poll_once() {
   if (!enabled_) return;
 
   const sim::Time now = sched_.now();

@@ -40,6 +40,16 @@ class Detector {
   /// Begin polling. Must be called once; polling runs for the whole sim.
   void start();
 
+  /// External-pump mode: the owner (World) drives poll_once() from a shared
+  /// per-interval timer instead of this detector keeping its own standing
+  /// scheduler event. Must be set before start().
+  void set_external_pump(bool on) { external_pump_ = on; }
+  bool external_pump() const { return external_pump_; }
+
+  /// One detector poll with no re-arm — the pump's tick. start() performs
+  /// the first poll inline in either mode.
+  void poll_once();
+
   /// Pause/resume polling (recording nodes keep sensing in EnviroMic, so the
   /// protocol never pauses this; exposed for failure injection and tests).
   /// Disabling clears any in-progress event state silently.
@@ -68,6 +78,7 @@ class Detector {
   util::Ewma background_;
   bool enabled_ = true;
   bool started_ = false;
+  bool external_pump_ = false;
   bool event_present_ = false;
   double last_signal_ = 0.0;
   sim::Time last_heard_ = sim::Time::zero();

@@ -1,15 +1,66 @@
 #include "acoustic/field.h"
 
+#include <algorithm>
+
 namespace enviromic::acoustic {
+
+namespace {
+/// Below this many sources a linear scan wins; the index only pays off once
+/// a workload schedules enough events that most are inactive at once.
+constexpr std::size_t kIndexThreshold = 8;
+}  // namespace
 
 const Source& SoundField::add_source(Source s) {
   sources_.push_back(std::move(s));
+  index_.built = false;
   return sources_.back();
+}
+
+void SoundField::ensure_index() const {
+  if (index_.built) return;
+  index_.built = true;
+  index_.buckets.clear();
+  index_.width_ticks = 0;
+  sim::Time max_end = sim::Time::zero();
+  for (const auto& s : sources_) max_end = std::max(max_end, s.end());
+  if (max_end <= sim::Time::zero()) return;
+  // Aim for ~1024 buckets but never finer than one second: short chirps
+  // land in one bucket, long runs stay bounded in memory.
+  index_.width_ticks = std::max<std::int64_t>(
+      sim::Time::kTicksPerSecond, max_end.raw_ticks() / 1024);
+  const std::size_t nbuckets = static_cast<std::size_t>(
+      (max_end.raw_ticks() - 1) / index_.width_ticks + 1);
+  index_.buckets.assign(nbuckets, {});
+  for (std::uint32_t i = 0; i < sources_.size(); ++i) {
+    const auto& s = sources_[i];
+    if (s.end() <= s.start()) continue;
+    const std::int64_t b0 =
+        std::max<std::int64_t>(0, s.start().raw_ticks() / index_.width_ticks);
+    const std::int64_t b1 = (s.end().raw_ticks() - 1) / index_.width_ticks;
+    for (std::int64_t b = b0; b <= b1; ++b) {
+      index_.buckets[static_cast<std::size_t>(b)].push_back(i);
+    }
+  }
+}
+
+const std::vector<std::uint32_t>* SoundField::candidates(sim::Time t) const {
+  ensure_index();
+  if (index_.width_ticks == 0 || t.is_negative()) return nullptr;
+  const std::size_t b =
+      static_cast<std::size_t>(t.raw_ticks() / index_.width_ticks);
+  if (b >= index_.buckets.size()) return nullptr;
+  return &index_.buckets[b];
 }
 
 double SoundField::signal_at(const sim::Position& where, sim::Time t) const {
   double sum = 0.0;
-  for (const auto& s : sources_) sum += s.amplitude_at(where, t);
+  if (sources_.size() < kIndexThreshold) {
+    for (const auto& s : sources_) sum += s.amplitude_at(where, t);
+    return sum;
+  }
+  const auto* cand = candidates(t);
+  if (!cand) return 0.0;
+  for (const auto i : *cand) sum += sources_[i].amplitude_at(where, t);
   return sum;
 }
 
@@ -20,8 +71,16 @@ double SoundField::level_at(const sim::Position& where, sim::Time t) const {
 std::vector<const Source*> SoundField::audible_at(const sim::Position& where,
                                                   sim::Time t) const {
   std::vector<const Source*> out;
-  for (const auto& s : sources_) {
-    if (s.audible_from(where, t)) out.push_back(&s);
+  if (sources_.size() < kIndexThreshold) {
+    for (const auto& s : sources_) {
+      if (s.audible_from(where, t)) out.push_back(&s);
+    }
+    return out;
+  }
+  const auto* cand = candidates(t);
+  if (!cand) return out;
+  for (const auto i : *cand) {
+    if (sources_[i].audible_from(where, t)) out.push_back(&sources_[i]);
   }
   return out;
 }
@@ -30,11 +89,23 @@ const Source* SoundField::dominant_at(const sim::Position& where,
                                       sim::Time t) const {
   const Source* best = nullptr;
   double best_amp = 0.0;
-  for (const auto& s : sources_) {
-    const double a = s.amplitude_at(where, t);
+  if (sources_.size() < kIndexThreshold) {
+    for (const auto& s : sources_) {
+      const double a = s.amplitude_at(where, t);
+      if (a > best_amp) {
+        best_amp = a;
+        best = &s;
+      }
+    }
+    return best;
+  }
+  const auto* cand = candidates(t);
+  if (!cand) return nullptr;
+  for (const auto i : *cand) {
+    const double a = sources_[i].amplitude_at(where, t);
     if (a > best_amp) {
       best_amp = a;
-      best = &s;
+      best = &sources_[i];
     }
   }
   return best;

@@ -5,6 +5,7 @@
 // miss/redundancy metrics).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -40,8 +41,26 @@ class SoundField {
   const Source* dominant_at(const sim::Position& where, sim::Time t) const;
 
  private:
+  /// Lazy time-bucketed index over source activity windows. Detector polls
+  /// query the field millions of times per run, and most sources are long
+  /// finished (or not yet started) at any given instant; bucketing by time
+  /// lets a query touch only the sources whose [start, end) overlaps its
+  /// bucket. Bit-identical to the linear scan: an inactive source
+  /// contributes exactly 0.0, and candidates keep ascending source order so
+  /// floating-point sums associate identically.
+  struct TimeIndex {
+    bool built = false;
+    std::int64_t width_ticks = 0;
+    std::vector<std::vector<std::uint32_t>> buckets;
+  };
+  void ensure_index() const;
+  /// Sources possibly active at `t` (nullptr = none). Only used once the
+  /// source count makes the index worthwhile.
+  const std::vector<std::uint32_t>* candidates(sim::Time t) const;
+
   double background_;
   std::vector<Source> sources_;
+  mutable TimeIndex index_;
 };
 
 }  // namespace enviromic::acoustic

@@ -11,50 +11,81 @@ namespace enviromic::core {
 
 Balancer::Balancer(Node& node)
     : node_(node),
-      rate_(node.cfg().ewma_alpha, node.cfg().initial_rate_bytes_per_s) {}
+      rate_(node.cfg().ewma_alpha, node.cfg().initial_rate_bytes_per_s),
+      beacon_interval_(node.cfg().beacon_period),
+      tick_slot_(node.proto_timer().add_slot([this] { tick(); })) {}
 
 void Balancer::start() {
   if (started_) return;
   started_ = true;
   last_rate_update_ = node_.sched().now();
+  beacon_interval_ = node_.cfg().beacon_period;
+  activity_since_tick_ = false;
   // Stagger ticks across nodes so beacons do not synchronize.
   const auto stagger = sim::Time::ticks(node_.rng().uniform_int(
       0, node_.cfg().beacon_period.raw_ticks()));
-  tick_timer_ = node_.sched().after(stagger, [this] { tick(); });
+  node_.proto_timer().arm_after(tick_slot_, stagger);
 }
 
 void Balancer::reset() {
-  tick_timer_.cancel();
+  node_.proto_timer().disarm(tick_slot_);
   started_ = false;
   neighbors_.clear();
+  next_prune_ = sim::Time{};
   est_mean_free_ = -1.0;
   bytes_this_period_ = 0;
+  beacon_interval_ = node_.cfg().beacon_period;
+  activity_since_tick_ = false;
   rate_.reset(node_.cfg().initial_rate_bytes_per_s);
 }
 
 void Balancer::note_peer_unreachable(net::NodeId id) {
-  neighbors_.erase(id);
+  for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+    if (neighbors_[i].id == id) {
+      neighbors_.erase(neighbors_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
 }
 
 void Balancer::note_recorded_bytes(std::uint64_t bytes) {
   bytes_this_period_ += bytes;
+  activity_since_tick_ = true;
   update_rate_if_due();
+  wake_beacon();
+}
+
+void Balancer::wake_beacon() {
+  // Data is flowing again: snap a backed-off beacon interval back to the
+  // base period and pull the next tick forward if it is armed further out.
+  if (!started_ || beacon_interval_ <= node_.cfg().beacon_period) return;
+  beacon_interval_ = node_.cfg().beacon_period;
+  auto& timer = node_.proto_timer();
+  const sim::Time want = node_.sched().now() + beacon_interval_;
+  if (!timer.armed(tick_slot_) || timer.deadline(tick_slot_) > want) {
+    timer.arm(tick_slot_, want);
+  }
 }
 
 void Balancer::update_rate_if_due() {
   const sim::Time now = node_.sched().now();
   const sim::Time period = node_.cfg().rate_update_period;
+  const sim::Time elapsed = now - last_rate_update_;
+  if (elapsed < period) return;
   // R(t) measures input "over the (waking) interval during which recording
   // took place" (paper §II-B): normalize by awake time so duty cycling
   // leaves the TTL bottleneck unchanged.
   const double duty = std::clamp(node_.cfg().duty_cycle, 0.05, 1.0);
-  while (now - last_rate_update_ >= period) {
-    const double r = static_cast<double>(bytes_this_period_) /
-                     (period.to_seconds() * duty);
-    rate_.update(r);
-    bytes_this_period_ = 0;
-    last_rate_update_ += period;
-  }
+  // One gap-aware sample over however many periods elapsed. Feeding the
+  // EWMA one sample per period in a loop misweighted long gaps twice over:
+  // all bytes landed in the first (inflated) sample and the remaining k-1
+  // iterations flooded the average with zero-rate samples.
+  const std::int64_t k = elapsed.raw_ticks() / period.raw_ticks();
+  const double r = static_cast<double>(bytes_this_period_) /
+                   (static_cast<double>(k) * period.to_seconds() * duty);
+  rate_.update(r);
+  bytes_this_period_ = 0;
+  last_rate_update_ += period * k;
 }
 
 double Balancer::ttl_storage_seconds() const {
@@ -77,13 +108,39 @@ double Balancer::beta() const {
   return 1.0 + (node_.cfg().beta_max - 1.0) * frac;
 }
 
+Balancer::NeighborState& Balancer::touch(net::NodeId id) {
+  for (auto& n : neighbors_) {
+    if (n.id == id) return n;
+  }
+  neighbors_.push_back(NeighborState{});
+  neighbors_.back().id = id;
+  return neighbors_.back();
+}
+
+void Balancer::maybe_prune(sim::Time now) {
+  if (now < next_prune_ || neighbors_.size() <= 8) return;
+  next_prune_ = now + node_.cfg().beacon_period;
+  std::erase_if(neighbors_,
+                [now](const NeighborState& n) { return n.expires_at <= now; });
+}
+
 void Balancer::handle(const net::StateBeacon& m) {
-  auto& n = neighbors_[m.sender];
+  const sim::Time now = node_.sched().now();
+  auto& n = touch(m.sender);
   n.ttl_storage_s = m.ttl_storage_s;
   n.ttl_energy_s = m.ttl_energy_s;
   n.free_bytes = m.free_bytes;
   n.est_mean_free = m.est_mean_free > 0.0 ? m.est_mean_free : -1.0;
-  n.last_heard = node_.sched().now();
+  // Expiry scales with the *sender's* advertised interval so an
+  // idle-backed-off sender is not aged out between its (sparser) beacons.
+  const double interval_s = m.interval_s > 0.0
+                                ? m.interval_s
+                                : node_.cfg().beacon_period.to_seconds();
+  n.expires_at =
+      now + sim::Time::seconds(
+                interval_s *
+                static_cast<double>(node_.cfg().beacon_freshness_periods));
+  maybe_prune(now);
 }
 
 double Balancer::estimated_mean_free() const {
@@ -93,28 +150,40 @@ double Balancer::estimated_mean_free() const {
 
 void Balancer::note_neighbor(net::NodeId id, double ttl_storage_s,
                              std::uint64_t free_bytes) {
-  auto& n = neighbors_[id];
+  auto& n = touch(id);
   n.ttl_storage_s = ttl_storage_s;
   n.free_bytes = free_bytes;
-  n.last_heard = node_.sched().now();
+  n.expires_at = node_.sched().now() +
+                 node_.cfg().beacon_period *
+                     std::max(1, node_.cfg().beacon_freshness_periods);
 }
 
 void Balancer::tick() {
-  tick_timer_ = node_.sched().after(node_.cfg().beacon_period, [this] { tick(); });
+  const sim::Time now = node_.sched().now();
+  // Idle back-off: while nothing is recorded, heard, or shed, stretch the
+  // interval (doubling up to beacon_period * beacon_idle_backoff_max); any
+  // activity snaps it back to the base period (wake_beacon).
+  const sim::Time base = node_.cfg().beacon_period;
+  const sim::Time cap =
+      base.scaled(std::max(1.0, node_.cfg().beacon_idle_backoff_max));
+  const bool idle = !activity_since_tick_ && !node_.group().hearing() &&
+                    !node_.bulk().sending();
+  beacon_interval_ = idle ? std::min(cap, beacon_interval_ * 2) : base;
+  activity_since_tick_ = false;
+  node_.proto_timer().arm_after(tick_slot_, beacon_interval_);
   if (node_.cfg().mode != Mode::kFull) return;
   update_rate_if_due();
-  node_.energy().advance(node_.sched().now());
+  node_.energy().advance(now);
+  maybe_prune(now);
 
   if (node_.cfg().balance_strategy == BalanceStrategy::kGlobalGossip) {
     // DeGroot averaging: blend the local free space with the fresh
     // neighbours' estimates; repeated exchange converges toward the
     // network-wide mean.
-    const sim::Time now = node_.sched().now();
-    const sim::Time freshness = node_.cfg().beacon_period * 3;
     double sum = static_cast<double>(node_.store().free_bytes());
     int n = 1;
-    for (const auto& [id, st] : neighbors_) {
-      if (now - st.last_heard > freshness) continue;
+    for (const auto& st : neighbors_) {
+      if (st.expires_at <= now) continue;
       sum += st.est_mean_free >= 0.0 ? st.est_mean_free
                                      : static_cast<double>(st.free_bytes);
       ++n;
@@ -128,6 +197,7 @@ void Balancer::tick() {
   b.ttl_energy_s = ttl_energy_seconds();
   b.free_bytes = node_.store().free_bytes();
   b.est_mean_free = est_mean_free_ >= 0.0 ? est_mean_free_ : 0.0;
+  b.interval_s = beacon_interval_.to_seconds();
   node_.nb().send_lazy(b);
   ++stats_.beacons_sent;
 
@@ -155,9 +225,10 @@ void Balancer::evaluate() {
 
   const double my_beta = beta();
   const sim::Time now = node_.sched().now();
-  const sim::Time freshness = node_.cfg().beacon_period * 3;
   const std::uint32_t min_space = node_.flash().block_size() * 4;
 
+  // The neighbour table is insertion-ordered, so ties break explicitly on
+  // the lowest id to keep candidate selection independent of arrival order.
   net::NodeId best = net::kInvalidNode;
   if (node_.cfg().balance_strategy == BalanceStrategy::kGlobalGossip) {
     // Global trigger: shed when the network-mean free space exceeds beta
@@ -165,27 +236,30 @@ void Balancer::evaluate() {
     // most free space.
     const auto my_free = static_cast<double>(node_.store().free_bytes());
     if (!(estimated_mean_free() > my_beta * std::max(1.0, my_free))) return;
-    std::uint64_t best_free = min_space;
-    for (const auto& [id, st] : neighbors_) {
-      if (now - st.last_heard > freshness) continue;
-      if (st.free_bytes >= best_free &&
-          static_cast<double>(st.free_bytes) > my_free) {
+    std::uint64_t best_free = 0;
+    for (const auto& st : neighbors_) {
+      if (st.expires_at <= now) continue;
+      if (st.free_bytes < min_space) continue;
+      if (!(static_cast<double>(st.free_bytes) > my_free)) continue;
+      if (best == net::kInvalidNode || st.free_bytes > best_free ||
+          (st.free_bytes == best_free && st.id < best)) {
         best_free = st.free_bytes;
-        best = id;
+        best = st.id;
       }
     }
   } else {
     double best_ttl = 0.0;
-    for (const auto& [id, st] : neighbors_) {
-      if (now - st.last_heard > freshness) continue;
+    for (const auto& st : neighbors_) {
+      if (st.expires_at <= now) continue;
       if (st.free_bytes < min_space) continue;
       const double ratio = my_ttl <= 0.0
                                ? std::numeric_limits<double>::infinity()
                                : st.ttl_storage_s / my_ttl;
       if (!(ratio > my_beta)) continue;
-      if (st.ttl_storage_s > best_ttl) {
+      if (best == net::kInvalidNode || st.ttl_storage_s > best_ttl ||
+          (st.ttl_storage_s == best_ttl && st.id < best)) {
         best_ttl = st.ttl_storage_s;
-        best = id;
+        best = st.id;
       }
     }
   }
@@ -201,11 +275,12 @@ void Balancer::evaluate() {
 void Balancer::on_session_end(net::NodeId to, std::uint64_t bytes_moved) {
   stats_.bytes_pushed += bytes_moved;
   last_session_end_ = node_.sched().now();
+  activity_since_tick_ = true;
   // Update our estimate of the receiver so the trigger does not fire again
   // before its next beacon.
-  auto it = neighbors_.find(to);
-  if (it != neighbors_.end() && bytes_moved > 0) {
-    auto& st = it->second;
+  for (auto& st : neighbors_) {
+    if (st.id != to) continue;
+    if (bytes_moved == 0) break;
     const double rate_est =
         st.ttl_storage_s > 0.0 && !std::isinf(st.ttl_storage_s)
             ? static_cast<double>(st.free_bytes) / st.ttl_storage_s
@@ -214,6 +289,7 @@ void Balancer::on_session_end(net::NodeId to, std::uint64_t bytes_moved) {
     if (rate_est > 1e-9) {
       st.ttl_storage_s = static_cast<double>(st.free_bytes) / rate_est;
     }
+    break;
   }
   // Keep shedding while the trigger still holds.
   evaluate();

@@ -12,10 +12,11 @@
 
 #include <cstdint>
 #include <limits>
-#include <map>
+#include <vector>
 
 #include "core/config.h"
 #include "net/message.h"
+#include "sim/coalesced_timer.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
 #include "util/stats.h"
@@ -77,29 +78,48 @@ class Balancer {
   /// Neighbours with live beacon soft state (instrumentation).
   std::size_t neighbor_count() const { return neighbors_.size(); }
 
+  /// Current STATE_BEACON interval (beacon_period, stretched while idle).
+  sim::Time beacon_interval() const { return beacon_interval_; }
+
   const BalancerStats& stats() const { return stats_; }
 
  private:
+  struct NeighborState {
+    net::NodeId id = net::kInvalidNode;
+    double ttl_storage_s = std::numeric_limits<double>::infinity();
+    double ttl_energy_s = std::numeric_limits<double>::infinity();
+    std::uint64_t free_bytes = 0;
+    double est_mean_free = -1.0;  //!< <0: sender runs local-greedy
+    /// Entry expiry deadline, advanced on every beacon/heartbeat from the
+    /// sender. Replaces the per-scan `now - last_heard > freshness` check:
+    /// scans just compare against the precomputed deadline, and pruning is
+    /// amortized behind next_prune_.
+    sim::Time expires_at;
+  };
+
   void tick();
   void update_rate_if_due();
+  NeighborState& touch(net::NodeId id);
+  void maybe_prune(sim::Time now);
+  void wake_beacon();
 
   Node& node_;
   std::uint64_t bytes_this_period_ = 0;
   sim::Time last_rate_update_;
   util::Ewma rate_;
 
-  struct NeighborState {
-    double ttl_storage_s = std::numeric_limits<double>::infinity();
-    double ttl_energy_s = std::numeric_limits<double>::infinity();
-    std::uint64_t free_bytes = 0;
-    double est_mean_free = -1.0;  //!< <0: sender runs local-greedy
-    sim::Time last_heard;
-  };
-  std::map<net::NodeId, NeighborState> neighbors_;
+  /// Flat table: neighbourhoods are small (one radio hop), so linear find
+  /// beats the old std::map's pointer chasing on every beacon.
+  std::vector<NeighborState> neighbors_;
+  sim::Time next_prune_;
   /// Gossip estimate of network-mean free bytes (global strategy).
   double est_mean_free_ = -1.0;
   sim::Time last_session_end_;
-  sim::EventHandle tick_timer_;
+  /// Current beacon interval; doubles up to beacon_period *
+  /// beacon_idle_backoff_max while the node is idle, snaps back on activity.
+  sim::Time beacon_interval_;
+  bool activity_since_tick_ = false;
+  sim::CoalescedTimer::Slot tick_slot_;
   bool started_ = false;
   BalancerStats stats_;
 };

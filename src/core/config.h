@@ -91,6 +91,17 @@ struct ProtocolConfig {
   /// storage becomes scarce (paper §II-B).
   double ttl_reference_s = 300.0;
   sim::Time beacon_period = sim::Time::seconds_i(5);
+  /// Idle beacon back-off cap, as a multiple of beacon_period. While a node
+  /// neither records nor hears an event nor sheds data, its STATE_BEACON
+  /// interval doubles each tick up to beacon_period * this factor; any
+  /// activity snaps it back to beacon_period (and pulls the next tick
+  /// forward). 1.0 disables the back-off. The current interval rides in the
+  /// beacon so receivers age a backed-off sender out later, not sooner.
+  double beacon_idle_backoff_max = 4.0;
+  /// Beacon soft-state freshness horizon, in sender beacon intervals: a
+  /// neighbour entry expires beacon_freshness_periods * (the sender's
+  /// advertised interval) after the last beacon.
+  int beacon_freshness_periods = 3;
   double ewma_alpha = 0.25;
   sim::Time rate_update_period = sim::Time::seconds_i(10);
   /// Initial acquisition rate R0 (bytes/s); paper §II-B: zero or

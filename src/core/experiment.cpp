@@ -289,6 +289,8 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
   wc.channel.burst = cfg.burst;
   wc.channel.link_asymmetry_max = cfg.link_asymmetry_max;
   wc.channel.use_spatial_index = cfg.spatial_index;
+  wc.node_defaults.protocol.beacon_idle_backoff_max =
+      cfg.beacon_idle_backoff_max;
   World world(wc);
 
   grid_deployment(world, cfg.grid_nx, cfg.grid_ny, cfg.spacing_ft);

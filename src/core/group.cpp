@@ -1,11 +1,17 @@
 #include "core/group.h"
 
+#include <algorithm>
+
 #include "core/node.h"
 #include "sim/log.h"
 
 namespace enviromic::core {
 
-GroupManager::GroupManager(Node& node) : node_(node) {}
+GroupManager::GroupManager(Node& node)
+    : node_(node),
+      sensing_slot_(node.proto_timer().add_slot([this] { sensing_tick(); })),
+      watchdog_slot_(node.proto_timer().add_slot([this] { watchdog_tick(); })) {
+}
 
 net::NodeId GroupManager::self() const { return node_.id(); }
 
@@ -23,11 +29,13 @@ void GroupManager::begin_coordination() {
   const sim::Time now = node_.sched().now();
 
   // Start the SENSING heartbeat.
-  if (!sensing_timer_.pending()) sensing_tick();
-  // Start the leader-silence watchdog.
-  if (!watchdog_timer_.pending()) {
-    watchdog_timer_ = node_.sched().after(
-        node_.cfg().leader_silence_timeout.scaled(0.5), [this] { watchdog_tick(); });
+  if (!node_.proto_timer().armed(sensing_slot_)) sensing_tick();
+  // Start the leader-silence watchdog. It only runs while we hear an event
+  // (both timers are slots on the node's coalesced timer, so an idle node
+  // schedules nothing).
+  if (!node_.proto_timer().armed(watchdog_slot_)) {
+    node_.proto_timer().arm_after(
+        watchdog_slot_, node_.cfg().leader_silence_timeout.scaled(0.5));
   }
 
   // If a leader is demonstrably alive for an ongoing event, just join.
@@ -132,7 +140,8 @@ void GroupManager::resign() {
 
 void GroupManager::on_offset() {
   hearing_ = false;
-  sensing_timer_.cancel();
+  node_.proto_timer().disarm(sensing_slot_);
+  node_.proto_timer().disarm(watchdog_slot_);
   election_timer_.cancel();
   if (is_leader()) resign();
   // The local event is over for us: forget its identity so the next onset
@@ -196,14 +205,52 @@ void GroupManager::handle(const net::Resign& m) {
 }
 
 void GroupManager::handle(const net::Sensing& m) {
-  auto& info = members_[m.sender];
-  info.last_heard = node_.sched().now();
-  info.signal = m.signal;
-  info.ttl_s = m.ttl_seconds;
-  info.free_bytes = m.free_bytes;
+  const sim::Time now = node_.sched().now();
+  auto& entry = touch(m.sender, now);
+  entry.info.signal = m.signal;
+  entry.info.ttl_s = m.ttl_seconds;
+  entry.info.free_bytes = m.free_bytes;
+  maybe_prune(now);
   // Adopt the event id from members who already know it.
   if (hearing_ && m.event.valid() && !current_event_.valid())
     current_event_ = m.event;
+}
+
+GroupManager::Entry& GroupManager::touch(net::NodeId id, sim::Time now) {
+  // Freshness order: the updated entry moves to the back (now == the newest
+  // last_heard), keeping the list sorted by last_heard without a re-sort.
+  for (std::size_t i = members_.size(); i-- > 0;) {
+    if (members_[i].id != id) continue;
+    Entry e = std::move(members_[i]);
+    members_.erase(members_.begin() + static_cast<std::ptrdiff_t>(i));
+    e.info.last_heard = now;
+    members_.push_back(std::move(e));
+    return members_.back();
+  }
+  members_.push_back(Entry{id, MemberInfo{}});
+  members_.back().info.last_heard = now;
+  return members_.back();
+}
+
+void GroupManager::maybe_prune(sim::Time now) {
+  // Amortized stale-state eviction: the stale entries form a prefix of the
+  // freshness-ordered list. Known-busy members are kept even while silent
+  // (recording with the radio off), matching fresh_members()' contract.
+  if (now < next_prune_ || members_.size() <= 8) return;
+  next_prune_ = now + node_.cfg().member_timeout;
+  std::size_t stale_end = 0;
+  while (stale_end < members_.size() &&
+         now - members_[stale_end].info.last_heard >=
+             node_.cfg().member_timeout) {
+    ++stale_end;
+  }
+  const auto first = members_.begin();
+  const auto last = first + static_cast<std::ptrdiff_t>(stale_end);
+  members_.erase(std::remove_if(first, last,
+                                [now](const Entry& e) {
+                                  return e.info.busy_until <= now;
+                                }),
+                 last);
 }
 
 void GroupManager::note_task_activity(const net::EventId& event) {
@@ -220,11 +267,28 @@ void GroupManager::note_task_activity(const net::EventId& event) {
 }
 
 void GroupManager::note_recorder_busy(net::NodeId who, sim::Time until) {
-  members_[who].busy_until = until;
+  for (auto& e : members_) {
+    if (e.id == who) {
+      e.info.busy_until = until;
+      return;
+    }
+  }
+  // Unknown member (e.g. an overheard confirm from a node we never heard a
+  // heartbeat from): create a never-heard entry carrying only the busy mark.
+  // It goes to the FRONT — last_heard zero is the oldest possible — so the
+  // freshness ordering stays intact.
+  Entry e{who, MemberInfo{}};
+  e.info.busy_until = until;
+  members_.insert(members_.begin(), std::move(e));
 }
 
 void GroupManager::note_member_unreachable(net::NodeId who) {
-  members_.erase(who);
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i].id == who) {
+      members_.erase(members_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
 }
 
 void GroupManager::reset() {
@@ -233,9 +297,10 @@ void GroupManager::reset() {
   current_event_ = net::EventId{};
   last_leader_evidence_ = sim::Time{};
   members_.clear();
+  next_prune_ = sim::Time{};
   election_timer_.cancel();
-  sensing_timer_.cancel();
-  watchdog_timer_.cancel();
+  node_.proto_timer().disarm(sensing_slot_);
+  node_.proto_timer().disarm(watchdog_slot_);
   pending_next_task_at_ = sim::Time{};
   pending_next_round_ = 0;
   last_conflict_announce_ = sim::Time{};
@@ -247,20 +312,29 @@ std::vector<std::pair<net::NodeId, GroupManager::MemberInfo>>
 GroupManager::fresh_members() const {
   const sim::Time now = node_.sched().now();
   std::vector<std::pair<net::NodeId, MemberInfo>> out;
-  for (const auto& [id, info] : members_) {
-    if (id == self()) continue;
-    const bool fresh = now - info.last_heard < node_.cfg().member_timeout;
+  // The list is ordered by last_heard, so the fresh members form a suffix:
+  // walk from the back and stop at the first stale entry.
+  for (std::size_t i = members_.size(); i-- > 0;) {
+    const Entry& e = members_[i];
+    if (now - e.info.last_heard >= node_.cfg().member_timeout) break;
+    if (e.id == self()) continue;
     // A member that is recording right now is silent but known-busy; keep it
-    // out of the candidate list yet do not expire it.
-    if (fresh && info.busy_until <= now) out.emplace_back(id, info);
+    // out of the candidate list yet do not expire it. The boundary is
+    // deliberate: busy_until > now is busy, busy_until == now means its task
+    // ends exactly now and it is eligible again.
+    if (e.info.busy_until > now) continue;
+    out.emplace_back(e.id, e.info);
   }
+  // Ascending id, as the old map-backed table returned (assignment
+  // tie-breaks and tests rely on a deterministic order).
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 
 void GroupManager::sensing_tick() {
   if (!hearing_) return;
-  sensing_timer_ =
-      node_.sched().after(node_.cfg().sensing_period, [this] { sensing_tick(); });
+  node_.proto_timer().arm_after(sensing_slot_, node_.cfg().sensing_period);
   if (node_.is_recording()) return;  // radio is off
   net::Sensing s;
   s.event = current_event_;
@@ -272,9 +346,13 @@ void GroupManager::sensing_tick() {
 }
 
 void GroupManager::watchdog_tick() {
-  watchdog_timer_ = node_.sched().after(
-      node_.cfg().leader_silence_timeout.scaled(0.5), [this] { watchdog_tick(); });
-  if (!hearing_ || is_leader() || node_.is_recording()) return;
+  // The watchdog sleeps when the node stops hearing: begin_coordination
+  // re-arms it at the next onset. (It used to re-arm unconditionally, which
+  // kept a dead 0.8 Hz timer alive on every node that ever heard an event.)
+  if (!hearing_) return;
+  node_.proto_timer().arm_after(
+      watchdog_slot_, node_.cfg().leader_silence_timeout.scaled(0.5));
+  if (is_leader() || node_.is_recording()) return;
   const sim::Time now = node_.sched().now();
   if (now - last_leader_evidence_ > node_.cfg().leader_silence_timeout &&
       !election_timer_.pending()) {

@@ -10,12 +10,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <utility>
 #include <vector>
 
 #include "core/config.h"
 #include "net/message.h"
+#include "sim/coalesced_timer.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
@@ -85,8 +85,15 @@ class GroupManager {
   const net::EventId& current_event() const { return current_event_; }
 
   /// Members with fresh SENSING soft state (excluding self), for task
-  /// assignment and hand-off.
+  /// assignment and hand-off. Walks only the fresh tail of the
+  /// freshness-ordered member list, not the whole soft-state table; the
+  /// result is sorted by id. A member whose busy_until lies strictly in the
+  /// future is excluded (recording, radio off); busy_until == now means the
+  /// task just ended and the member is eligible again.
   std::vector<std::pair<net::NodeId, MemberInfo>> fresh_members() const;
+
+  /// Soft-state table size (fresh and stale alike), for tests.
+  std::size_t member_table_size() const { return members_.size(); }
 
   const GroupStats& stats() const { return stats_; }
 
@@ -101,15 +108,27 @@ class GroupManager {
   void watchdog_tick();
   void resign();
 
+  /// One member's soft state. The list is kept ordered by last_heard
+  /// (oldest first): a heartbeat moves its entry to the back, so
+  /// fresh_members() walks only the fresh tail and stops at the first stale
+  /// entry instead of scanning the whole table.
+  struct Entry {
+    net::NodeId id = net::kInvalidNode;
+    MemberInfo info;
+  };
+  Entry& touch(net::NodeId id, sim::Time now);
+  void maybe_prune(sim::Time now);
+
   Node& node_;
   bool hearing_ = false;
   net::NodeId leader_ = net::kInvalidNode;
   net::EventId current_event_;
   sim::Time last_leader_evidence_;
-  std::map<net::NodeId, MemberInfo> members_;
+  std::vector<Entry> members_;
+  sim::Time next_prune_;
   sim::EventHandle election_timer_;
-  sim::EventHandle sensing_timer_;
-  sim::EventHandle watchdog_timer_;
+  sim::CoalescedTimer::Slot sensing_slot_;
+  sim::CoalescedTimer::Slot watchdog_slot_;
   // Hand-off continuation carried in the RESIGN message.
   sim::Time pending_next_task_at_;
   std::uint32_t pending_next_round_ = 0;

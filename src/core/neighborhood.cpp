@@ -14,6 +14,20 @@ bool NeighborhoodBroadcast::send_to(net::NodeId dst, net::Message m) {
   return emit(dst, std::move(m));
 }
 
+net::Message NeighborhoodBroadcast::pop_lazy() {
+  net::Message m = std::move(lazy_[lazy_head_++]);
+  if (lazy_head_ == lazy_.size()) {
+    lazy_.clear();
+    lazy_head_ = 0;
+  } else if (lazy_head_ >= 32 && lazy_head_ * 2 >= lazy_.size()) {
+    // Compact the consumed prefix once it dominates the buffer.
+    lazy_.erase(lazy_.begin(),
+                lazy_.begin() + static_cast<std::ptrdiff_t>(lazy_head_));
+    lazy_head_ = 0;
+  }
+  return m;
+}
+
 bool NeighborhoodBroadcast::emit(net::NodeId dst, net::Message first) {
   if (!radio_.is_on()) {
     ++stats_.dropped_radio_off;
@@ -25,14 +39,13 @@ bool NeighborhoodBroadcast::emit(net::NodeId dst, net::Message first) {
   std::uint32_t bytes = net::wire_size(first);
   p.messages.push_back(std::move(first));
   // Piggyback queued lazy messages while they fit.
-  while (cfg_.piggyback_enabled && !lazy_.empty() &&
-         bytes + net::wire_size(lazy_.front()) <= cfg_.max_payload_bytes) {
-    bytes += net::wire_size(lazy_.front());
-    p.messages.push_back(std::move(lazy_.front()));
-    lazy_.erase(lazy_.begin());
+  while (cfg_.piggyback_enabled && lazy_head_ < lazy_.size() &&
+         bytes + net::wire_size(lazy_[lazy_head_]) <= cfg_.max_payload_bytes) {
+    bytes += net::wire_size(lazy_[lazy_head_]);
+    p.messages.push_back(pop_lazy());
     ++stats_.piggybacked_messages;
   }
-  if (lazy_.empty()) flush_timer_.cancel();
+  if (lazy_head_ == lazy_.size()) flush_timer_.cancel();
   ++stats_.packets_sent;
   return radio_.send(std::move(p));
 }
@@ -48,7 +61,7 @@ void NeighborhoodBroadcast::arm_flush_timer() {
 }
 
 void NeighborhoodBroadcast::flush() {
-  if (lazy_.empty()) return;
+  if (lazy_head_ == lazy_.size()) return;
   if (!radio_.is_on()) {
     // Radio is off (recording); try again later rather than dropping
     // delay-tolerant state.
@@ -56,10 +69,9 @@ void NeighborhoodBroadcast::flush() {
     return;
   }
   ++stats_.lazy_flushes;
-  net::Message first = std::move(lazy_.front());
-  lazy_.erase(lazy_.begin());
+  net::Message first = pop_lazy();
   emit(net::kBroadcast, std::move(first));
-  if (!lazy_.empty()) arm_flush_timer();
+  if (lazy_head_ < lazy_.size()) arm_flush_timer();
 }
 
 }  // namespace enviromic::core

@@ -58,12 +58,13 @@ class NeighborhoodBroadcast {
 
   const NeighborhoodStats& stats() const { return stats_; }
   net::NodeId self() const { return radio_.id(); }
-  std::size_t lazy_queue_depth() const { return lazy_.size(); }
+  std::size_t lazy_queue_depth() const { return lazy_.size() - lazy_head_; }
 
   /// Drop the queued lazy messages and the flush timer — the node crashed
   /// or rebooted; queued soft-state messages died with RAM.
   void reset() {
     lazy_.clear();
+    lazy_head_ = 0;
     flush_timer_.cancel();
   }
 
@@ -71,11 +72,16 @@ class NeighborhoodBroadcast {
   bool emit(net::NodeId dst, net::Message first);
   void arm_flush_timer();
   void flush();
+  net::Message pop_lazy();
 
   net::Radio& radio_;
   sim::Scheduler& sched_;
   Config cfg_;
+  /// FIFO with a consumed-prefix head index: piggybacking drains from the
+  /// front on every send, and erase(begin()) per message made each drain
+  /// quadratic in the queue depth.
   std::vector<net::Message> lazy_;
+  std::size_t lazy_head_ = 0;
   sim::EventHandle flush_timer_;
   NeighborhoodStats stats_;
 };

@@ -37,6 +37,7 @@ Node::Node(net::NodeId id, sim::Position pos, const NodeParams& params,
                                             params.clock_offset_max_s),
              fork_for(rng, "drift").uniform(-params.clock_drift_max_ppm,
                                             params.clock_drift_max_ppm)),
+      proto_timer_(sched),
       nb_(*radio_, sched, params.nb),
       timesync_(id, params_.protocol, sched, fork_for(rng, "sync"), clock_,
                 nb_, is_sync_root),
@@ -144,6 +145,11 @@ void Node::fail(bool lose_data) {
   }
   tasking_.stop();
   duty_timer_.cancel();
+  // A permanently dead node never speaks again: drop every standing protocol
+  // deadline and the queued lazy traffic (whose flush timer would otherwise
+  // retry against the dead radio forever).
+  proto_timer_.disarm_all();
+  nb_.reset();
   if (metrics_) metrics_->note_crash(id_, /*permanent=*/true);
 }
 
@@ -257,6 +263,7 @@ void Node::on_message(const net::Message& m, net::NodeId src,
         } else if constexpr (std::is_same_v<T, net::Sensing>) {
           group_.handle(msg);
           balancer_.note_neighbor(msg.sender, msg.ttl_seconds, msg.free_bytes);
+          if (tasking_.active()) tasking_.note_member_alive(msg.sender);
         } else if constexpr (std::is_same_v<T, net::TaskRequest>) {
           group_.note_task_activity(msg.event);
           group_.note_foreign_leader(msg.leader, msg.event);

@@ -24,6 +24,7 @@
 #include "energy/energy_model.h"
 #include "net/channel.h"
 #include "net/radio.h"
+#include "sim/coalesced_timer.h"
 #include "sim/event_queue.h"
 #include "sim/geometry.h"
 #include "sim/rng.h"
@@ -72,6 +73,10 @@ class Node {
 
   // Substrates.
   sim::Scheduler& sched() { return sched_; }
+  /// The node's protocol deadline multiplexer: every periodic protocol duty
+  /// (beacon tick, sensing heartbeat, leader watchdog) is a slot here, so an
+  /// idle node keeps zero standing events in the scheduler heap.
+  sim::CoalescedTimer& proto_timer() { return proto_timer_; }
   sim::Rng& rng() { return rng_; }
   net::Radio& radio() { return *radio_; }
   const net::Radio& radio() const { return *radio_; }
@@ -156,6 +161,9 @@ class Node {
   acoustic::Sampler sampler_;
   energy::EnergyModel energy_;
   LocalClock clock_;
+  /// Must precede the protocol components: they register slots in their
+  /// constructors.
+  sim::CoalescedTimer proto_timer_;
   NeighborhoodBroadcast nb_;
   TimeSync timesync_;
   GroupManager group_;

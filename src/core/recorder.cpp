@@ -12,11 +12,19 @@ RecorderComponent::RecorderComponent(Node& node) : node_(node) {}
 void RecorderComponent::handle(const net::TaskRequest& m) {
   if (m.recorder != node_.id() || recording_) return;
 
-  // Fig 1's overhearing optimization: if we already heard a TASK_CONFIRM for
-  // this round+replica, someone is recording — reject so the leader moves
-  // on.
-  const auto key = std::make_tuple(m.event, m.round, m.replica);
-  if (overheard_.count(key)) {
+  // Fig 1's overhearing optimization: if we already heard a TASK_CONFIRM at
+  // or past this round+replica, someone is recording — reject so the leader
+  // moves on.
+  bool covered = false;
+  const sim::Time now = node_.sched().now();
+  for (const auto& w : overheard_) {
+    if (w.event != m.event) continue;
+    if (now - w.heard_at > node_.cfg().task_period * 4) break;  // stale
+    covered = w.round > m.round ||
+              (w.round == m.round && w.replica >= m.replica);
+    break;
+  }
+  if (covered) {
     net::TaskReject rej;
     rej.event = m.event;
     rej.recorder = node_.id();
@@ -59,17 +67,31 @@ void RecorderComponent::handle(const net::TaskRequest& m) {
 void RecorderComponent::note_overheard_confirm(const net::TaskConfirm& m) {
   if (m.recorder == node_.id()) return;
   const sim::Time now = node_.sched().now();
-  overheard_[std::make_tuple(m.event, m.round, m.replica)] = now;
-  node_.group().note_recorder_busy(m.recorder, now + node_.cfg().task_period);
-  // Prune stale entries occasionally.
-  if (overheard_.size() > 64) {
-    for (auto it = overheard_.begin(); it != overheard_.end();) {
-      if (now - it->second > node_.cfg().task_period * 4) {
-        it = overheard_.erase(it);
-      } else {
-        ++it;
-      }
+  OverheardMark* mark = nullptr;
+  for (auto& w : overheard_) {
+    if (w.event == m.event) {
+      mark = &w;
+      break;
     }
+  }
+  if (!mark) {
+    overheard_.push_back(OverheardMark{m.event, m.round, m.replica, now});
+  } else {
+    // Monotone watermark: only advance. A late confirm from an older round
+    // still refreshes the expiry (someone is demonstrably recording).
+    if (m.round > mark->round ||
+        (m.round == mark->round && m.replica >= mark->replica)) {
+      mark->round = m.round;
+      mark->replica = m.replica;
+    }
+    mark->heard_at = now;
+  }
+  node_.group().note_recorder_busy(m.recorder, now + node_.cfg().task_period);
+  // Prune watermarks of long-finished events occasionally.
+  if (overheard_.size() > 8) {
+    std::erase_if(overheard_, [&](const OverheardMark& w) {
+      return now - w.heard_at > node_.cfg().task_period * 4;
+    });
   }
 }
 

@@ -10,9 +10,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <tuple>
+#include <vector>
 
 #include "core/config.h"
 #include "net/message.h"
@@ -78,10 +77,18 @@ class RecorderComponent {
   /// Incremented on reset(); pending lambdas carry the epoch they were
   /// scheduled in and no-op when it no longer matches.
   std::uint32_t epoch_ = 0;
-  /// Overheard (event, round, replica) confirms, for the reject
-  /// optimization.
-  std::map<std::tuple<net::EventId, std::uint32_t, std::uint8_t>, sim::Time>
-      overheard_;
+  /// Per-event busy watermark for the reject optimization: the highest
+  /// (round, replica) confirm overheard for each event, with when it was
+  /// heard. A TASK_REQUEST at or below the watermark is known-covered —
+  /// someone already confirmed that round — so one entry per event replaces
+  /// the old per-(event, round, replica) map.
+  struct OverheardMark {
+    net::EventId event;
+    std::uint32_t round = 0;
+    std::uint8_t replica = 0;
+    sim::Time heard_at;
+  };
+  std::vector<OverheardMark> overheard_;
   std::optional<std::uint64_t> last_prelude_key_;
   RecorderStats stats_;
 };

@@ -26,6 +26,30 @@ void TaskManager::stop() {
   confirm_timer_.cancel();
   outstanding_ = net::kInvalidNode;
   tried_this_round_.clear();
+  struck_once_.clear();
+}
+
+void TaskManager::note_member_alive(net::NodeId id) {
+  for (std::size_t i = 0; i < struck_once_.size(); ++i) {
+    if (struck_once_[i] == id) {
+      struck_once_.erase(struck_once_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void TaskManager::add_strike(net::NodeId id) {
+  for (const auto s : struck_once_) {
+    if (s != id) continue;
+    // Second consecutive silent round: now drop the soft state. If it
+    // crashed, the next SENSING heartbeat never comes and later rounds must
+    // not keep targeting it.
+    note_member_alive(id);  // remove the strike entry
+    node_.group().note_member_unreachable(id);
+    return;
+  }
+  struck_once_.push_back(id);
 }
 
 void TaskManager::assign_round() {
@@ -120,6 +144,7 @@ void TaskManager::try_candidate() {
 }
 
 void TaskManager::handle(const net::TaskConfirm& m) {
+  note_member_alive(m.recorder);  // even a stale-round confirm proves life
   if (!active_ || m.event != event_ || m.round != round_ ||
       m.replica != replica_) {
     return;
@@ -128,6 +153,7 @@ void TaskManager::handle(const net::TaskConfirm& m) {
 }
 
 void TaskManager::handle(const net::TaskReject& m) {
+  note_member_alive(m.recorder);
   if (!active_ || m.event != event_ || m.round != round_ ||
       m.replica != replica_) {
     return;
@@ -171,11 +197,11 @@ void TaskManager::on_confirm_timeout() {
       << " round " << round_;
   ++stats_.confirm_timeouts;
   tried_this_round_.insert(outstanding_);
-  // Drop the silent member's soft state too: if it crashed, the next SENSING
-  // heartbeat never comes and later rounds must not keep targeting it. A
-  // live member whose confirm was merely lost re-registers within one
-  // heartbeat (sensing_period << member_timeout).
-  node_.group().note_member_unreachable(outstanding_);
+  // Two-strike rule: under burst loss a single lost TASK_CONFIRM used to
+  // blacklist a live member for a full heartbeat. Tolerate one silent round
+  // (the member is merely skipped for the rest of this round) and drop the
+  // soft state only on the second consecutive silence.
+  add_strike(outstanding_);
   outstanding_ = net::kInvalidNode;
   try_candidate();
 }

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <set>
+#include <vector>
 
 #include "core/config.h"
 #include "net/message.h"
@@ -50,6 +51,10 @@ class TaskManager {
   void handle(const net::TaskConfirm& m);
   void handle(const net::TaskReject& m);
 
+  /// Any traffic from `id` (heartbeat, confirm, reject) proves it alive and
+  /// clears its confirm-timeout strikes.
+  void note_member_alive(net::NodeId id);
+
   const TaskStats& stats() const { return stats_; }
 
  private:
@@ -57,6 +62,7 @@ class TaskManager {
   void try_candidate();
   void round_done(net::NodeId recorder, bool confirmed);
   void on_confirm_timeout();
+  void add_strike(net::NodeId id);
 
   Node& node_;
   bool active_ = false;
@@ -67,6 +73,9 @@ class TaskManager {
   sim::Time current_task_end_;   //!< end of the task being recorded now
   sim::Time round_start_at_;     //!< start_at carried in this round's request
   std::set<net::NodeId> tried_this_round_;
+  /// Members with one unanswered TASK_REQUEST. A second consecutive silent
+  /// round drops their soft state; any sign of life clears the strike.
+  std::vector<net::NodeId> struck_once_;
   net::NodeId outstanding_ = net::kInvalidNode;
   sim::EventHandle assign_timer_;
   sim::EventHandle confirm_timer_;

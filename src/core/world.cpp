@@ -44,7 +44,35 @@ void World::start() {
   positions.reserve(nodes_.size());
   for (const auto& n : nodes_) positions.push_back(n->position());
   gt_.set_node_positions(std::move(positions));
+  // Coalesce detector polling: group detectors by poll interval (in node
+  // order) and drive each group from one repeating pump event. start() then
+  // performs each detector's first poll inline, exactly as self-arming did.
+  for (auto& n : nodes_) {
+    n->detector().set_external_pump(true);
+    const sim::Time interval = n->detector().config().poll_interval;
+    DetectorPump* pump = nullptr;
+    for (auto& p : pumps_) {
+      if (p.interval == interval) {
+        pump = &p;
+        break;
+      }
+    }
+    if (!pump) {
+      pumps_.push_back(DetectorPump{interval, {}});
+      pump = &pumps_.back();
+    }
+    pump->detectors.push_back(&n->detector());
+  }
   for (auto& n : nodes_) n->start();
+  for (std::size_t i = 0; i < pumps_.size(); ++i) {
+    sched_.after(pumps_[i].interval, [this, i] { pump_tick(i); });
+  }
+}
+
+void World::pump_tick(std::size_t index) {
+  DetectorPump& pump = pumps_[index];
+  sched_.after(pump.interval, [this, index] { pump_tick(index); });
+  for (auto* d : pump.detectors) d->poll_once();
 }
 
 void World::run_until(sim::Time t) {

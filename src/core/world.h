@@ -88,6 +88,17 @@ class World {
   storage::FileIndex drain_all(bool deduplicate = true) const;
 
  private:
+  /// One coalesced detector-poll pump per distinct poll interval: instead of
+  /// N nodes keeping N standing 10 Hz poll timers, a single repeating event
+  /// polls every registered detector in node order. Per-node detection RNG
+  /// streams are untouched — each detector still draws from its own fork in
+  /// the same node order as the per-node timers fired.
+  struct DetectorPump {
+    sim::Time interval;
+    std::vector<acoustic::Detector*> detectors;
+  };
+  void pump_tick(std::size_t index);
+
   WorldConfig cfg_;
   sim::Rng rng_;
   sim::Scheduler sched_;
@@ -96,6 +107,7 @@ class World {
   GroundTruth gt_;
   Metrics metrics_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<DetectorPump> pumps_;
   /// id -> node, so fault events against big deployments resolve in O(1).
   std::unordered_map<net::NodeId, Node*> nodes_by_id_;
   acoustic::SourceId next_source_ = 0;

@@ -20,7 +20,7 @@ struct SizeVisitor {
   std::uint32_t operator()(const TaskConfirm&) const { return 12; }
   std::uint32_t operator()(const TaskReject&) const { return 12; }
   std::uint32_t operator()(const PreludeKeep&) const { return 10; }
-  std::uint32_t operator()(const StateBeacon&) const { return 18; }
+  std::uint32_t operator()(const StateBeacon&) const { return 19; }
   std::uint32_t operator()(const TransferOffer&) const { return 10; }
   std::uint32_t operator()(const TransferGrant&) const { return 12; }
   std::uint32_t operator()(const TransferData& d) const {

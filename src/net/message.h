@@ -120,6 +120,11 @@ struct StateBeacon {
   /// Sender's gossip estimate of the network-mean free bytes (global
   /// balancing extension; 0 when the local-greedy strategy runs).
   double est_mean_free = 0.0;
+  /// Sender's current beacon interval in seconds (idle back-off raises it
+  /// above beacon_period). Receivers scale their soft-state expiry by it so
+  /// a backed-off but live sender is not aged out early. 0 = sender runs
+  /// the base period.
+  double interval_s = 0.0;
 };
 
 /// Ask a neighbour to accept up to `bytes` of migrated data.

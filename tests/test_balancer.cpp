@@ -60,6 +60,60 @@ TEST(Balancer, RateEwmaFollowsRecordedBytes) {
   EXPECT_GT(n.balancer().acquisition_rate(), before);
 }
 
+TEST(Balancer, RateUpdateAfterGapIsOneSampleNotMany) {
+  // A node that slept through several rate periods (down, duty-cycled, or
+  // simply idle) must fold the whole gap into ONE gap-aware EWMA sample. The
+  // old per-period catch-up loop fed k-1 zero-rate samples after a k-period
+  // gap, collapsing the TTL_storage estimate after every reboot.
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(87)
+                   .lossless_radio()
+                   .grid(3, 3);
+  world->start();
+  auto& n = world->node(0);
+  const auto period = n.cfg().rate_update_period;
+  const double alpha = n.cfg().ewma_alpha;
+  // Prime the EWMA with one period at ~1000 B/s.
+  world->run_until(period + sim::Time::millis(1));
+  n.balancer().note_recorded_bytes(
+      static_cast<std::uint64_t>(1000.0 * period.to_seconds()));
+  const double primed = n.balancer().acquisition_rate();
+  ASSERT_GT(primed, 0.0);
+  // Six quiet periods, then the due update: exactly one zero-rate sample.
+  world->run_until(period * 7 + sim::Time::millis(2));
+  n.balancer().note_recorded_bytes(0);
+  const double after = n.balancer().acquisition_rate();
+  EXPECT_NEAR(after, (1.0 - alpha) * primed, primed * 1e-9);
+  // The flooded behavior decayed the rate by (1-alpha)^6 instead.
+  EXPECT_GT(after, std::pow(1.0 - alpha, 2) * primed);
+}
+
+TEST(Balancer, GapBytesNormalizedByElapsedPeriods) {
+  // Bytes recorded across a gap are averaged over the whole gap, not crammed
+  // into a single period's (inflated) rate sample.
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(88)
+                   .lossless_radio()
+                   .grid(3, 3);
+  world->start();
+  auto& n = world->node(0);
+  const auto period = n.cfg().rate_update_period;
+  const double alpha = n.cfg().ewma_alpha;
+  world->run_until(period + sim::Time::millis(1));
+  n.balancer().note_recorded_bytes(
+      static_cast<std::uint64_t>(1000.0 * period.to_seconds()));
+  const double primed = n.balancer().acquisition_rate();
+  // Four periods elapse carrying 8000 B/s worth of bytes in total: the one
+  // gap-aware sample is 8000/4 = 2000 B/s.
+  world->run_until(period * 5 + sim::Time::millis(2));
+  n.balancer().note_recorded_bytes(
+      static_cast<std::uint64_t>(8000.0 * period.to_seconds()));
+  const double expected = (1.0 - alpha) * primed + alpha * 2000.0;
+  EXPECT_NEAR(n.balancer().acquisition_rate(), expected, expected * 1e-6);
+}
+
 TEST(Balancer, BetaRisesWithTtlUpToBetaMax) {
   auto world = idle_world(/*beta=*/3.0);
   world->start();

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "core/experiment.h"
+#include "world_fixture.h"
 
 namespace enviromic::core {
 namespace {
@@ -57,6 +58,35 @@ TEST(Chaos, PermanentFailuresLoseOnlyTheLostData) {
   EXPECT_GT(res.nodes_lost, 0u);
   // Defunct motes are excluded from the crash==reboot accounting.
   EXPECT_EQ(res.final_snapshot.faults.permanent_failures, res.nodes_lost);
+}
+
+TEST(Chaos, BusyMemberEligibleExactlyAtTaskEnd) {
+  // The busy_until watermark boundary: strictly in the future means
+  // recording (excluded from assignment); exactly `now` means the task ends
+  // this instant and the member is eligible again. The old `<= now is still
+  // busy` comparison skipped an eligible recorder exactly at task end — the
+  // moment the seamless-handover round actually queries it.
+  auto world = testing::WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(63)
+                   .lossless_radio()
+                   .grid(2, 2);
+  world->start();
+  auto& n = world->node(0);
+  net::Sensing s;
+  s.sender = 90;
+  s.ttl_seconds = 100.0;
+  n.group().handle(s);  // fresh heartbeat at t=0
+  const auto task_end = sim::Time::seconds(1.0);
+  n.group().note_recorder_busy(90, task_end);
+
+  world->run_until(task_end - sim::Time::ticks(1));
+  EXPECT_TRUE(n.group().fresh_members().empty());
+
+  world->run_until(task_end);  // busy_until == now: task ends exactly now
+  const auto members = n.group().fresh_members();
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_EQ(members.at(0).first, net::NodeId{90});
 }
 
 TEST(Chaos, QuietPlanDegradesToPlainIndoorRun) {

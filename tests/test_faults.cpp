@@ -381,6 +381,66 @@ TEST(CrashMidProtocol, LeaderCrashMidTaskReelectsAndRecordingContinues) {
   EXPECT_LE(testing::leader_count(*world), 1);
 }
 
+TEST(CrashMidProtocol, LeaderCrashInConfirmWindowDoesNotStickBusyState) {
+  // The leader dies inside a TASK_REQUEST/TASK_CONFIRM exchange. Every
+  // member that overheard the previous confirm carries a busy_until
+  // watermark for the current recorder; with the leader gone, that watermark
+  // must expire on its own at task end — the watchdog-elected successor has
+  // to see the recorder as assignable again, not busy forever.
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(405)
+                   .perfect_detection()
+                   .lossless_radio()
+                   .grid(4, 4);
+  add_event(*world, {3, 3}, 5.0, 40.0);
+  world->start();
+  world->run_until(sim::Time::seconds_i(8));
+  Node* leader = nullptr;
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    if (world->node(i).group().is_leader()) leader = &world->node(i);
+  }
+  ASSERT_NE(leader, nullptr);
+
+  // Land the crash inside the next round's request/confirm exchange: the
+  // request goes out after the leader's 15-40 ms proc delay, the confirm
+  // returns after the member's.
+  const auto t_crash =
+      leader->tasking().next_assignment_at() + sim::Time::millis(42);
+  ASSERT_GT(t_crash, world->sched().now());
+  world->run_until(t_crash);
+  Node* busy_recorder = nullptr;
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    if (world->node(i).is_recording()) busy_recorder = &world->node(i);
+  }
+  ASSERT_NE(busy_recorder, nullptr);
+  ASSERT_NE(busy_recorder, leader);
+  ASSERT_TRUE(leader->crash());
+
+  // Watchdog silence timeout (2.5 s) + election backoff + one task period:
+  // plenty for the group to re-elect and for every busy watermark to lapse.
+  world->run_until(t_crash + sim::Time::seconds_i(5));
+  Node* successor = nullptr;
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    if (world->node(i).group().is_leader()) successor = &world->node(i);
+  }
+  ASSERT_NE(successor, nullptr);
+  EXPECT_NE(successor, leader);
+  // The once-busy recorder finished its task and is visible to the new
+  // leader again (or leads itself) — its watermark did not stick.
+  if (successor != busy_recorder && !busy_recorder->is_recording()) {
+    bool assignable = false;
+    for (const auto& [id, info] : successor->group().fresh_members()) {
+      if (id == busy_recorder->id()) assignable = true;
+    }
+    EXPECT_TRUE(assignable);
+  }
+  // Coverage survives the mid-exchange leader death.
+  world->run_until(sim::Time::seconds_i(45));
+  EXPECT_LT(world->snapshot().miss_ratio, 0.35);
+  EXPECT_LE(testing::leader_count(*world), 1);
+}
+
 TEST(CrashMidProtocol, RecordingTaskDiesWithCrashedRecorder) {
   auto world = WorldBuilder{}
                    .mode(Mode::kCooperativeOnly)

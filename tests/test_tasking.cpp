@@ -127,6 +127,73 @@ TEST(Tasking, SeamlessHandoverLeavesNoInterRoundGaps) {
   EXPECT_LT(gap_total.to_seconds(), 0.15);
 }
 
+// Drive a leader's TaskManager directly against phantom members that never
+// answer a TASK_REQUEST, to step through the confirm-timeout strike logic
+// without depending on channel loss patterns.
+void phantom_heartbeat(Node& leader, net::NodeId id) {
+  net::Sensing s;
+  s.sender = id;
+  s.signal = 1.0;
+  s.ttl_seconds = 500.0;
+  s.free_bytes = 1 << 20;
+  leader.group().handle(s);
+}
+
+TEST(Tasking, SingleConfirmTimeoutKeepsMemberSoftState) {
+  // Two-strike rule: one silent confirm window only skips the member for the
+  // rest of the round; the second consecutive silence drops its soft state.
+  // (A single lost TASK_CONFIRM under burst loss used to blacklist a live
+  // member for a full heartbeat.)
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(61)
+                   .lossless_radio()
+                   .grid(2, 2);
+  world->start();
+  auto& leader = world->node(0);
+  phantom_heartbeat(leader, 90);
+  phantom_heartbeat(leader, 91);
+  ASSERT_EQ(leader.group().member_table_size(), 2u);
+  leader.tasking().start(net::EventId{leader.id(), 1}, 0, sim::Time::zero(),
+                         sim::Time::zero());
+
+  // Round 0: both phantoms time out once each — still in the soft state.
+  world->run_until(sim::Time::millis(450));
+  EXPECT_EQ(leader.tasking().stats().confirm_timeouts, 2u);
+  EXPECT_EQ(leader.group().member_table_size(), 2u);
+
+  // The retry round strikes both a second consecutive time: now dropped.
+  world->run_until(sim::Time::millis(1200));
+  EXPECT_EQ(leader.tasking().stats().confirm_timeouts, 4u);
+  EXPECT_EQ(leader.group().member_table_size(), 0u);
+}
+
+TEST(Tasking, TrafficBetweenTimeoutsClearsTheStrike) {
+  auto world = WorldBuilder{}
+                   .mode(Mode::kCooperativeOnly)
+                   .seed(62)
+                   .lossless_radio()
+                   .grid(2, 2);
+  world->start();
+  auto& leader = world->node(0);
+  phantom_heartbeat(leader, 90);
+  phantom_heartbeat(leader, 91);
+  leader.tasking().start(net::EventId{leader.id(), 1}, 0, sim::Time::zero(),
+                         sim::Time::zero());
+  world->run_until(sim::Time::millis(450));
+  EXPECT_EQ(leader.tasking().stats().confirm_timeouts, 2u);
+
+  // Node 90 shows signs of life between the rounds (what Node::dispatch does
+  // on any Sensing heartbeat): its strike is cleared, so the next timeout is
+  // its *first* again and it survives the retry round; 91 stays struck and
+  // is dropped by its second consecutive silence.
+  phantom_heartbeat(leader, 90);
+  leader.tasking().note_member_alive(90);
+  world->run_until(sim::Time::millis(1200));
+  ASSERT_EQ(leader.group().member_table_size(), 1u);
+  EXPECT_EQ(leader.group().fresh_members().at(0).first, net::NodeId{90});
+}
+
 TEST(Tasking, LeaderSelfAssignsWhenAlone) {
   // Single node hears the event: it elects itself and must still record.
   auto world = WorldBuilder{}
