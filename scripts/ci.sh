@@ -18,10 +18,12 @@ for b in build/bench/*; do
 done
 
 echo "== perf smoke (regression gate vs committed baseline)"
-# Fails on indexed/linear divergence (exit 2) or when the 200-node chaos
-# scenario regresses more than 25% against the committed trajectory point
-# (exit 3). Writes the quick-mode numbers next to the committed full-mode
-# trajectory point, never over it (only scripts/run_bench.sh updates that).
+# Fails on indexed/linear or repeat-seed divergence (exit 2) or when a gated
+# scenario — the 200-node chaos soak or the windowed migration drain
+# (migrate_windowed_ms) — regresses more than 25% against the committed
+# trajectory point (exit 3). Writes the quick-mode numbers next to the
+# committed full-mode trajectory point, never over it (only
+# scripts/run_bench.sh updates that).
 ./build/bench/perf_substrates --quick \
   --out results/BENCH_sim.ci.json \
   --baseline results/BENCH_sim.json \

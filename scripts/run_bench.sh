@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Run the wall-clock perf harness and (re)write the perf trajectory point at
 # results/BENCH_sim.json. Covers the event-queue churn, the broadcast storms
-# (carrier sense off and the CSMA-on backoff variant), and the chaos soaks.
-# Pass --quick for the CI smoke lane (shorter horizons, no 500-node linear
-# soak); any further args go straight through to perf_substrates.
+# (carrier sense off and the CSMA-on backoff variant), the chaos soaks, and
+# the migration drain (windowed bulk-transfer pipeline vs the stop-and-wait
+# window=1 degenerate). Pass --quick for the CI smoke lane (shorter horizons,
+# no 500-node linear soak); any further args go straight through to
+# perf_substrates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

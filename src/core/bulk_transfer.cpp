@@ -12,9 +12,23 @@ namespace enviromic::core {
 
 namespace {
 constexpr std::size_t kCompletedMemory = 128;
+constexpr std::uint32_t kNoFastRetx = 0xffffffffu;
 }
 
-BulkTransfer::BulkTransfer(Node& node) : node_(node) {}
+BulkTransfer::BulkTransfer(Node& node)
+    : node_(node),
+      pacing_slot_(node.proto_timer().add_slot([this] { pump(); })),
+      retx_slot_(node.proto_timer().add_slot([this] { on_retx_timer(); })),
+      rx_sweep_slot_(node.proto_timer().add_slot([this] { sweep_rx(); })) {}
+
+std::uint32_t BulkTransfer::window() const {
+  return std::max<std::uint32_t>(1, node_.cfg().transfer_window_frags);
+}
+
+std::uint32_t BulkTransfer::frags_in_flight() const {
+  if (!tx_ || !tx_->current) return 0;
+  return tx_->next_frag - tx_->acked_total;
+}
 
 void BulkTransfer::start_session(net::NodeId to, int max_chunks) {
   if (tx_ || max_chunks <= 0) return;
@@ -31,19 +45,26 @@ void BulkTransfer::send_offer() {
   net::TransferOffer offer;
   offer.sender = node_.id();
   offer.to = tx_->to;
-  // Offer what this session could move at most.
+  // Offer what this session could move at most: the first chunks_left head
+  // chunks. Early-exit — the store may hold thousands of chunks and a
+  // session only ever moves a small prefix.
   std::uint64_t bytes = 0;
   int counted = 0;
-  node_.store().for_each([&](const storage::ChunkMeta& m) {
-    if (counted++ < tx_->chunks_left) bytes += m.bytes;
+  node_.store().for_each_until([&](const storage::ChunkMeta& m) {
+    if (counted >= tx_->chunks_left) return false;
+    ++counted;
+    bytes += m.bytes;
+    return true;
   });
+  // The offer must cover at least the head chunk, or a full grant could
+  // never let next_chunk() move anything.
+  assert(counted == 0 || bytes >= node_.store().head_meta()->bytes);
   // A zero-byte chunk still needs a non-empty grant window.
   offer.bytes = std::max<std::uint64_t>(1, bytes);
   node_.nb().send_to(tx_->to, offer);
   // Grant timeout: the neighbour may be recording or unreachable.
-  ack_timer_ = node_.sched().after(node_.cfg().transfer_ack_timeout * 4, [this] {
-    if (tx_ && !tx_->grant_received) end_session(/*aborted=*/true);
-  });
+  node_.proto_timer().arm_after(retx_slot_,
+                                node_.cfg().transfer_ack_timeout * 4);
 }
 
 void BulkTransfer::handle(const net::TransferOffer& m) {
@@ -63,11 +84,14 @@ void BulkTransfer::handle(const net::TransferOffer& m) {
 void BulkTransfer::handle(const net::TransferGrant& m) {
   if (m.to != node_.id()) return;
   if (!tx_ || tx_->grant_received || m.sender != tx_->to) return;
-  ack_timer_.cancel();
   tx_->grant_received = true;
   tx_->granted_bytes = m.bytes;
   last_tx_activity_ = node_.sched().now();
   next_chunk();
+  // The watchdog now tracks fragment progress instead of the grant.
+  if (tx_) {
+    node_.proto_timer().arm_after(retx_slot_, node_.cfg().transfer_ack_timeout);
+  }
 }
 
 void BulkTransfer::next_chunk() {
@@ -87,30 +111,69 @@ void BulkTransfer::next_chunk() {
   tx_->current = std::move(c);
   const std::uint32_t frag = node_.cfg().transfer_fragment_bytes;
   tx_->frag_count = std::max<std::uint32_t>(1, (tx_->current->meta.bytes + frag - 1) / frag);
-  tx_->frag_index = 0;
+  tx_->next_frag = 0;
+  tx_->cum_acked = 0;
+  tx_->acked_total = 0;
+  tx_->acked.assign(tx_->frag_count, false);
+  tx_->fast_retx_frag = kNoFastRetx;
   tx_->retries = 0;
-  send_fragment();
+  tx_->burst_left = 0;
+  tx_->stalled = false;
+  // Pace the first burst one spacing period out, like the original
+  // stop-and-wait loop paced each fragment: the bulk stream shares the
+  // channel with live control traffic.
+  tx_->next_burst_at = node_.sched().now() + node_.cfg().transfer_fragment_spacing;
+  node_.proto_timer().arm(pacing_slot_, tx_->next_burst_at);
 }
 
-void BulkTransfer::send_fragment() {
-  // Pace fragments: the bulk stream shares the channel with live control
-  // traffic, so it trickles rather than bursts.
-  node_.sched().after(node_.cfg().transfer_fragment_spacing,
-                      [this] { do_send_fragment(); });
+void BulkTransfer::pump() {
+  if (!tx_ || !tx_->current || !tx_->grant_received) return;
+  SendSession& s = *tx_;
+  const sim::Time now = node_.sched().now();
+  if (s.burst_left == 0) {
+    if (now < s.next_burst_at) {
+      node_.proto_timer().arm(pacing_slot_, s.next_burst_at);
+      return;
+    }
+    s.burst_left = window();
+    s.next_burst_at = now + node_.cfg().transfer_fragment_spacing;
+  }
+  if (s.next_frag >= s.frag_count) return;  // all sent; watchdog owns progress
+  if (frags_in_flight() >= window()) {
+    // Window full: park the pump. The ack that frees a slot restarts it.
+    ++stats_.window_stalls;
+    s.stalled = true;
+    return;
+  }
+  const std::uint32_t f = s.next_frag;
+  const bool want_ack = (f + 1 == s.frag_count) ||  // last of the chunk
+                        (s.burst_left == 1) ||      // last of this burst
+                        (frags_in_flight() + 1 >= window());  // window closing
+  if (!send_fragment(f, want_ack)) return;  // session ended (radio off)
+  ++s.next_frag;
+  --s.burst_left;
+  stats_.max_in_flight = std::max(stats_.max_in_flight, frags_in_flight());
+  if (s.next_frag < s.frag_count) {
+    node_.proto_timer().arm(pacing_slot_,
+                            s.burst_left > 0
+                                ? now + node_.cfg().transfer_burst_gap
+                                : s.next_burst_at);
+  }
 }
 
-void BulkTransfer::do_send_fragment() {
-  if (!tx_ || !tx_->current) return;
+bool BulkTransfer::send_fragment(std::uint32_t frag, bool ack_request) {
+  assert(tx_ && tx_->current);
   const auto& meta = tx_->current->meta;
   const std::uint32_t frag_size = node_.cfg().transfer_fragment_bytes;
   net::TransferData d;
   d.sender = node_.id();
   d.to = tx_->to;
   d.chunk_key = meta.key;
-  d.frag_index = tx_->frag_index;
+  d.frag_index = frag;
   d.frag_count = tx_->frag_count;
-  const std::uint64_t off =
-      static_cast<std::uint64_t>(tx_->frag_index) * frag_size;
+  d.ack_request = ack_request;
+  const std::uint64_t off = static_cast<std::uint64_t>(frag) * frag_size;
+  d.byte_offset = static_cast<std::uint32_t>(std::min<std::uint64_t>(off, meta.bytes));
   d.payload_bytes = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(frag_size, meta.bytes - std::min<std::uint64_t>(meta.bytes, off)));
   if (d.payload_bytes == 0) d.payload_bytes = 1;  // zero-byte chunk edge
@@ -130,63 +193,123 @@ void BulkTransfer::do_send_fragment() {
   }
   if (!node_.nb().send_to(tx_->to, std::move(d))) {
     end_session(/*aborted=*/true);
-    return;
+    return false;
   }
   last_tx_activity_ = node_.sched().now();
-  arm_ack_timer();
+  return true;
 }
 
-void BulkTransfer::arm_ack_timer() {
-  ack_timer_ = node_.sched().after(node_.cfg().transfer_ack_timeout, [this] {
-    if (!tx_ || !tx_->current) return;
-    if (++tx_->retries > node_.cfg().transfer_max_retries) {
-      // Give up: keep the chunk locally. If the receiver actually completed
-      // it (our acks were the losses), both sides now store a copy — the
-      // incidental replication the paper describes.
-      ++stats_.duplicate_risks;
-      end_session(/*aborted=*/true);
-      return;
-    }
-    ++stats_.fragments_retried;
-    send_fragment();
-  });
+void BulkTransfer::on_retx_timer() {
+  if (!tx_) return;
+  const sim::Time now = node_.sched().now();
+  if (!tx_->grant_received) {
+    // The grant never arrived within ack_timeout * 4.
+    end_session(/*aborted=*/true);
+    return;
+  }
+  if (!tx_->current) return;
+  // Lazy deadline: sends and progress acks advance last_tx_activity_ without
+  // re-arming the slot; the watchdog re-checks when it fires.
+  const sim::Time due = last_tx_activity_ + node_.cfg().transfer_ack_timeout;
+  if (now < due) {
+    node_.proto_timer().arm(retx_slot_, due);
+    return;
+  }
+  if (frags_in_flight() == 0) {
+    // Nothing outstanding (pump is between bursts); check back later.
+    node_.proto_timer().arm_after(retx_slot_, node_.cfg().transfer_ack_timeout);
+    return;
+  }
+  if (++tx_->retries > node_.cfg().transfer_max_retries) {
+    // Give up: keep the chunk locally. If the receiver actually completed
+    // it (our acks were the losses), both sides now store a copy — the
+    // incidental replication the paper describes.
+    ++stats_.duplicate_risks;
+    end_session(/*aborted=*/true);
+    return;
+  }
+  ++stats_.fragments_retried;
+  // Retransmit the oldest unacked fragment and demand an ack: its cum+SACK
+  // reply resynchronizes the whole window.
+  if (!send_fragment(tx_->cum_acked, /*ack_request=*/true)) return;
+  node_.proto_timer().arm_after(retx_slot_, node_.cfg().transfer_ack_timeout);
 }
 
 void BulkTransfer::handle(const net::TransferAck& m) {
   if (m.to != node_.id()) return;
   if (!tx_ || !tx_->current || m.sender != tx_->to) return;
-  if (m.chunk_key != tx_->current->meta.key || m.frag_index != tx_->frag_index)
-    return;
-  ack_timer_.cancel();
-  tx_->retries = 0;
-  last_tx_activity_ = node_.sched().now();
-  if (tx_->frag_index + 1 < tx_->frag_count) {
-    ++tx_->frag_index;
-    send_fragment();
+  if (m.chunk_key != tx_->current->meta.key) return;
+  SendSession& s = *tx_;
+  bool progress = false;
+  auto mark = [&](std::uint32_t f) {
+    if (f >= s.frag_count || f >= s.next_frag) return;  // never ack unsent
+    if (!s.acked[f]) {
+      s.acked[f] = true;
+      ++s.acked_total;
+      progress = true;
+    }
+  };
+  const std::uint32_t cum = std::min(m.cum_frags, s.frag_count);
+  for (std::uint32_t f = s.cum_acked; f < cum; ++f) mark(f);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    if (m.sack & (1u << i)) mark(cum + 1 + i);
+  }
+  mark(m.frag_index);
+  while (s.cum_acked < s.frag_count && s.acked[s.cum_acked]) ++s.cum_acked;
+  if (progress) {
+    s.retries = 0;
+    last_tx_activity_ = node_.sched().now();
+  }
+
+  if (s.cum_acked >= s.frag_count) {
+    // Chunk fully delivered: remove it locally.
+    const std::uint32_t moved = s.current->meta.bytes;
+    auto popped = node_.store().pop_head();
+    assert(popped && popped->meta.key == s.current->meta.key);
+    (void)popped;
+    s.granted_bytes -= std::min<std::uint64_t>(s.granted_bytes, moved);
+    s.bytes_moved += moved;
+    s.chunks_left -= 1;
+    ++stats_.chunks_sent;
+    stats_.bytes_sent += moved;
+    if (node_.metrics()) {
+      node_.metrics()->note_migration(node_.id(), s.to, moved);
+    }
+    s.current.reset();
+    next_chunk();
     return;
   }
-  // Chunk fully delivered: remove it locally.
-  const std::uint32_t moved = tx_->current->meta.bytes;
-  auto popped = node_.store().pop_head();
-  assert(popped && popped->meta.key == tx_->current->meta.key);
-  (void)popped;
-  tx_->granted_bytes -= std::min<std::uint64_t>(tx_->granted_bytes, moved);
-  tx_->bytes_moved += moved;
-  tx_->chunks_left -= 1;
-  ++stats_.chunks_sent;
-  stats_.bytes_sent += moved;
-  if (node_.metrics()) {
-    node_.metrics()->note_migration(node_.id(), tx_->to, moved);
+
+  // Fast retransmit: the receiver holds fragments beyond the first hole, so
+  // the hole was lost rather than still in flight. Resend it once; the
+  // cumulative edge advancing re-arms the heuristic for the next hole.
+  if (progress && s.cum_acked < s.next_frag && s.acked_total > s.cum_acked &&
+      s.fast_retx_frag != s.cum_acked) {
+    s.fast_retx_frag = s.cum_acked;
+    ++stats_.fragments_retried;
+    if (!send_fragment(s.cum_acked, /*ack_request=*/true)) return;
   }
-  tx_->current.reset();
-  next_chunk();
+
+  // An ack that freed window space restarts a parked pacing pump.
+  if (s.stalled && frags_in_flight() < window()) {
+    s.stalled = false;
+    node_.proto_timer().arm_after(pacing_slot_, node_.cfg().transfer_burst_gap);
+  }
+}
+
+std::uint32_t BulkTransfer::sack_bits(const RecvState& st) {
+  std::uint32_t bits = 0;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    if (st.got.count(st.contig + 1 + i)) bits |= (1u << i);
+  }
+  return bits;
 }
 
 void BulkTransfer::handle(const net::TransferData& m) {
   if (m.to != node_.id()) return;
   if (completed_.count(m.chunk_key)) {
-    // Re-ack idempotently: the sender missed our earlier ack.
-    send_ack(m.sender, m.chunk_key, m.frag_index);
+    // Re-ack idempotently: the sender missed our earlier completion ack.
+    send_ack(m.sender, m.chunk_key, m.frag_index, m.frag_count, 0);
     return;
   }
   auto it = rx_.find(m.chunk_key);
@@ -210,17 +333,26 @@ void BulkTransfer::handle(const net::TransferData& m) {
     st.meta.is_prelude = m.is_prelude;
   }
   if (!m.payload.empty()) {
-    const std::size_t off = static_cast<std::size_t>(m.frag_index) *
-                            node_.cfg().transfer_fragment_bytes;
+    // Place the payload at the SENDER's byte offset: the two nodes may be
+    // configured with different transfer_fragment_bytes, so deriving the
+    // offset from the local fragment size would corrupt the reassembly.
+    const std::size_t off = m.byte_offset;
     if (st.payload.size() < off + m.payload.size())
       st.payload.resize(off + m.payload.size());
     std::copy(m.payload.begin(), m.payload.end(),
               st.payload.begin() + static_cast<std::ptrdiff_t>(off));
   }
-  st.got.insert(m.frag_index);
+  const bool dup = !st.got.insert(m.frag_index).second;
+  while (st.contig < st.frag_count && st.got.count(st.contig)) ++st.contig;
 
-  if (st.got.size() < st.frag_count || !st.got.count(0)) {
-    send_ack(m.sender, m.chunk_key, m.frag_index);
+  if (st.contig < st.frag_count) {
+    // Out-of-order arrivals ack immediately (the SACK drives the sender's
+    // fast retransmit); duplicates re-ack (the sender missed our ack);
+    // in-order fragments stay silent unless the sender asked.
+    const bool out_of_order = m.frag_index > st.contig;
+    if (m.ack_request || dup || out_of_order) {
+      send_ack(m.sender, m.chunk_key, m.frag_index, st.contig, sack_bits(st));
+    }
     return;
   }
 
@@ -231,6 +363,7 @@ void BulkTransfer::handle(const net::TransferData& m) {
   c.meta = st.meta;
   c.payload = std::move(st.payload);
   const std::uint32_t bytes = st.meta.bytes;
+  const std::uint32_t frag_count = st.frag_count;
   rx_.erase(m.chunk_key);
   if (!node_.store().append(std::move(c))) {
     // No room after all (we filled up since granting); stay silent so the
@@ -247,16 +380,19 @@ void BulkTransfer::handle(const net::TransferData& m) {
   }
   // Received data may make us the new hot spot; the balancer re-checks the
   // trigger on its next tick.
-  send_ack(m.sender, m.chunk_key, m.frag_index);
+  send_ack(m.sender, m.chunk_key, m.frag_index, frag_count, 0);
 }
 
 void BulkTransfer::send_ack(net::NodeId to, std::uint64_t key,
-                            std::uint32_t frag) {
+                           std::uint32_t frag, std::uint32_t cum_frags,
+                           std::uint32_t sack) {
   net::TransferAck a;
   a.sender = node_.id();
   a.to = to;
   a.chunk_key = key;
   a.frag_index = frag;
+  a.cum_frags = cum_frags;
+  a.sack = sack;
   node_.nb().send_to(to, a);
 }
 
@@ -269,20 +405,21 @@ void BulkTransfer::end_session(bool aborted) {
       << " bytes";
   const net::NodeId to = tx_->to;
   const std::uint64_t moved = tx_->bytes_moved;
-  ack_timer_.cancel();
+  node_.proto_timer().disarm(pacing_slot_);
+  node_.proto_timer().disarm(retx_slot_);
   tx_.reset();
   if (aborted) {
     // The peer stopped responding mid-session: drop its beacon soft state so
     // the balancer does not immediately re-target it.
     node_.balancer().note_peer_unreachable(to);
   }
-  node_.balancer().on_session_end(to, moved);
+  node_.balancer().on_session_end(to, moved, aborted);
 }
 
 void BulkTransfer::arm_rx_sweep() {
-  if (rx_sweep_timer_.pending()) return;
-  rx_sweep_timer_ = node_.sched().after(
-      node_.cfg().transfer_rx_timeout.scaled(0.5), [this] { sweep_rx(); });
+  if (node_.proto_timer().armed(rx_sweep_slot_)) return;
+  node_.proto_timer().arm_after(rx_sweep_slot_,
+                                node_.cfg().transfer_rx_timeout.scaled(0.5));
 }
 
 void BulkTransfer::sweep_rx() {
@@ -308,8 +445,9 @@ void BulkTransfer::reset() {
     if (tx_->current) ++stats_.duplicate_risks;
     tx_.reset();
   }
-  ack_timer_.cancel();
-  rx_sweep_timer_.cancel();
+  node_.proto_timer().disarm(pacing_slot_);
+  node_.proto_timer().disarm(retx_slot_);
+  node_.proto_timer().disarm(rx_sweep_slot_);
   rx_.clear();
   completed_.clear();
   completed_order_.clear();

@@ -1,11 +1,17 @@
 // Local reliable bulk transfer (paper §III-A) used by storage balancing.
 //
-// Stop-and-wait fragment protocol: OFFER -> GRANT, then chunks stream as
-// acknowledged fragments; a chunk is popped from the sender's store only
-// after its final fragment is acked. An aborted session (retries exhausted)
-// can leave a completed copy at the receiver while the sender keeps its own
-// — the "incidental replication" the paper observes as residual redundancy
-// under aggressive balancing (Fig 11).
+// Windowed fragment pipeline: OFFER -> GRANT, then chunks stream as paced
+// fragment bursts — up to transfer_window_frags fragments in flight, with
+// cumulative + selective acks (Flush-style) instead of an ack per fragment.
+// A chunk is popped from the sender's store only after every fragment is
+// acked. The whole session runs off two sim::CoalescedTimer slots (pacing
+// pump + retransmit watchdog), so a migration session costs O(1) standing
+// scheduler events rather than one per fragment. transfer_window_frags = 1
+// degenerates to the original stop-and-wait behaviour.
+//
+// An aborted session (retries exhausted) can leave a completed copy at the
+// receiver while the sender keeps its own — the "incidental replication" the
+// paper observes as residual redundancy under aggressive balancing (Fig 11).
 #pragma once
 
 #include <cstdint>
@@ -17,6 +23,7 @@
 
 #include "core/config.h"
 #include "net/message.h"
+#include "sim/coalesced_timer.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
 #include "storage/chunk.h"
@@ -35,6 +42,8 @@ struct TransferStats {
   std::uint32_t fragments_retried = 0;
   std::uint32_t duplicate_risks = 0;  //!< aborted with receiver state unknown
   std::uint32_t rx_expired = 0;  //!< partial incoming sessions timed out
+  std::uint32_t window_stalls = 0;  //!< pacing pump halted on a full window
+  std::uint32_t max_in_flight = 0;  //!< peak unacked fragments outstanding
 };
 
 class BulkTransfer {
@@ -58,9 +67,14 @@ class BulkTransfer {
   /// expired).
   std::size_t rx_pending() const { return rx_.size(); }
 
+  /// Unacked fragments currently outstanding on the outgoing session.
+  std::uint32_t frags_in_flight() const;
+
   /// Drop all session state without notifying peers — the node crashed or
   /// rebooted. An in-flight outgoing chunk counts as a duplicate risk (the
-  /// receiver may have completed it) and the session as an abort.
+  /// receiver may have completed it) and the session as an abort. Disarms
+  /// the pacing/retransmit/rx-sweep slots so no stale timer can fire into a
+  /// later session.
   void reset();
 
   /// True when an outgoing session has seen no progress for far longer than
@@ -79,34 +93,54 @@ class BulkTransfer {
     std::uint64_t bytes_moved = 0;
     // Current chunk in flight.
     std::optional<storage::Chunk> current;
-    std::uint32_t frag_index = 0;
     std::uint32_t frag_count = 0;
+    // Sliding window over the current chunk's fragments.
+    std::uint32_t next_frag = 0;   //!< lowest never-sent fragment index
+    std::uint32_t cum_acked = 0;   //!< every fragment below this is acked
+    std::uint32_t acked_total = 0; //!< distinct acked fragments
+    std::vector<bool> acked;
+    /// Hole already fast-retransmitted once (SACK beyond it); cleared when
+    /// the cumulative edge moves past it.
+    std::uint32_t fast_retx_frag = 0xffffffffu;
     int retries = 0;
+    // Burst pacing: up to the window size of fragments per spacing period,
+    // transfer_burst_gap apart within a burst.
+    std::uint32_t burst_left = 0;
+    sim::Time next_burst_at;
+    bool stalled = false;  //!< pump parked on a full window, ack restarts it
   };
 
   struct RecvState {
     net::NodeId from;
     storage::ChunkMeta meta;
     std::uint32_t frag_count = 0;
+    std::uint32_t contig = 0;  //!< fragments received contiguously from 0
     std::set<std::uint32_t> got;
     std::vector<std::uint8_t> payload;
     sim::Time last_activity;
   };
 
+  std::uint32_t window() const;
   void send_offer();
   void next_chunk();
-  void send_fragment();
-  void do_send_fragment();
-  void arm_ack_timer();
+  /// Pacing slot callback: emit the next fragment of the current burst (or
+  /// park until the next burst period / an ack frees window space).
+  void pump();
+  /// Retransmit/grant watchdog slot callback (lazy deadline re-check).
+  void on_retx_timer();
+  bool send_fragment(std::uint32_t frag, bool ack_request);
   void arm_rx_sweep();
   void sweep_rx();
   void end_session(bool aborted);
-  void send_ack(net::NodeId to, std::uint64_t key, std::uint32_t frag);
+  void send_ack(net::NodeId to, std::uint64_t key, std::uint32_t frag,
+                std::uint32_t cum_frags, std::uint32_t sack);
+  static std::uint32_t sack_bits(const RecvState& st);
 
   Node& node_;
   std::optional<SendSession> tx_;
-  sim::EventHandle ack_timer_;
-  sim::EventHandle rx_sweep_timer_;
+  sim::CoalescedTimer::Slot pacing_slot_;
+  sim::CoalescedTimer::Slot retx_slot_;
+  sim::CoalescedTimer::Slot rx_sweep_slot_;
   sim::Time last_tx_activity_;
   std::map<std::uint64_t, RecvState> rx_;
   /// Recently completed chunk keys, re-acked idempotently.

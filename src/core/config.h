@@ -127,9 +127,21 @@ struct ProtocolConfig {
   std::uint32_t transfer_fragment_bytes = 64;
   sim::Time transfer_ack_timeout = sim::Time::millis(120);
   int transfer_max_retries = 6;
-  /// Pacing between fragments: mote bulk transfer shares one CSMA channel
-  /// with live control traffic, so effective throughput is ~1-3 kB/s.
+  /// Pacing between fragment bursts: mote bulk transfer shares one CSMA
+  /// channel with live control traffic, so it is rate-limited rather than
+  /// allowed to saturate the medium. Every spacing period the sender may
+  /// emit up to transfer_window_frags fragments.
   sim::Time transfer_fragment_spacing = sim::Time::millis(30);
+  /// Sliding-window size (fragments in flight per session). 1 reproduces
+  /// the original stop-and-wait pipeline: one outstanding fragment, an ack
+  /// per fragment, one fragment per spacing period. Larger windows pipeline
+  /// fragments under cumulative + selective acks (Flush-style), cutting
+  /// both migration drain time and per-fragment scheduler churn.
+  std::uint32_t transfer_window_frags = 8;
+  /// Gap between back-to-back fragments inside one window burst. Must
+  /// comfortably exceed one data-packet airtime (~3.2 ms at 250 kbps) so a
+  /// burst does not trip its own carrier-sense backoff.
+  sim::Time transfer_burst_gap = sim::Time::millis(5);
   /// Receiver-side reassembly timeout: a partial incoming session with no
   /// fragment activity for this long is discarded (the sender crashed or
   /// gave up). Must comfortably exceed the sender's worst-case silence,

@@ -291,6 +291,10 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
   wc.channel.use_spatial_index = cfg.spatial_index;
   wc.node_defaults.protocol.beacon_idle_backoff_max =
       cfg.beacon_idle_backoff_max;
+  wc.node_defaults.flash.store_payloads = cfg.store_payloads;
+  if (cfg.transfer_window_frags != 0) {
+    wc.node_defaults.protocol.transfer_window_frags = cfg.transfer_window_frags;
+  }
   World world(wc);
 
   grid_deployment(world, cfg.grid_nx, cfg.grid_ny, cfg.spacing_ft);
@@ -323,32 +327,49 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
   r.live_events_at_end = world.sched().pending();
   const sim::Time now = world.sched().now();
   std::set<std::uint64_t> live_keys;
+  // Per-key copy census across every collectable flash: key-level duplicate
+  // accounting always, byte-level payload comparison when payloads are
+  // materialized.
+  struct CopyRecord {
+    std::uint32_t meta_bytes = 0;
+    std::vector<std::uint8_t> payload;
+  };
+  std::map<std::uint64_t, std::vector<CopyRecord>> copies;
+  auto collect_copies = [&](Node& n) {
+    n.store().for_each([&](const storage::ChunkMeta& m) {
+      live_keys.insert(m.key);
+      CopyRecord rec;
+      rec.meta_bytes = m.bytes;
+      if (cfg.store_payloads) rec.payload = n.store().read_payload(m.key);
+      copies[m.key].push_back(std::move(rec));
+    });
+  };
   for (std::size_t i = 0; i < world.node_count(); ++i) {
     Node& n = world.node(i);
+    // Duplicate risks counted by every node, dead or alive: an aborted or
+    // crashed sender is exactly where replicas come from.
+    r.duplicate_risks_counted += n.bulk().stats().duplicate_risks;
     if (n.failed()) {
       ++r.nodes_lost;
       if (n.data_lost()) continue;
       // A defunct mote's flash is still physically collectable.
-      n.store().for_each(
-          [&](const storage::ChunkMeta& m) { live_keys.insert(m.key); });
+      collect_copies(n);
       continue;
     }
     if (n.down()) {
       ++r.nodes_down_at_end;
-      n.store().for_each(
-          [&](const storage::ChunkMeta& m) { live_keys.insert(m.key); });
+      collect_copies(n);
       continue;
     }
     if (n.bulk().tx_stuck(now)) ++r.stuck_tx_sessions;
     if (n.bulk().rx_stuck(now)) ++r.stuck_rx_sessions;
 
+    collect_copies(n);
     // Recoverability: a checkpoint-then-offline-recover round trip must
     // reproduce exactly the chunks the live store holds, in order.
     std::vector<std::uint64_t> live;
-    n.store().for_each([&](const storage::ChunkMeta& m) {
-      live.push_back(m.key);
-      live_keys.insert(m.key);
-    });
+    n.store().for_each(
+        [&](const storage::ChunkMeta& m) { live.push_back(m.key); });
     n.store().checkpoint();
     auto rec = storage::ChunkStore::recover(n.flash(), n.eeprom(),
                                             n.params().store);
@@ -358,6 +379,21 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
     if (live != recovered) r.stores_recoverable = false;
   }
   r.live_chunks = live_keys.size();
+  for (const auto& [key, recs] : copies) {
+    (void)key;
+    if (recs.size() > 1) r.duplicate_copies += recs.size() - 1;
+    if (cfg.store_payloads) {
+      for (const auto& rec : recs) {
+        // Byte-exact migration: every copy is exactly meta.bytes long and
+        // identical to every other copy of the same key.
+        if (rec.payload.size() != rec.meta_bytes ||
+            rec.payload != recs.front().payload) {
+          r.payloads_intact = false;
+        }
+      }
+    }
+  }
+  r.duplicates_within_risk = r.duplicate_copies <= r.duplicate_risks_counted;
   // Exactly-once retrieval: the deduplicated physical collection holds every
   // distinct live chunk once (duplicates from aborted transfers collapse;
   // nothing vanishes, nothing aliases).

@@ -149,6 +149,14 @@ struct ChaosRunConfig {
   /// Beacon idle back-off cap (multiple of beacon_period); the determinism
   /// test runs the coalesced-timer path with back-off on and off.
   double beacon_idle_backoff_max = 4.0;
+  /// Materialize audio payloads in flash so the end-state check can assert
+  /// byte-exact migration (every copy of a chunk identical, sized to its
+  /// metadata) on top of the key-level invariants.
+  bool store_payloads = false;
+  /// Bulk-transfer window override; 0 keeps the protocol default. The
+  /// migration chaos test runs both the windowed pipeline and the
+  /// stop-and-wait degenerate (1) through the same invariants.
+  std::uint32_t transfer_window_frags = 0;
 };
 
 struct ChaosRunResult {
@@ -170,6 +178,16 @@ struct ChaosRunResult {
   std::uint32_t stuck_rx_sessions = 0;
   std::uint32_t stuck_tx_sessions = 0;
   std::uint64_t live_chunks = 0;
+  /// With store_payloads: every collectable copy of a chunk key carries an
+  /// identical payload of exactly meta.bytes bytes (byte-exact migration).
+  bool payloads_intact = true;
+  /// Chunk keys stored at more than one node (aborted-transfer replicas).
+  std::uint64_t duplicate_copies = 0;
+  /// Σ duplicate_risks over every node, including crashed/failed ones.
+  std::uint64_t duplicate_risks_counted = 0;
+  /// Replication never exceeds what the transfer layer accounted for:
+  /// duplicate_copies <= duplicate_risks_counted.
+  bool duplicates_within_risk = true;
   /// Live scheduler events at the horizon (EventQueue::live_count, i.e.
   /// cancelled timers excluded). The steady-state workload keeps a bounded
   /// number of periodic timers per node; a runaway value means some
@@ -182,7 +200,8 @@ struct ChaosRunResult {
   bool invariants_hold() const {
     return stores_recoverable && retrieval_exact_once &&
            counters_consistent && stuck_rx_sessions == 0 &&
-           stuck_tx_sessions == 0 &&
+           stuck_tx_sessions == 0 && payloads_intact &&
+           duplicates_within_risk &&
            live_events_at_end <= nodes * kLiveEventsPerNodeBound;
   }
 };

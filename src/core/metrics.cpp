@@ -71,6 +71,10 @@ Metrics::Snapshot Metrics::compute(
       s.transfer_aborts += view.transfer->aborts;
       s.transfer_duplicate_risks += view.transfer->duplicate_risks;
       s.transfer_rx_expired += view.transfer->rx_expired;
+      s.transfer_fragments_retried += view.transfer->fragments_retried;
+      s.transfer_window_stalls += view.transfer->window_stalls;
+      s.transfer_max_in_flight =
+          std::max(s.transfer_max_in_flight, view.transfer->max_in_flight);
     }
 
     if (view.radio) {

@@ -116,6 +116,9 @@ class Metrics {
     std::uint32_t transfer_aborts = 0;           //!< summed over views
     std::uint32_t transfer_duplicate_risks = 0;
     std::uint32_t transfer_rx_expired = 0;
+    std::uint32_t transfer_fragments_retried = 0;
+    std::uint32_t transfer_window_stalls = 0;  //!< pacing pump parked on window
+    std::uint32_t transfer_max_in_flight = 0;  //!< peak over all nodes
   };
 
   /// `collected` optionally adds chunks that left the network but were

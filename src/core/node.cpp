@@ -145,6 +145,10 @@ void Node::fail(bool lose_data) {
   }
   tasking_.stop();
   duty_timer_.cancel();
+  // Account the dying transfer session (an in-flight outgoing chunk is a
+  // duplicate risk — the receiver may complete it from retransmit buffers)
+  // and drop partial reassembly state, before the blanket disarm below.
+  bulk_.reset();
   // A permanently dead node never speaks again: drop every standing protocol
   // deadline and the queued lazy traffic (whose flush timer would otherwise
   // retry against the dead radio forever).

@@ -24,9 +24,13 @@ struct SizeVisitor {
   std::uint32_t operator()(const TransferOffer&) const { return 10; }
   std::uint32_t operator()(const TransferGrant&) const { return 12; }
   std::uint32_t operator()(const TransferData& d) const {
-    return 16 + d.payload_bytes;
+    // 16 bytes of header + 4-byte fragment byte offset + 1 flag byte; the
+    // offset rides on the wire so heterogeneously configured nodes reassemble
+    // at the sender's layout.
+    return 21 + d.payload_bytes;
   }
-  std::uint32_t operator()(const TransferAck&) const { return 14; }
+  // Cumulative index (4) + SACK bitmap (4) on top of the old 14-byte ack.
+  std::uint32_t operator()(const TransferAck&) const { return 22; }
   std::uint32_t operator()(const TimeSyncBeacon&) const { return 16; }
   std::uint32_t operator()(const QueryRequest&) const { return 16; }
   std::uint32_t operator()(const QueryReply&) const { return 26; }

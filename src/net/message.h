@@ -152,6 +152,15 @@ struct TransferData {
   std::uint32_t frag_index = 0;
   std::uint32_t frag_count = 0;
   std::uint32_t payload_bytes = 0;
+  /// Byte offset of this fragment within the chunk, computed by the SENDER.
+  /// The receiver must place the payload here rather than derive an offset
+  /// from its own transfer_fragment_bytes — the two nodes may be configured
+  /// with different fragment sizes.
+  std::uint32_t byte_offset = 0;
+  /// The sender asks for an immediate ack (end of a window burst, or the
+  /// last fragment of the chunk). In-order fragments without the flag are
+  /// absorbed silently; duplicates and out-of-order arrivals always ack.
+  bool ack_request = false;
   // Descriptor fields, meaningful when frag_index == 0.
   EventId event;
   sim::Time start;
@@ -164,11 +173,18 @@ struct TransferData {
   std::vector<std::uint8_t> payload;
 };
 
+/// Cumulative + selective acknowledgment for the windowed fragment pipeline.
+/// `cum_frags` counts contiguously received fragments from index 0, `sack`
+/// is a bitmap of fragments received beyond the first hole (bit i set means
+/// fragment cum_frags + 1 + i arrived). `frag_index` still names the
+/// fragment that triggered the ack.
 struct TransferAck {
   NodeId sender = kInvalidNode;
   NodeId to = kInvalidNode;
   std::uint64_t chunk_key = 0;
   std::uint32_t frag_index = 0;
+  std::uint32_t cum_frags = 0;
+  std::uint32_t sack = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -66,6 +66,16 @@ class ChunkStore {
     for (const auto& sc : chunks_) fn(sc.meta);
   }
 
+  /// Iterate stored chunk metadata, oldest first, stopping as soon as `fn`
+  /// returns false — for callers that only need a prefix of the queue (e.g.
+  /// a transfer offer over the next few head chunks of a large store).
+  template <typename Fn>
+  void for_each_until(Fn&& fn) const {
+    for (const auto& sc : chunks_) {
+      if (!fn(sc.meta)) return;
+    }
+  }
+
   /// Read back a stored chunk's payload (empty unless the flash stores
   /// payloads).
   std::vector<std::uint8_t> read_payload(std::uint64_t key) const;

@@ -89,6 +89,47 @@ TEST(Chaos, BusyMemberEligibleExactlyAtTaskEnd) {
   EXPECT_EQ(members.at(0).first, net::NodeId{90});
 }
 
+TEST(Chaos, MigrationByteExactUnderBurstLossAndCrashes) {
+  // End-to-end migration audit: Gilbert–Elliott burst loss + crash/reboot
+  // with materialized payloads. Every collectable copy of every chunk must
+  // be byte-exact (windowed reassembly never scrambles offsets), chunk-key
+  // replication must stay within the transfer layer's counted
+  // duplicate_risks, and partial incoming sessions must be swept into
+  // rx_expired rather than leak.
+  ChaosRunConfig cfg = storm(17);
+  cfg.horizon = sim::Time::seconds_i(600);
+  cfg.store_payloads = true;
+  const auto res = run_chaos(cfg);
+
+  EXPECT_GT(res.final_snapshot.faults.crashes, 0u);
+  EXPECT_GT(res.live_chunks, 0u);
+  // The balancer actually migrated data through the windowed pipeline.
+  EXPECT_GT(res.final_snapshot.transfer_max_in_flight, 1u);
+
+  EXPECT_TRUE(res.payloads_intact);
+  EXPECT_LE(res.duplicate_copies, res.duplicate_risks_counted);
+  EXPECT_TRUE(res.duplicates_within_risk);
+  // rx_expired accounting is clean: expired partials were discarded, so no
+  // receiver still holds a stuck half-chunk.
+  EXPECT_EQ(res.stuck_rx_sessions, 0u);
+  EXPECT_EQ(res.stuck_tx_sessions, 0u);
+  EXPECT_TRUE(res.invariants_hold());
+}
+
+TEST(Chaos, MigrationInvariantsHoldAtStopAndWaitWindow) {
+  // The same audit with the window pinned to 1 — the stop-and-wait
+  // degenerate shares every safety property with the pipelined default.
+  ChaosRunConfig cfg = storm(18);
+  cfg.horizon = sim::Time::seconds_i(450);
+  cfg.store_payloads = true;
+  cfg.transfer_window_frags = 1;
+  const auto res = run_chaos(cfg);
+  EXPECT_GT(res.live_chunks, 0u);
+  EXPECT_TRUE(res.payloads_intact);
+  EXPECT_TRUE(res.duplicates_within_risk);
+  EXPECT_TRUE(res.invariants_hold());
+}
+
 TEST(Chaos, QuietPlanDegradesToPlainIndoorRun) {
   ChaosRunConfig cfg;
   cfg.seed = 11;

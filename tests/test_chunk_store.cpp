@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <deque>
 #include <vector>
 
@@ -54,6 +55,31 @@ TEST(ChunkStore, AppendAndAccounting) {
   EXPECT_EQ(f.store.used_bytes(), 3u * 256u);
   EXPECT_EQ(f.store.used_payload_bytes(), 600u);
   EXPECT_EQ(f.store.free_bytes(), 8 * 1024 - 3 * 256);
+}
+
+TEST(ChunkStore, ForEachUntilStopsAtFirstFalse) {
+  StoreFixture f(/*capacity=*/64 * 1024);
+  for (int i = 0; i < 20; ++i) f.store.append(f.make_chunk(100));
+  // Early-exit iteration visits exactly the prefix a transfer offer needs,
+  // not the whole queue.
+  int visited = 0;
+  std::uint64_t bytes = 0;
+  f.store.for_each_until([&](const ChunkMeta& m) {
+    if (visited >= 3) return false;
+    ++visited;
+    bytes += m.bytes;
+    return true;
+  });
+  EXPECT_EQ(visited, 3);
+  EXPECT_EQ(bytes, 300u);
+  // A callback that never declines sees everything, oldest first.
+  std::vector<std::uint64_t> keys;
+  f.store.for_each_until([&](const ChunkMeta& m) {
+    keys.push_back(m.key);
+    return true;
+  });
+  EXPECT_EQ(keys.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
 }
 
 TEST(ChunkStore, RejectsWhenFull) {

@@ -351,6 +351,47 @@ TEST(CrashMidProtocol, SenderCrashExpiresReceiverReassembly) {
   EXPECT_EQ(b.store().chunk_count(), 0u);  // partial data never committed
 }
 
+TEST(CrashMidProtocol, StalePacingTimerCannotLeakIntoNextSession) {
+  // Regression: the stop-and-wait pipeline scheduled its pacing step as an
+  // anonymous scheduler lambda with no handle, and end_session/reset
+  // cancelled only the ack timer — a pacing event armed before a crash could
+  // fire into the NEXT session and double-send/double-arm. The windowed
+  // pipeline keeps pacing on a CoalescedTimer slot that reset() disarms, so
+  // a session restarted after a crash+reboot sends each fragment exactly
+  // once.
+  WorldBuilder b;
+  b.mode(Mode::kFull).seed(406);
+  b.cfg.channel.loss_probability = 0.0;
+  // Long pacing period so the pre-crash pacing deadline (grant + spacing)
+  // lands comfortably inside the restarted session.
+  b.cfg.node_defaults.protocol.transfer_fragment_spacing =
+      sim::Time::millis(500);
+  auto world = std::make_unique<World>(b.cfg);
+  auto& a = world->add_node({0, 0});
+  auto& n2 = world->add_node({2, 0});
+  a.store().append(chunk_for(a, 2000));  // 32 fragments at 64 B
+  world->start();
+  world->sched().at(sim::Time::millis(1),
+                    [&] { a.bulk().start_session(n2.id(), 1); });
+  // Crash after the grant armed the first pacing deadline (~t=500 ms) but
+  // before any data fragment went out; reboot and restart quickly so the
+  // stale deadline would fall inside session 2's lifetime.
+  world->sched().at(sim::Time::millis(100), [&] { a.crash(); });
+  world->sched().at(sim::Time::millis(150), [&] { a.reboot(); });
+  world->sched().at(sim::Time::millis(200),
+                    [&] { a.bulk().start_session(n2.id(), 1); });
+  world->run_until(sim::Time::seconds_i(30));
+
+  EXPECT_EQ(n2.store().chunk_count(), 1u);
+  EXPECT_EQ(a.store().chunk_count(), 0u);
+  // Lossless link, no retries: exactly one send per fragment. A stale
+  // pacing timer firing into session 2 would double-send.
+  const std::size_t data_idx =
+      net::type_index(net::Message{net::TransferData{}});
+  EXPECT_EQ(a.radio().stats().messages_sent[data_idx], 32u);
+  EXPECT_EQ(a.bulk().stats().fragments_retried, 0u);
+}
+
 TEST(CrashMidProtocol, LeaderCrashMidTaskReelectsAndRecordingContinues) {
   auto world = WorldBuilder{}
                    .mode(Mode::kCooperativeOnly)

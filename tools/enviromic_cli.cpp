@@ -258,6 +258,11 @@ int run_chaos_cli(const Args& args) {
       res.final_snapshot.transfer_rx_expired, res.stuck_tx_sessions,
       res.stuck_rx_sessions);
   std::printf(
+      "  transfer window: frags_retried=%u window_stalls=%u max_in_flight=%u\n",
+      res.final_snapshot.transfer_fragments_retried,
+      res.final_snapshot.transfer_window_stalls,
+      res.final_snapshot.transfer_max_in_flight);
+  std::printf(
       "  invariants: stores_recoverable=%d retrieval_exact_once=%d "
       "counters_consistent=%d => %s\n",
       res.stores_recoverable ? 1 : 0, res.retrieval_exact_once ? 1 : 0,
