@@ -184,6 +184,9 @@ core::ChaosRunConfig chaos_config(int grid_nx, int grid_ny, double horizon_s,
   cfg.burst.enabled = true;
   cfg.link_asymmetry_max = 0.1;
   cfg.spatial_index = indexed;
+  // Timing runs must not pay for the default flight-recorder trace ring;
+  // the profiled runs below measure attribution separately.
+  cfg.flight_recorder = false;
   return cfg;
 }
 
@@ -200,6 +203,28 @@ ChaosTimed timed_chaos(int grid_nx, int grid_ny, double horizon_s,
   out.result = core::run_chaos(cfg);
   out.ms = ms_since(t0);
   return out;
+}
+
+// Scheduler-profiled chaos run: answers ROADMAP's "is the event queue >15%
+// of the run?" with a per-component wall-time attribution table. Runs apart
+// from the timed/gated runs above (ProfileScope clock reads are not free),
+// and emits prof_<name>_<tag>_pct keys into the results JSON.
+void profiled_chaos(int grid_nx, int grid_ny, double horizon_s,
+                    const std::string& name,
+                    std::map<std::string, double>& results) {
+  auto cfg = chaos_config(grid_nx, grid_ny, horizon_s, true);
+  cfg.profile = true;
+  const auto res = core::run_chaos(cfg);
+  const auto& rep = res.profile;
+  std::printf("profile %s: %.1f ms over %llu callbacks\n", name.c_str(),
+              rep.total_ms, static_cast<unsigned long long>(rep.fires));
+  for (const auto& line : rep.lines) {
+    results["prof_" + name + "_" + line.tag + "_pct"] = line.pct;
+    std::printf("  %-18s %6.2f%%  %9.1f ms  %10llu fires\n", line.tag,
+                line.pct, line.self_ms,
+                static_cast<unsigned long long>(line.fires));
+  }
+  results["prof_" + name + "_total_ms"] = rep.total_ms;
 }
 
 bool chaos_runs_identical(const core::ChaosRunResult& a,
@@ -498,6 +523,13 @@ int main(int argc, char** argv) {
                   c500.ms, c500_lin.ms, results["chaos_500_speedup"]);
     }
   }
+
+  // 3b. Scheduler attribution on the chaos scenarios (separate runs; the
+  // ProfileScope clock reads would distort the gated timings above). Quick
+  // mode shortens the 200-node horizon and skips 500 — percentages stay
+  // meaningful, only the absolute total shrinks.
+  profiled_chaos(20, 10, chaos_s, "chaos_200", results);
+  if (!quick) profiled_chaos(25, 20, chaos_s, "chaos_500", results);
 
   // 4. Migration drain: the windowed pipeline vs the stop-and-wait
   // degenerate (window pinned to 1) on an identical preloaded backlog. Runs

@@ -29,6 +29,29 @@ echo "== perf smoke (regression gate vs committed baseline)"
   --baseline results/BENCH_sim.json \
   --max-regress 0.25
 
+if command -v python3 >/dev/null 2>&1; then
+  echo "== trace-disabled overhead + profiler attribution checks"
+  # The gated chaos_200 timing run executes with tracing fully disabled, so
+  # its wall clock vs the committed baseline bounds the cost of the dormant
+  # instrumentation branches: a tighter 5% budget on top of the 25% gate.
+  python3 - <<'EOF'
+import json, sys
+ci = json.load(open("results/BENCH_sim.ci.json"))["results"]
+base = json.load(open("results/BENCH_sim.json"))["results"]
+now, ref = ci["chaos_200_ms"], base["chaos_200_ms"]
+print(f"trace-disabled chaos_200: {now:.1f} ms vs baseline {ref:.1f} ms")
+if ref > 0 and now > ref * 1.05:
+    sys.exit(f"FAIL: trace-disabled chaos_200 overhead {now/ref-1:.1%} > 5%")
+pct = sum(v for k, v in ci.items()
+          if k.startswith("prof_chaos_200_") and k.endswith("_pct"))
+print(f"profiler attribution sum: {pct:.2f}%")
+if not 95.0 <= pct <= 105.0:
+    sys.exit(f"FAIL: profiler attribution sums to {pct:.2f}%, not ~100%")
+EOF
+else
+  echo "== python3 not found; skipping overhead/attribution checks"
+fi
+
 for e in build/examples/*; do
   echo "== example: $(basename "$e")"
   "$e" > /dev/null
@@ -43,6 +66,22 @@ echo "== cli smoke"
   --horizon 900 --seed 3
 ./build/tools/enviromic_cli --faults crash=0.5,downtime=45,brownout=0.3,clockstep=0.3,asym=0.2 \
   --horizon 900 --seed 9 > /dev/null
+
+echo "== traced chaos smoke"
+./build/tools/enviromic_cli --faults crash=0.3,downtime=60,burst=1 \
+  --horizon 600 --seed 5 --log-level off \
+  --trace build/trace_smoke.json --trace-sample-interval 30 > /dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json, sys
+t = json.load(open("build/trace_smoke.json"))
+evs = t["traceEvents"]
+kinds = {e.get("ph") for e in evs}
+if not evs or not {"X", "i"} <= kinds:
+    sys.exit(f"FAIL: trace smoke has {len(evs)} events, phases {kinds}")
+print(f"trace smoke OK: {len(evs)} events, phases {sorted(kinds)}")
+EOF
+fi
 
 echo "== asan/ubsan build + fault tests"
 cmake -B build-asan -G Ninja \

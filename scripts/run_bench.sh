@@ -3,9 +3,11 @@
 # results/BENCH_sim.json. Covers the event-queue churn, the broadcast storms
 # (carrier sense off and the CSMA-on backoff variant), the chaos soaks, and
 # the migration drain (windowed bulk-transfer pipeline vs the stop-and-wait
-# window=1 degenerate). Pass --quick for the CI smoke lane (shorter horizons,
-# no 500-node linear soak); any further args go straight through to
-# perf_substrates.
+# window=1 degenerate), plus the scheduler-profiled chaos runs whose
+# per-component wall-time attribution (prof_chaos_*_pct keys) answers
+# ROADMAP's "is the event queue >15%?" question. Pass --quick for the CI
+# smoke lane (shorter horizons, no 500-node linear soak, no 500-node
+# attribution run); any further args go straight through to perf_substrates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

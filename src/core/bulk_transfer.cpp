@@ -5,6 +5,7 @@
 
 #include "core/balancer.h"
 #include "sim/log.h"
+#include "sim/trace.h"
 #include "core/metrics.h"
 #include "core/node.h"
 
@@ -38,6 +39,8 @@ void BulkTransfer::start_session(net::NodeId to, int max_chunks) {
   tx_->chunks_left = max_chunks;
   last_tx_activity_ = node_.sched().now();
   ++stats_.sessions;
+  sim::trace_begin(node_.sched().now(), sim::TraceEvent::kBulkSession,
+                   node_.id(), to);
   send_offer();
 }
 
@@ -142,6 +145,8 @@ void BulkTransfer::pump() {
   if (frags_in_flight() >= window()) {
     // Window full: park the pump. The ack that frees a slot restarts it.
     ++stats_.window_stalls;
+    sim::trace_instant(now, sim::TraceEvent::kWindowStall, node_.id(), s.to,
+                       frags_in_flight());
     s.stalled = true;
     return;
   }
@@ -229,6 +234,8 @@ void BulkTransfer::on_retx_timer() {
     return;
   }
   ++stats_.fragments_retried;
+  sim::trace_instant(now, sim::TraceEvent::kFragRetx, node_.id(), tx_->to,
+                     tx_->cum_acked);
   // Retransmit the oldest unacked fragment and demand an ack: its cum+SACK
   // reply resynchronizes the whole window.
   if (!send_fragment(tx_->cum_acked, /*ack_request=*/true)) return;
@@ -287,6 +294,8 @@ void BulkTransfer::handle(const net::TransferAck& m) {
       s.fast_retx_frag != s.cum_acked) {
     s.fast_retx_frag = s.cum_acked;
     ++stats_.fragments_retried;
+    sim::trace_instant(node_.sched().now(), sim::TraceEvent::kFragRetx,
+                       node_.id(), s.to, s.cum_acked);
     if (!send_fragment(s.cum_acked, /*ack_request=*/true)) return;
   }
 
@@ -386,6 +395,10 @@ void BulkTransfer::handle(const net::TransferData& m) {
 void BulkTransfer::send_ack(net::NodeId to, std::uint64_t key,
                            std::uint32_t frag, std::uint32_t cum_frags,
                            std::uint32_t sack) {
+  if (sack != 0) {
+    sim::trace_instant(node_.sched().now(), sim::TraceEvent::kTransferSack,
+                       node_.id(), to, sack);
+  }
   net::TransferAck a;
   a.sender = node_.id();
   a.to = to;
@@ -405,6 +418,8 @@ void BulkTransfer::end_session(bool aborted) {
       << " bytes";
   const net::NodeId to = tx_->to;
   const std::uint64_t moved = tx_->bytes_moved;
+  sim::trace_end(node_.sched().now(), sim::TraceEvent::kBulkSession,
+                 node_.id(), to, moved, aborted ? 1.0 : 0.0);
   node_.proto_timer().disarm(pacing_slot_);
   node_.proto_timer().disarm(retx_slot_);
   tx_.reset();
@@ -443,6 +458,8 @@ void BulkTransfer::reset() {
   if (tx_) {
     ++stats_.aborts;
     if (tx_->current) ++stats_.duplicate_risks;
+    sim::trace_end(node_.sched().now(), sim::TraceEvent::kBulkSession,
+                   node_.id(), tx_->to, tx_->bytes_moved, 1.0);
     tx_.reset();
   }
   node_.proto_timer().disarm(pacing_slot_);

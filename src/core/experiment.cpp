@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <set>
+
+#include "core/balancer.h"
+#include "core/bulk_transfer.h"
+#include "sim/trace.h"
 
 namespace enviromic::core {
 
@@ -317,13 +323,54 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
                                                world.rng().fork("faults"));
   world.apply_faults(plan);
 
+  // Flight recorder: keep a small trace ring for the post-mortem dump unless
+  // the caller already has tracing on (then its ring serves the same role).
+  const bool fr_owns_trace =
+      cfg.flight_recorder && !sim::Trace::instance().enabled();
+  if (fr_owns_trace) sim::Trace::instance().enable(cfg.flight_recorder_capacity);
+  if (cfg.profile) world.sched().profiler().enable();
+
   world.start();
   // The grace tail lets reboots land and in-flight sessions drain before the
-  // invariants are checked.
-  world.run_until(cfg.horizon + cfg.grace);
+  // invariants are checked. With tracing on and a sampling cadence set, step
+  // the run on that cadence and append per-node timeseries records at each
+  // boundary — run_until stepping executes the same events in the same order,
+  // so the seeded RNG streams are untouched.
+  const sim::Time end_at = cfg.horizon + cfg.grace;
+  if (sim::g_trace_enabled && cfg.trace_sample_interval > sim::Time::zero()) {
+    auto sample = [&world] {
+      const sim::Time now = world.sched().now();
+      for (std::size_t i = 0; i < world.node_count(); ++i) {
+        Node& n = world.node(i);
+        double ttl = n.balancer().ttl_storage_seconds();
+        if (std::isinf(ttl)) ttl = -1.0;  // sentinel: nothing flowing in
+        sim::trace_instant(now, sim::TraceEvent::kNodeSample, n.id(),
+                           n.store().free_bytes(), n.bulk().frags_in_flight(),
+                           ttl,
+                           i == 0 ? static_cast<double>(world.sched().pending())
+                                  : 0.0);
+      }
+    };
+    for (sim::Time t = cfg.trace_sample_interval; t < end_at;
+         t += cfg.trace_sample_interval) {
+      world.run_until(t);
+      sample();
+    }
+    world.run_until(end_at);
+    sample();
+  } else {
+    world.run_until(end_at);
+  }
 
   ChaosRunResult r;
   r.nodes = world.node_count();
+  r.live_events_bound = cfg.live_events_per_node_bound;
+  r.executed_events = world.sched().executed();
+  if (cfg.profile) {
+    r.profiled = true;
+    r.profile = world.sched().profiler().report();
+    world.sched().profiler().disable();
+  }
   r.live_events_at_end = world.sched().pending();
   const sim::Time now = world.sched().now();
   std::set<std::uint64_t> live_keys;
@@ -404,6 +451,23 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
   r.channel_stats = world.channel().stats();
   const auto& f = r.final_snapshot.faults;
   r.counters_consistent = f.crashes == f.reboots + r.nodes_down_at_end;
+
+  if (cfg.flight_recorder && sim::Trace::instance().enabled() &&
+      !r.invariants_hold()) {
+    auto& trace = sim::Trace::instance();
+    std::cerr << "chaos invariants FAILED (seed " << cfg.seed
+              << "): flight recorder tail (" << cfg.flight_recorder_dump
+              << " of " << trace.total_recorded() << " records)\n";
+    trace.dump_tail(cfg.flight_recorder_dump, std::cerr);
+    if (!cfg.flight_recorder_path.empty()) {
+      std::ofstream out(cfg.flight_recorder_path);
+      if (out) trace.dump_tail(cfg.flight_recorder_dump, out);
+    }
+  }
+  if (fr_owns_trace) {
+    sim::Trace::instance().disable();
+    sim::Trace::instance().clear();
+  }
   return r;
 }
 

@@ -5,11 +5,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/metrics.h"
 #include "core/workload.h"
 #include "core/world.h"
+#include "sim/profiler.h"
 
 namespace enviromic::core {
 
@@ -157,6 +159,27 @@ struct ChaosRunConfig {
   /// migration chaos test runs both the windowed pipeline and the
   /// stop-and-wait degenerate (1) through the same invariants.
   std::uint32_t transfer_window_frags = 0;
+  /// Scheduler profiler: attribute callback wall time per component tag and
+  /// return the table in ChaosRunResult::profile. Reads the wall clock only;
+  /// the simulated run stays bit-identical.
+  bool profile = false;
+  /// With tracing enabled (sim::Trace), emit per-node kNodeSample timeseries
+  /// records (free flash, in-flight fragments, TTL, queue depth) every this
+  /// many simulated seconds; zero disables sampling. Implemented by stepping
+  /// run_until on the sampling cadence, which is RNG-stream neutral.
+  sim::Time trace_sample_interval = sim::Time::zero();
+  /// Chaos flight recorder: keep a small trace ring during the run (when
+  /// tracing is not already on) and dump its tail to stderr — and to
+  /// flight_recorder_path when set — if the end-state invariants fail.
+  /// The perf bench turns this off for clean wall-clock timing runs.
+  bool flight_recorder = true;
+  std::size_t flight_recorder_capacity = 4096;  //!< ring size, records
+  std::size_t flight_recorder_dump = 64;        //!< tail records dumped
+  std::string flight_recorder_path;             //!< optional dump file
+  /// Per-node live-event budget for the runaway-timer invariant; overrides
+  /// ChaosRunResult::kLiveEventsPerNodeBound (the flight-recorder test sets
+  /// it to 0 to force an invariant failure on demand).
+  std::size_t live_events_per_node_bound = 64;
 };
 
 struct ChaosRunResult {
@@ -194,15 +217,24 @@ struct ChaosRunResult {
   /// component is re-arming itself without making progress.
   std::size_t live_events_at_end = 0;
   /// Upper bound used by the stuck-session invariant: generous per-node
-  /// budget of periodic timers + in-flight transfers.
+  /// budget of periodic timers + in-flight transfers. The config can lower
+  /// or raise it (live_events_per_node_bound); the value actually used is
+  /// carried in live_events_bound below.
   static constexpr std::size_t kLiveEventsPerNodeBound = 64;
+  std::size_t live_events_bound = kLiveEventsPerNodeBound;
+  /// Total events the scheduler executed; the determinism test compares it
+  /// between traced and untraced runs.
+  std::uint64_t executed_events = 0;
+  /// Scheduler wall-time attribution (valid when the config set `profile`).
+  bool profiled = false;
+  sim::Profiler::Report profile;
 
   bool invariants_hold() const {
     return stores_recoverable && retrieval_exact_once &&
            counters_consistent && stuck_rx_sessions == 0 &&
            stuck_tx_sessions == 0 && payloads_intact &&
            duplicates_within_risk &&
-           live_events_at_end <= nodes * kLiveEventsPerNodeBound;
+           live_events_at_end <= nodes * live_events_bound;
   }
 };
 

@@ -4,6 +4,13 @@
 
 #include "core/node.h"
 #include "sim/log.h"
+#include "sim/trace.h"
+
+namespace {
+std::uint64_t ev_key(const enviromic::net::EventId& e) {
+  return enviromic::sim::trace_pack(e.origin, e.seq);
+}
+}  // namespace
 
 namespace enviromic::core {
 
@@ -91,6 +98,8 @@ void GroupManager::election_fire(net::EventId reuse, bool is_handoff) {
     ++stats_.elections_won;
   }
   become_leader(event, round, first_assign);
+  sim::trace_instant(now, sim::TraceEvent::kLeader, self(), ev_key(event),
+                     is_handoff ? 1 : 0);
   if (is_handoff) {
     node_.tasking().start(event, round, first_assign, task_end);
   } else {
@@ -104,6 +113,8 @@ void GroupManager::become_leader(net::EventId event, std::uint32_t round,
   leader_ = self();
   current_event_ = event;
   last_leader_evidence_ = node_.sched().now();
+  sim::trace_begin(node_.sched().now(), sim::TraceEvent::kLeadership, self(),
+                   ev_key(event));
 
   sim::LogStream(sim::LogLevel::kDebug, node_.sched().now(), "group")
       << "node " << self() << " leads " << event.str();
@@ -134,6 +145,10 @@ void GroupManager::resign() {
   sim::LogStream(sim::LogLevel::kDebug, node_.sched().now(), "group")
       << "node " << self() << " resigns " << current_event_.str();
   ++stats_.resigns_sent;
+  sim::trace_instant(node_.sched().now(), sim::TraceEvent::kResign, self(),
+                     ev_key(current_event_), r.next_round);
+  sim::trace_end(node_.sched().now(), sim::TraceEvent::kLeadership, self(),
+                 ev_key(current_event_));
   node_.tasking().stop();
   leader_ = net::kInvalidNode;
 }
@@ -161,6 +176,8 @@ void GroupManager::note_foreign_leader(net::NodeId leader,
   if (leader < self()) {
     // Yield: the lower id keeps the group.
     ++stats_.conflicts_yielded;
+    sim::trace_end(node_.sched().now(), sim::TraceEvent::kLeadership, self(),
+                   ev_key(current_event_));
     node_.tasking().stop();
     leader_ = leader;
     current_event_ = event;
@@ -292,6 +309,9 @@ void GroupManager::note_member_unreachable(net::NodeId who) {
 }
 
 void GroupManager::reset() {
+  if (is_leader())
+    sim::trace_end(node_.sched().now(), sim::TraceEvent::kLeadership, self(),
+                   ev_key(current_event_));
   hearing_ = false;
   leader_ = net::kInvalidNode;
   current_event_ = net::EventId{};
@@ -359,6 +379,8 @@ void GroupManager::watchdog_tick() {
     sim::LogStream(sim::LogLevel::kDebug, now, "group")
         << "node " << self() << " watchdog re-election (leader silent)";
     ++stats_.watchdog_reelections;
+    sim::trace_instant(now, sim::TraceEvent::kWatchdog, self(),
+                       ev_key(current_event_));
     schedule_election(node_.cfg().election_backoff, current_event_,
                       /*is_handoff=*/false);
   }

@@ -55,6 +55,7 @@ Metrics::Snapshot Metrics::compute(
     for (const auto& meta : *collected) account_chunk(meta);
   }
   for (const auto& view : views) {
+    s.per_node_ids.push_back(view.id);
     s.per_node_used_bytes.push_back(view.store ? view.store->used_bytes() : 0);
     if (view.radio) {
       s.per_node_packets_sent.push_back(view.radio->packets_sent);

@@ -109,6 +109,10 @@ class Metrics {
     std::uint64_t total_messages = 0;
     std::uint64_t control_messages = 0;   //!< excl. TRANSFER_DATA payloads
     std::uint64_t transfer_messages = 0;  //!< TRANSFER_* family
+    /// Node id of each per_node_* row. The rows follow view order, which is
+    /// NOT node-id order once permanent failures shrink the view list — use
+    /// this mapping instead of the row index to attribute a row to a node.
+    std::vector<net::NodeId> per_node_ids;
     std::vector<std::uint64_t> per_node_used_bytes;   //!< by view order
     std::vector<std::uint64_t> per_node_packets_sent;
     std::vector<std::uint64_t> per_node_recorded_bytes;  //!< by recorder

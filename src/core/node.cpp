@@ -5,6 +5,8 @@
 
 #include "core/metrics.h"
 #include "sim/log.h"
+#include "sim/profiler.h"
+#include "sim/trace.h"
 
 namespace enviromic::core {
 
@@ -155,6 +157,8 @@ void Node::fail(bool lose_data) {
   proto_timer_.disarm_all();
   nb_.reset();
   if (metrics_) metrics_->note_crash(id_, /*permanent=*/true);
+  sim::trace_instant(sched_.now(), sim::TraceEvent::kFail, id_, 0,
+                     lose_data ? 1 : 0);
 }
 
 bool Node::crash() {
@@ -185,6 +189,7 @@ bool Node::crash() {
   bulk_.reset();
   retrieval_.reset();
   if (metrics_) metrics_->note_crash(id_, /*permanent=*/false);
+  sim::trace_instant(sched_.now(), sim::TraceEvent::kCrash, id_);
   sim::LogStream(sim::LogLevel::kDebug, sched_.now(), "fault")
       << "node " << id_ << " crashes";
   return true;
@@ -221,6 +226,8 @@ bool Node::reboot() {
     metrics_->note_recovery(id_, recovered, mismatched);
     metrics_->note_reboot(id_, sched_.now() - crash_time_);
   }
+  sim::trace_instant(sched_.now(), sim::TraceEvent::kReboot, id_, recovered,
+                     mismatched, (sched_.now() - crash_time_).to_seconds());
   sim::LogStream(sim::LogLevel::kDebug, sched_.now(), "fault")
       << "node " << id_ << " reboots after "
       << (sched_.now() - crash_time_).to_seconds() << "s, " << recovered
@@ -231,6 +238,8 @@ bool Node::reboot() {
 void Node::brownout(sim::Time duration) {
   if (failed_ || down_) return;
   if (metrics_) metrics_->note_brownout(id_);
+  sim::trace_instant(sched_.now(), sim::TraceEvent::kBrownout, id_, 0, 0,
+                     duration.to_seconds());
   radio_->set_on(false);
   energy_.set_radio_on(sched_.now(), false);
   sched_.after(duration, [this] {
@@ -248,10 +257,13 @@ void Node::clock_step(double seconds) {
   if (failed_ || down_) return;
   clock_.step(seconds);
   if (metrics_) metrics_->note_clock_step(id_);
+  sim::trace_instant(sched_.now(), sim::TraceEvent::kClockStep, id_, 0, 0,
+                     seconds);
 }
 
 void Node::dispatch(const net::Packet& p) {
   if (failed_ || down_) return;
+  sim::ProfileScope ps(sched_.profiler(), sim::ProfTag::kProtocolDispatch);
   for (const auto& m : p.messages) on_message(m, p.src, p.dst);
 }
 

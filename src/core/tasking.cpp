@@ -4,6 +4,7 @@
 
 #include "core/node.h"
 #include "sim/log.h"
+#include "sim/trace.h"
 
 namespace enviromic::core {
 
@@ -134,6 +135,9 @@ void TaskManager::try_candidate() {
   node_.sched().after(node_.proc_delay(), [this, req] {
     if (!active_ || outstanding_ != req.recorder || round_ != req.round) return;
     node_.nb().send_to(req.recorder, req);
+    sim::trace_instant(node_.sched().now(), sim::TraceEvent::kTaskRequest,
+                       node_.id(), req.recorder,
+                       sim::trace_pack(req.round, req.replica));
     sim::LogStream(sim::LogLevel::kTrace, node_.sched().now(), "task")
         << "leader " << node_.id() << " asks " << req.recorder << " round "
         << req.round << "." << static_cast<int>(req.replica);
@@ -149,6 +153,9 @@ void TaskManager::handle(const net::TaskConfirm& m) {
       m.replica != replica_) {
     return;
   }
+  sim::trace_instant(node_.sched().now(), sim::TraceEvent::kTaskConfirm,
+                     node_.id(), m.recorder,
+                     sim::trace_pack(m.round, m.replica));
   round_done(m.recorder, /*confirmed=*/true);
 }
 
@@ -160,6 +167,9 @@ void TaskManager::handle(const net::TaskReject& m) {
   }
   // Someone else is already recording this round (our confirm got lost on
   // the way back earlier): the assignment is done.
+  sim::trace_instant(node_.sched().now(), sim::TraceEvent::kTaskReject,
+                     node_.id(), m.recorder,
+                     sim::trace_pack(m.round, m.replica));
   round_done(m.recorder, /*confirmed=*/false);
 }
 
@@ -196,6 +206,8 @@ void TaskManager::on_confirm_timeout() {
       << "leader " << node_.id() << " confirm timeout from " << outstanding_
       << " round " << round_;
   ++stats_.confirm_timeouts;
+  sim::trace_instant(node_.sched().now(), sim::TraceEvent::kConfirmTimeout,
+                     node_.id(), outstanding_, round_);
   tried_this_round_.insert(outstanding_);
   // Two-strike rule: under burst loss a single lost TASK_CONFIRM used to
   // blacklist a live member for a full heartbeat. Tolerate one silent round

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/profiler.h"
+
 namespace enviromic::core {
 
 World::World(WorldConfig cfg)
@@ -70,6 +72,7 @@ void World::start() {
 }
 
 void World::pump_tick(std::size_t index) {
+  sim::ProfileScope ps(sched_.profiler(), sim::ProfTag::kDetectorPump);
   DetectorPump& pump = pumps_[index];
   sched_.after(pump.interval, [this, index] { pump_tick(index); });
   for (auto* d : pump.detectors) d->poll_once();

@@ -48,9 +48,11 @@
 #include "sim/event_queue.h"
 #include "sim/geometry.h"
 #include "sim/log.h"
+#include "sim/profiler.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
 #include "sim/time.h"
+#include "sim/trace.h"
 #include "storage/chunk.h"
 #include "storage/chunk_store.h"
 #include "storage/eeprom.h"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/trace.h"
+
 namespace enviromic::net {
 
 Channel::Channel(sim::Scheduler& sched, sim::Rng rng, ChannelConfig cfg)
@@ -213,6 +215,7 @@ void Channel::start_send(Radio& from, Packet packet, int attempt) {
     const auto delay = sim::Time::ticks(rng_.uniform_int(
         1, std::max<std::int64_t>(1, cfg_.backoff_window.raw_ticks())));
     sched_.after(delay, [this, &from, packet = std::move(packet), attempt]() mutable {
+      sim::ProfileScope ps(sched_.profiler(), sim::ProfTag::kChannelCsma);
       start_send(from, std::move(packet), attempt + 1);
     });
     return;
@@ -245,16 +248,21 @@ void Channel::prune_active(sim::Time now) {
 
 void Channel::begin_transmission(Radio& from, Packet packet) {
   const sim::Time start = sched_.now();
-  const sim::Time end = start + air_time(packet.total_bytes());
+  const std::uint32_t tx_bytes = packet.total_bytes();
+  const sim::Time end = start + air_time(tx_bytes);
   const ActiveTx tx{from.id(), from.position(), start, end};
   active_.push_back(tx);
   if (grid_on_) active_cells_[active_cell_for(tx.pos)].push_back(tx);
   ++stats_.transmissions;
   from.note_sent(packet, start, end);
+  sim::trace_instant(start, sim::TraceEvent::kChannelSend, from.id(),
+                     packet.dst, tx_bytes);
 
   // Deliveries resolve at transmission end; collision checks look at every
   // transmission that overlapped [start, end] at the receiver.
-  sched_.at(end, [this, &from, packet = std::move(packet), start, end]() {
+  sched_.at(end, [this, &from, packet = std::move(packet), start, end,
+                  tx_bytes]() {
+    sim::ProfileScope prof(sched_.profiler(), sim::ProfTag::kChannelDelivery);
     if (registered_.find(&from) == registered_.end()) {
       // The sender was torn down while its packet was in the air; nothing to
       // deliver (its transmission still occupied the medium until now).
@@ -296,18 +304,32 @@ void Channel::begin_transmission(Radio& from, Packet packet) {
       if (!r->is_on()) {
         r->note_missed_off();
         ++stats_.losses_radio_off;
+        sim::trace_instant(
+            end, sim::TraceEvent::kChannelDrop, r->id(), from.id(),
+            static_cast<std::uint64_t>(sim::TraceDropReason::kRadioOff));
         continue;
       }
       if (cfg_.model_collisions && collided(*r)) {
         r->note_loss();
         ++stats_.losses_collision;
+        sim::trace_instant(
+            end, sim::TraceEvent::kChannelDrop, r->id(), from.id(),
+            static_cast<std::uint64_t>(sim::TraceDropReason::kCollision));
         continue;
       }
+      const std::uint64_t burst_before = stats_.losses_burst;
       if (drop_random(from.id(), r->id())) {
         r->note_loss();
+        sim::trace_instant(
+            end, sim::TraceEvent::kChannelDrop, r->id(), from.id(),
+            static_cast<std::uint64_t>(stats_.losses_burst != burst_before
+                                           ? sim::TraceDropReason::kBurst
+                                           : sim::TraceDropReason::kRandom));
         continue;
       }
       ++stats_.deliveries;
+      sim::trace_instant(end, sim::TraceEvent::kChannelDeliver, r->id(),
+                         from.id(), tx_bytes);
       r->deliver(packet, start, end);
     }
     in_delivery_ = false;

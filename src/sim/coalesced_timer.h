@@ -85,6 +85,7 @@ class CoalescedTimer {
   };
 
   void fire() {
+    ProfileScope ps(sched_.profiler(), ProfTag::kCoalescedTimer);
     firing_ = true;
     const Time now = sched_.now();
     for (auto& s : slots_) {

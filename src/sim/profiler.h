@@ -1,0 +1,141 @@
+#pragma once
+// Wall-time attribution for scheduler callbacks.
+//
+// A Profiler (owned by sim::Scheduler) accumulates per-component self-time
+// and fire counts. Components mark their callbacks with a ProfileScope tagged
+// from a small fixed taxonomy; nested scopes subtract child elapsed time from
+// the parent so each tag reports *self* time and the table sums to the run
+// total (the residue is reported as "other"). Profiling reads the wall clock
+// only — it never schedules events or draws RNG, so a profiled run is
+// bit-identical to an unprofiled one.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+namespace enviromic::sim {
+
+enum class ProfTag : std::uint8_t {
+  kEventQueue = 0,    // heap push/pop bookkeeping in Scheduler/EventQueue
+  kDetectorPump,      // world-level acoustic detector poll batches
+  kCoalescedTimer,    // per-node coalesced timer slot dispatch
+  kChannelDelivery,   // transmission-end delivery fan-out
+  kChannelCsma,       // CSMA backoff retry attempts
+  kProtocolDispatch,  // Node::dispatch message handling
+  kCount,
+};
+
+inline const char* prof_tag_name(ProfTag t) {
+  switch (t) {
+    case ProfTag::kEventQueue: return "event_queue";
+    case ProfTag::kDetectorPump: return "detector_pump";
+    case ProfTag::kCoalescedTimer: return "coalesced_timer";
+    case ProfTag::kChannelDelivery: return "channel_delivery";
+    case ProfTag::kChannelCsma: return "channel_csma";
+    case ProfTag::kProtocolDispatch: return "protocol_dispatch";
+    case ProfTag::kCount: break;
+  }
+  return "other";
+}
+
+class Profiler {
+ public:
+  static constexpr std::size_t kTags = static_cast<std::size_t>(ProfTag::kCount);
+
+  struct Report {
+    struct Line {
+      const char* tag;
+      std::uint64_t fires;
+      double self_ms;
+      double pct;  // of total_ms
+    };
+    std::array<Line, kTags + 1> lines;  // per tag, plus trailing "other"
+    double total_ms = 0.0;              // run-loop wall time
+    std::uint64_t fires = 0;            // callbacks executed
+  };
+
+  void enable() {
+    reset();
+    enabled_ = true;
+  }
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void reset() {
+    self_ns_.fill(0);
+    fires_.fill(0);
+    total_ns_ = 0;
+    total_fires_ = 0;
+    current_child_ = nullptr;
+  }
+
+  // Called by Scheduler around the run loop; the delta covers everything the
+  // loop did (queue ops + callbacks), so "other" = total - sum(self).
+  void add_run_time(std::int64_t ns, std::uint64_t fires) {
+    total_ns_ += ns;
+    total_fires_ += fires;
+  }
+
+  Report report() const {
+    Report r;
+    r.total_ms = total_ns_ * 1e-6;
+    r.fires = total_fires_;
+    double accounted = 0.0;
+    for (std::size_t i = 0; i < kTags; ++i) {
+      double ms = self_ns_[i] * 1e-6;
+      accounted += ms;
+      r.lines[i] = {prof_tag_name(static_cast<ProfTag>(i)), fires_[i], ms,
+                    r.total_ms > 0 ? 100.0 * ms / r.total_ms : 0.0};
+    }
+    double other = r.total_ms - accounted;
+    if (other < 0) other = 0;
+    r.lines[kTags] = {"other", 0, other,
+                      r.total_ms > 0 ? 100.0 * other / r.total_ms : 0.0};
+    return r;
+  }
+
+ private:
+  friend class ProfileScope;
+  bool enabled_ = false;
+  std::array<std::int64_t, kTags> self_ns_{};
+  std::array<std::uint64_t, kTags> fires_{};
+  std::int64_t total_ns_ = 0;
+  std::uint64_t total_fires_ = 0;
+  std::int64_t* current_child_ = nullptr;  // innermost live scope's child sink
+};
+
+// RAII self-time scope. One branch when profiling is off.
+class ProfileScope {
+ public:
+  ProfileScope(Profiler& p, ProfTag tag) : p_(p) {
+    if (!p_.enabled_) return;
+    active_ = true;
+    tag_ = tag;
+    parent_child_ = p_.current_child_;
+    p_.current_child_ = &child_ns_;
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~ProfileScope() {
+    if (!active_) return;
+    auto end = std::chrono::steady_clock::now();
+    std::int64_t elapsed =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+            .count();
+    p_.current_child_ = parent_child_;
+    p_.self_ns_[static_cast<std::size_t>(tag_)] += elapsed - child_ns_;
+    ++p_.fires_[static_cast<std::size_t>(tag_)];
+    if (parent_child_) *parent_child_ += elapsed;
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  Profiler& p_;
+  bool active_ = false;
+  ProfTag tag_{};
+  std::int64_t child_ns_ = 0;
+  std::int64_t* parent_child_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace enviromic::sim

@@ -1,43 +1,71 @@
 #include "sim/scheduler.h"
 
 #include <cassert>
+#include <chrono>
 
 namespace enviromic::sim {
 
+namespace {
+
+std::int64_t prof_now_ns(bool enabled) {
+  if (!enabled) return 0;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 EventHandle Scheduler::at(Time t, Callback cb) {
   assert(t >= now_ && "cannot schedule into the past");
+  ProfileScope ps(profiler_, ProfTag::kEventQueue);
   return queue_.schedule(t, std::move(cb));
 }
 
 EventHandle Scheduler::after(Time d, Callback cb) {
   if (d.is_negative()) d = Time::zero();
+  ProfileScope ps(profiler_, ProfTag::kEventQueue);
   return queue_.schedule(now_ + d, std::move(cb));
 }
 
 std::uint64_t Scheduler::run(std::uint64_t limit) {
+  const bool prof = profiler_.enabled();
+  const std::int64_t t0 = prof_now_ns(prof);
   std::uint64_t n = 0;
   Time t;
   EventQueue::Callback cb;
-  while (n < limit && queue_.pop_next(Time::max(), &t, &cb)) {
+  for (;;) {
+    {
+      ProfileScope ps(profiler_, ProfTag::kEventQueue);
+      if (n >= limit || !queue_.pop_next(Time::max(), &t, &cb)) break;
+    }
     now_ = t;
     cb();
     ++n;
     ++executed_;
   }
+  if (prof) profiler_.add_run_time(prof_now_ns(true) - t0, n);
   return n;
 }
 
 std::uint64_t Scheduler::run_until(Time t) {
+  const bool prof = profiler_.enabled();
+  const std::int64_t t0 = prof_now_ns(prof);
   std::uint64_t n = 0;
   Time et;
   EventQueue::Callback cb;
-  while (queue_.pop_next(t, &et, &cb)) {
+  for (;;) {
+    {
+      ProfileScope ps(profiler_, ProfTag::kEventQueue);
+      if (!queue_.pop_next(t, &et, &cb)) break;
+    }
     now_ = et;
     cb();
     ++n;
     ++executed_;
   }
   if (t > now_) now_ = t;
+  if (prof) profiler_.add_run_time(prof_now_ns(true) - t0, n);
   return n;
 }
 

@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "sim/event_queue.h"
+#include "sim/profiler.h"
 #include "sim/time.h"
 
 namespace enviromic::sim {
@@ -37,10 +38,16 @@ class Scheduler {
   /// Number of live scheduled events (cancelled timers excluded).
   std::size_t pending() const { return queue_.live_count(); }
 
+  /// Wall-time attribution across scheduler callbacks. Components open
+  /// ProfileScopes against this; run()/run_until() account total loop time.
+  Profiler& profiler() { return profiler_; }
+  const Profiler& profiler() const { return profiler_; }
+
  private:
   EventQueue queue_;
   Time now_ = Time::zero();
   std::uint64_t executed_ = 0;
+  Profiler profiler_;
 };
 
 }  // namespace enviromic::sim

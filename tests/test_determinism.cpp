@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "core/experiment.h"
+#include "sim/trace.h"
 
 namespace enviromic::core {
 namespace {
@@ -37,6 +38,7 @@ void expect_identical(const Metrics::Snapshot& a, const Metrics::Snapshot& b) {
   EXPECT_EQ(a.total_messages, b.total_messages);
   EXPECT_EQ(a.control_messages, b.control_messages);
   EXPECT_EQ(a.transfer_messages, b.transfer_messages);
+  EXPECT_EQ(a.per_node_ids, b.per_node_ids);
   EXPECT_EQ(a.per_node_used_bytes, b.per_node_used_bytes);
   EXPECT_EQ(a.per_node_packets_sent, b.per_node_packets_sent);
   EXPECT_EQ(a.per_node_recorded_bytes, b.per_node_recorded_bytes);
@@ -112,6 +114,36 @@ TEST(Determinism, CoalescedTimerPathIsDeterministicWithAndWithoutBackoff) {
   // The knob really flips the timer path: idle nodes beacon more often with
   // the back-off pinned off, so the traffic totals differ.
   EXPECT_NE(a1.channel_stats.transmissions, b1.channel_stats.transmissions);
+}
+
+TEST(Determinism, TracingAndProfilingDoNotPerturbSeededChaosRuns) {
+  // The trace recorder and scheduler profiler read the wall clock but never
+  // schedule events or draw RNG, and the timeseries sampler's stepped
+  // run_until drive is stream-neutral — so a fully observed run must stay
+  // bit-identical to a dark one, down to the executed-event count.
+  ChaosRunConfig off = probe(17);
+  off.flight_recorder = false;  // no trace ring at all on the dark leg
+  const auto a = run_chaos(off);
+
+  ChaosRunConfig on = probe(17);
+  on.flight_recorder = false;  // the test owns the trace lifecycle
+  on.profile = true;
+  on.trace_sample_interval = sim::Time::seconds_i(30);
+  sim::Trace::instance().enable(1 << 16);
+  const auto b = run_chaos(on);
+  sim::Trace::instance().disable();
+  const auto recorded = sim::Trace::instance().total_recorded();
+  sim::Trace::instance().clear();
+
+  expect_identical(a.final_snapshot, b.final_snapshot);
+  expect_identical(a.channel_stats, b.channel_stats);
+  EXPECT_EQ(a.live_chunks, b.live_chunks);
+  EXPECT_EQ(a.live_events_at_end, b.live_events_at_end);
+  EXPECT_EQ(a.executed_events, b.executed_events);
+  // The observed leg really observed something.
+  EXPECT_GT(recorded, 0u);
+  EXPECT_TRUE(b.profiled);
+  EXPECT_GT(b.profile.fires, 0u);
 }
 
 TEST(Determinism, DistinctSeedsDiverge) {

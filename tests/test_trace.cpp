@@ -1,0 +1,196 @@
+// Tests for the structured trace recorder (sim/trace.h): ring semantics,
+// span pairing in the Chrome-trace exporter, and exporter well-formedness.
+//
+// The exporters write JSON by hand, so the well-formedness checks here walk
+// the output with a small structural scanner (balanced braces/brackets
+// outside string literals) rather than a full parser; scripts/ci.sh
+// additionally json.load()s a real exported trace.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace enviromic::sim {
+namespace {
+
+// Every test owns the global Trace; leave it dark and empty for the rest of
+// the suite.
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Trace::instance().disable();
+    Trace::instance().clear();
+  }
+};
+
+// Structural JSON check: braces and brackets balance outside strings, and
+// nothing trails the top-level value.
+void expect_balanced_json(const std::string& text) {
+  int depth = 0;
+  bool in_string = false, escaped = false, closed = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) escaped = false;
+      else if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (closed) {
+      EXPECT_TRUE(c == '\n' || c == ' ') << "trailing content after JSON";
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']':
+        --depth;
+        ASSERT_GE(depth, 0) << "unbalanced close";
+        if (depth == 0) closed = true;
+        break;
+      default: break;
+    }
+  }
+  EXPECT_FALSE(in_string) << "unterminated string";
+  EXPECT_TRUE(closed) << "JSON value never closed";
+}
+
+std::size_t count_occurrences(const std::string& text, const std::string& pat) {
+  std::size_t n = 0;
+  for (auto at = text.find(pat); at != std::string::npos;
+       at = text.find(pat, at + pat.size()))
+    ++n;
+  return n;
+}
+
+TEST_F(TraceTest, DisabledRecordingIsANoOp) {
+  EXPECT_FALSE(Trace::instance().enabled());
+  trace_instant(Time::seconds_i(1), TraceEvent::kLeader, 3);
+  trace_begin(Time::seconds_i(1), TraceEvent::kLeadership, 3);
+  trace_end(Time::seconds_i(2), TraceEvent::kLeadership, 3);
+  EXPECT_EQ(Trace::instance().size(), 0u);
+  EXPECT_EQ(Trace::instance().total_recorded(), 0u);
+}
+
+TEST_F(TraceTest, RingGrowsThenWrapsOverwritingOldest) {
+  auto& trace = Trace::instance();
+  trace.enable(/*capacity=*/8);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    trace_instant(Time::millis(static_cast<std::int64_t>(i)),
+                  TraceEvent::kBalance, 1, i);
+  EXPECT_EQ(trace.size(), 5u);
+  EXPECT_FALSE(trace.wrapped());
+
+  for (std::uint64_t i = 5; i < 20; ++i)
+    trace_instant(Time::millis(static_cast<std::int64_t>(i)),
+                  TraceEvent::kBalance, 1, i);
+  EXPECT_EQ(trace.size(), 8u);
+  EXPECT_TRUE(trace.wrapped());
+  EXPECT_EQ(trace.total_recorded(), 20u);
+
+  // for_each visits oldest-first: the 8 survivors are a = 12..19 in order.
+  std::vector<std::uint64_t> seen;
+  trace.for_each([&](const TraceRecord& r) { seen.push_back(r.a); });
+  ASSERT_EQ(seen.size(), 8u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], 12 + i);
+
+  // dump_tail keeps only the most recent n.
+  std::ostringstream tail;
+  trace.dump_tail(3, tail);
+  EXPECT_EQ(count_occurrences(tail.str(), "\n"), 3u);
+  EXPECT_NE(tail.str().find("a=19"), std::string::npos);
+  EXPECT_EQ(tail.str().find("a=12"), std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeExportPairsNestedAndInterleavedSpans) {
+  auto& trace = Trace::instance();
+  trace.enable(64);
+  // Node 1: a leadership tenure with a task-record span nested inside it,
+  // plus a second task span on node 2 interleaved in time.
+  trace_begin(Time::seconds_i(10), TraceEvent::kLeadership, 1, 77);
+  trace_begin(Time::seconds_i(11), TraceEvent::kTaskRecord, 1, 77);
+  trace_begin(Time::seconds_i(12), TraceEvent::kTaskRecord, 2, 78);
+  trace_end(Time::seconds_i(13), TraceEvent::kTaskRecord, 1, 77, 4096);
+  trace_end(Time::seconds_i(14), TraceEvent::kTaskRecord, 2, 78, 2048);
+  trace_end(Time::seconds_i(15), TraceEvent::kLeadership, 1, 77);
+  // An unmatched begin must still surface (closed at the trace's end)...
+  trace_begin(Time::seconds_i(16), TraceEvent::kBulkSession, 3, 9);
+  // ...and an unmatched end must be dropped, not crash or mis-pair.
+  trace_end(Time::seconds_i(17), TraceEvent::kPrelude, 4);
+
+  std::ostringstream out;
+  trace.export_chrome_trace(out);
+  const std::string json = out.str();
+  expect_balanced_json(json);
+  // 3 paired spans + 1 force-closed bulk session, no span for the orphan end.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 4u);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"task_record\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"bulk_session\""), 1u);
+  // (the track metadata may still name the prelude track; no span exists)
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"prelude\",\"ph\":\"X\""), 0u);
+  // Spans land on their per-kind tracks; the tenure spans 5 sim seconds.
+  EXPECT_NE(json.find("\"name\":\"leadership\",\"ph\":\"X\",\"pid\":1,"
+                      "\"tid\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5000000.000"), std::string::npos);
+  // Track metadata names the processes.
+  EXPECT_NE(json.find("\"name\":\"node 1\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeExportEmitsInstantsAndCounterSamples) {
+  auto& trace = Trace::instance();
+  trace.enable(64);
+  trace_instant(Time::seconds_i(1), TraceEvent::kCrash, 5, 0, 1);
+  trace_instant(Time::seconds_i(2), TraceEvent::kNodeSample, 5, 123456, 3, 42.5,
+                7.0);
+  std::ostringstream out;
+  trace.export_chrome_trace(out);
+  const std::string json = out.str();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"name\":\"crash\",\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"free_flash\":123456"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"samples\""), std::string::npos);
+}
+
+TEST_F(TraceTest, JsonlExportEmitsOneWellFormedObjectPerRecord) {
+  auto& trace = Trace::instance();
+  trace.enable(64);
+  trace_instant(Time::seconds_i(1), TraceEvent::kLeader, 2, 99);
+  trace_begin(Time::seconds_i(2), TraceEvent::kPrelude, 2, 99);
+  trace_end(Time::seconds_i(3), TraceEvent::kPrelude, 2, 99);
+  std::ostringstream out;
+  trace.export_jsonl(out);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    expect_balanced_json(line);
+  }
+  EXPECT_EQ(n, trace.size());
+  EXPECT_NE(out.str().find("\"ev\":\"leader\",\"ph\":\"i\""),
+            std::string::npos);
+  EXPECT_NE(out.str().find("\"ev\":\"prelude\",\"ph\":\"B\""),
+            std::string::npos);
+  EXPECT_NE(out.str().find("\"ev\":\"prelude\",\"ph\":\"E\""),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, ReenableResetsTheRing) {
+  auto& trace = Trace::instance();
+  trace.enable(4);
+  for (int i = 0; i < 10; ++i)
+    trace_instant(Time::millis(i), TraceEvent::kBalance, 1);
+  EXPECT_TRUE(trace.wrapped());
+  trace.enable(16);
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_FALSE(trace.wrapped());
+  EXPECT_EQ(trace.total_recorded(), 0u);
+  EXPECT_EQ(trace.capacity(), 16u);
+}
+
+}  // namespace
+}  // namespace enviromic::sim

@@ -35,6 +35,8 @@ struct Args {
   bool gossip = false;
   bool have_faults = false;
   core::ChaosSpec chaos;
+  std::string trace_path;
+  double trace_sample_s = 0.0;
 };
 
 void usage() {
@@ -51,6 +53,12 @@ void usage() {
       "  --runs <n>                               repetitions (mobile)\n"
       "  --csv                                    CSV time series output\n"
       "  --contours                               storage contour at end\n"
+      "  --log-level off|error|warn|info|debug|trace\n"
+      "  --trace <path>                           record a protocol trace;\n"
+      "      .jsonl extension dumps raw records, anything else writes\n"
+      "      Chrome-trace JSON (open in Perfetto / chrome://tracing)\n"
+      "  --trace-sample-interval <seconds>        per-node counter samples\n"
+      "      in the trace (chaos scenario; 0 = off, default)\n"
       "  --faults k=v[,k=v...]                    fault plan; implies chaos\n"
       "      keys: crash downtime permanent lose_data brownout brownout_len\n"
       "            clockstep clockstep_max burst pgb pbg loss_bad loss_good\n"
@@ -98,6 +106,22 @@ bool parse(int argc, char** argv, Args& args) {
         return false;
       }
       args.have_faults = true;
+    } else if (a == "--log-level") {
+      const std::string lv = next("--log-level");
+      if (lv == "off") sim::set_log_level(sim::LogLevel::kOff);
+      else if (lv == "error") sim::set_log_level(sim::LogLevel::kError);
+      else if (lv == "warn") sim::set_log_level(sim::LogLevel::kWarn);
+      else if (lv == "info") sim::set_log_level(sim::LogLevel::kInfo);
+      else if (lv == "debug") sim::set_log_level(sim::LogLevel::kDebug);
+      else if (lv == "trace") sim::set_log_level(sim::LogLevel::kTrace);
+      else {
+        std::fprintf(stderr, "unknown log level %s\n", lv.c_str());
+        return false;
+      }
+    } else if (a == "--trace") {
+      args.trace_path = next("--trace");
+    } else if (a == "--trace-sample-interval") {
+      args.trace_sample_s = std::atof(next("--trace-sample-interval"));
     } else if (a == "--csv") {
       args.csv = true;
     } else if (a == "--contours") {
@@ -223,6 +247,9 @@ int run_chaos_cli(const Args& args) {
   cfg.seed = args.seed;
   cfg.horizon = sim::Time::seconds(args.horizon_s);
   cfg.beta_max = args.beta;
+  if (args.trace_sample_s > 0.0) {
+    cfg.trace_sample_interval = sim::Time::seconds(args.trace_sample_s);
+  }
   if (args.have_faults) {
     cfg.faults = args.chaos.faults;
     cfg.burst = args.chaos.burst;
@@ -273,12 +300,7 @@ int run_chaos_cli(const Args& args) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  Args args;
-  if (!parse(argc, argv, args)) {
-    usage();
-    return 2;
-  }
+int dispatch(const Args& args) {
   if (args.have_faults || args.scenario == "chaos") return run_chaos_cli(args);
   if (args.scenario == "indoor") return run_indoor_cli(args);
   if (args.scenario == "mobile") return run_mobile_cli(args);
@@ -286,4 +308,32 @@ int main(int argc, char** argv) {
   if (args.scenario == "voice") return run_voice_cli(args);
   usage();
   return 2;
+}
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) {
+    usage();
+    return 2;
+  }
+  if (args.trace_path.empty()) return dispatch(args);
+
+  sim::Trace::instance().enable();
+  const int rc = dispatch(args);
+  auto& trace = sim::Trace::instance();
+  trace.disable();
+  const bool jsonl =
+      args.trace_path.size() >= 6 &&
+      args.trace_path.compare(args.trace_path.size() - 6, 6, ".jsonl") == 0;
+  const bool ok = jsonl ? trace.export_jsonl(args.trace_path)
+                        : trace.export_chrome_trace(args.trace_path);
+  if (!ok) {
+    std::fprintf(stderr, "failed to write trace to %s\n",
+                 args.trace_path.c_str());
+    return rc == 0 ? 1 : rc;
+  }
+  std::fprintf(stderr, "trace: %llu records (%zu kept) -> %s\n",
+               static_cast<unsigned long long>(trace.total_recorded()),
+               trace.size(), args.trace_path.c_str());
+  return rc;
 }
