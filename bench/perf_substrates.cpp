@@ -16,7 +16,11 @@
 //      neighbours over the reliable bulk-transfer pipeline, timed with the
 //      default fragment window and again pinned to window=1 (the
 //      stop-and-wait degenerate), so the windowed pipeline's wall-clock win
-//      is a committed trajectory number.
+//      is a committed trajectory number;
+//   5. coded survival — a permanent-death chaos campaign run under plain
+//      migration, erasure-coded dispersal, and replicated recording, so the
+//      k-of-n survival win and its redundancy overhead are committed
+//      trajectory numbers too.
 //
 // Every indexed/linear pair is also checked for bit-identical results: the
 // spatial index must be a pure acceleration, so diverging channel counters
@@ -27,9 +31,9 @@
 // Usage: perf_substrates [--quick] [--out PATH] [--baseline PATH]
 //                        [--max-regress FRACTION]
 // --quick shrinks horizons for the CI smoke lane and skips the 500-node
-// linear soak; the regression gate compares chaos_200_ms and
-// migrate_windowed_ms against the baseline JSON and fails (exit 3) on
-// > FRACTION regression.
+// linear soak; the regression gate compares chaos_200_ms,
+// migrate_windowed_ms, and coded_chaos_ms against the baseline JSON and
+// fails (exit 3) on > FRACTION regression.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -184,9 +188,12 @@ core::ChaosRunConfig chaos_config(int grid_nx, int grid_ny, double horizon_s,
   cfg.burst.enabled = true;
   cfg.link_asymmetry_max = 0.1;
   cfg.spatial_index = indexed;
-  // Timing runs must not pay for the default flight-recorder trace ring;
-  // the profiled runs below measure attribution separately.
+  // Timing runs must not pay for the default flight-recorder trace ring or
+  // the end-of-run payload census (a full store walk + drained payload read
+  // per chunk); the profiled runs measure attribution and the coded-survival
+  // section measures the census separately.
   cfg.flight_recorder = false;
+  cfg.payload_census = false;
   return cfg;
 }
 
@@ -584,6 +591,133 @@ int main(int argc, char** argv) {
         stopwait.fragments_retried, results["migrate_speedup"]);
   }
 
+  // 5. Coded survival: the same seeded permanent-death campaign under three
+  // storage disciplines — whole-chunk migration (~1x stored bytes),
+  // erasure-coded dispersal (k=2 of n=4, ~2x), and replicated recording
+  // (2 copies, the same ~2x without coding). Reports payload survival,
+  // redundancy overhead (stored bytes / original bytes), and drain traffic;
+  // the coded leg runs twice on one seed as a repeat-determinism check and
+  // coded_chaos_ms joins the regression gate. Runs the full horizon in quick
+  // mode too, so the gated number stays comparable with the committed
+  // full-run baseline.
+  {
+    auto survival_cfg = [](core::StoragePolicy pol, int replicas) {
+      core::ChaosRunConfig cfg;
+      cfg.seed = 9;
+      cfg.grid_nx = 6;
+      cfg.grid_ny = 4;
+      cfg.horizon = sim::Time::seconds_i(900);
+      cfg.faults.crash_probability = 0.5;
+      cfg.faults.permanent_fraction = 1.0;
+      cfg.faults.lose_data_fraction = 1.0;
+      cfg.flight_recorder = false;
+      cfg.storage_policy = pol;
+      cfg.coded_k = 2;
+      cfg.coded_n = 4;
+      cfg.recording_replicas = replicas;
+      return cfg;
+    };
+    auto timed = [](const core::ChaosRunConfig& cfg) {
+      ChaosTimed out;
+      const auto t0 = Clock::now();
+      out.result = core::run_chaos(cfg);
+      out.ms = ms_since(t0);
+      return out;
+    };
+    auto overhead = [](const core::ChaosRunResult& r) {
+      return r.census_original_bytes > 0
+                 ? static_cast<double>(r.census_stored_bytes) /
+                       static_cast<double>(r.census_original_bytes)
+                 : 1.0;
+    };
+    const auto plain =
+        timed(survival_cfg(core::StoragePolicy::kMigrate, 1));
+    const auto coded = timed(survival_cfg(core::StoragePolicy::kCoded, 1));
+    const auto coded_rep =
+        timed(survival_cfg(core::StoragePolicy::kCoded, 1));
+    const auto replicated =
+        timed(survival_cfg(core::StoragePolicy::kMigrate, 2));
+    if (!chaos_runs_identical(coded.result, coded_rep.result) ||
+        coded.result.payloads_reconstructible !=
+            coded_rep.result.payloads_reconstructible ||
+        coded.result.coded.fragments_placed !=
+            coded_rep.result.coded.fragments_placed) {
+      determinism_ok = false;
+      std::fprintf(stderr, "DIVERGENCE: coded survival repeat-seed run\n");
+    }
+    for (const auto* leg : {&plain, &coded, &replicated}) {
+      if (!leg->result.invariants_hold()) {
+        determinism_ok = false;
+        std::fprintf(stderr, "FAIL: coded survival invariants violated\n");
+      }
+    }
+    if (coded.result.coded.chunks_coded == 0) {
+      determinism_ok = false;
+      std::fprintf(stderr, "FAIL: coded survival leg never coded a chunk\n");
+    }
+    // The tentpole claim, gated: under the same deaths, coded dispersal
+    // keeps strictly more payloads reconstructible than plain migration,
+    // and survives at a higher rate than replication at matched overhead.
+    if (coded.result.payloads_reconstructible <=
+        plain.result.payloads_reconstructible) {
+      determinism_ok = false;
+      std::fprintf(stderr,
+                   "FAIL: coded survival %llu <= plain migration %llu\n",
+                   static_cast<unsigned long long>(
+                       coded.result.payloads_reconstructible),
+                   static_cast<unsigned long long>(
+                       plain.result.payloads_reconstructible));
+    }
+    auto rate = [](const core::ChaosRunResult& r) {
+      return r.payloads_total > 0
+                 ? static_cast<double>(r.payloads_reconstructible) /
+                       static_cast<double>(r.payloads_total)
+                 : 0.0;
+    };
+    results["coded_chaos_ms"] = coded.ms;
+    results["coded_payloads_total"] =
+        static_cast<double>(coded.result.payloads_total);
+    results["coded_reconstructible"] =
+        static_cast<double>(coded.result.payloads_reconstructible);
+    results["coded_lost_to_death"] =
+        static_cast<double>(coded.result.payloads_lost_to_death);
+    results["coded_survival_rate"] = rate(coded.result);
+    results["coded_overhead_x"] = overhead(coded.result);
+    results["coded_drain_bytes"] =
+        static_cast<double>(coded.result.drained_bytes);
+    results["coded_decode_reconstructed"] =
+        static_cast<double>(coded.result.decode.groups_reconstructed);
+    results["coded_decode_partial"] =
+        static_cast<double>(coded.result.decode.groups_partial);
+    results["migrate_payloads_total"] =
+        static_cast<double>(plain.result.payloads_total);
+    results["migrate_reconstructible"] =
+        static_cast<double>(plain.result.payloads_reconstructible);
+    results["migrate_lost_to_death"] =
+        static_cast<double>(plain.result.payloads_lost_to_death);
+    results["migrate_survival_rate"] = rate(plain.result);
+    results["migrate_overhead_x"] = overhead(plain.result);
+    results["migrate_drain_bytes"] =
+        static_cast<double>(plain.result.drained_bytes);
+    results["replicated_survival_rate"] = rate(replicated.result);
+    results["replicated_overhead_x"] = overhead(replicated.result);
+    std::printf(
+        "coded survival: migrate %llu/%llu payloads (%.2fx stored), "
+        "coded %llu/%llu (%.2fx stored, %llu decoded, %llu partial), "
+        "replicated %.0f%% at %.2fx — coded leg %.1f ms\n",
+        static_cast<unsigned long long>(plain.result.payloads_reconstructible),
+        static_cast<unsigned long long>(plain.result.payloads_total),
+        overhead(plain.result),
+        static_cast<unsigned long long>(coded.result.payloads_reconstructible),
+        static_cast<unsigned long long>(coded.result.payloads_total),
+        overhead(coded.result),
+        static_cast<unsigned long long>(
+            coded.result.decode.groups_reconstructed),
+        static_cast<unsigned long long>(coded.result.decode.groups_partial),
+        rate(replicated.result) * 100.0, overhead(replicated.result),
+        coded.ms);
+  }
+
   // Emit the JSON trajectory point.
   {
     std::ofstream out(out_path);
@@ -612,7 +746,8 @@ int main(int argc, char** argv) {
   // same configuration in quick and full mode, so the CI smoke numbers are
   // comparable with the committed full-run trajectory point.
   if (!baseline_text.empty()) {
-    for (const char* key : {"chaos_200_ms", "migrate_windowed_ms"}) {
+    for (const char* key :
+         {"chaos_200_ms", "migrate_windowed_ms", "coded_chaos_ms"}) {
       double base = 0.0;
       if (!json_number(baseline_text, key, &base) || base <= 0.0) {
         std::printf("regression gate: no usable %s baseline, skipping\n", key);

@@ -67,6 +67,18 @@ echo "== cli smoke"
 ./build/tools/enviromic_cli --faults crash=0.5,downtime=45,brownout=0.3,clockstep=0.3,asym=0.2 \
   --horizon 900 --seed 9 > /dev/null
 
+echo "== coded chaos smoke"
+# Erasure-coded dispersal under a permanent-death storm: the invariant gate
+# still applies (nonzero exit on violation), and the payload census must
+# report reconstructible payloads surviving the deaths.
+./build/tools/enviromic_cli \
+  --faults crash=0.5,downtime=45,permanent=1,lose_data=1 \
+  --storage-policy coded --coded-k 2 --coded-n 4 \
+  --horizon 900 --seed 424 | tee build/coded_smoke.txt
+grep -E 'payloads\[coded\]: total=[0-9]+ reconstructible=[1-9]' \
+  build/coded_smoke.txt > /dev/null \
+  || { echo "FAIL: coded smoke reconstructed nothing"; exit 1; }
+
 echo "== traced chaos smoke"
 ./build/tools/enviromic_cli --faults crash=0.3,downtime=60,burst=1 \
   --horizon 600 --seed 5 --log-level off \

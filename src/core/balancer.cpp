@@ -208,6 +208,10 @@ void Balancer::tick() {
 void Balancer::evaluate() {
   if (node_.cfg().mode != Mode::kFull) return;
   if (node_.bulk().sending() || node_.is_recording()) return;
+  // A coded dispersal in progress owns the head chunk (the original must not
+  // migrate out from under its fragments) and the bulk tx slot between
+  // fragment pushes.
+  if (node_.coded().active()) return;
   // "Acoustic events are likely to be sporadic allowing for migration in
   // between occurrences" (paper §II-B): defer shedding while an event is in
   // progress locally so bulk traffic does not disturb task management.
@@ -265,6 +269,49 @@ void Balancer::evaluate() {
     }
   }
   if (best == net::kInvalidNode) return;
+
+  if (node_.cfg().storage_policy == StoragePolicy::kCoded) {
+    // Same trigger, different action: hand the full eligible-neighbour list
+    // (best first, deterministic tie-break on id) to the coded dispersal so
+    // it can place one fragment per distinct peer. Falls through to
+    // whole-chunk migration when dispersal declines (head already a
+    // fragment, zero-byte chunk).
+    const bool gossip =
+        node_.cfg().balance_strategy == BalanceStrategy::kGlobalGossip;
+    const auto my_free = static_cast<double>(node_.store().free_bytes());
+    std::vector<std::pair<double, net::NodeId>> elig;
+    for (const auto& st : neighbors_) {
+      if (st.expires_at <= now) continue;
+      if (st.free_bytes < min_space) continue;
+      if (gossip) {
+        if (!(static_cast<double>(st.free_bytes) > my_free)) continue;
+        elig.emplace_back(static_cast<double>(st.free_bytes), st.id);
+      } else {
+        const double ratio = my_ttl <= 0.0
+                                 ? std::numeric_limits<double>::infinity()
+                                 : st.ttl_storage_s / my_ttl;
+        if (!(ratio > my_beta)) continue;
+        elig.emplace_back(st.ttl_storage_s, st.id);
+      }
+    }
+    std::sort(elig.begin(), elig.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    std::vector<net::NodeId> ids;
+    ids.reserve(elig.size());
+    for (const auto& [score, id] : elig) {
+      (void)score;
+      ids.push_back(id);
+    }
+    if (node_.coded().start(std::move(ids))) {
+      ++stats_.sessions_started;
+      sim::trace_instant(now, sim::TraceEvent::kBalance, node_.id(), best,
+                         static_cast<std::uint64_t>(std::llround(my_beta * 1e6)),
+                         my_ttl, ttl_energy_seconds());
+      return;
+    }
+  }
 
   ++stats_.sessions_started;
   sim::trace_instant(now, sim::TraceEvent::kBalance, node_.id(), best,

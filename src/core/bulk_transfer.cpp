@@ -44,24 +44,47 @@ void BulkTransfer::start_session(net::NodeId to, int max_chunks) {
   send_offer();
 }
 
+void BulkTransfer::start_push(net::NodeId to, storage::Chunk chunk,
+                              std::function<void(bool)> done) {
+  if (tx_) {
+    if (done) done(false);
+    return;
+  }
+  tx_ = SendSession{};
+  tx_->to = to;
+  tx_->chunks_left = 1;
+  tx_->push_mode = true;
+  tx_->push_chunk = std::move(chunk);
+  tx_->push_done = std::move(done);
+  last_tx_activity_ = node_.sched().now();
+  ++stats_.sessions;
+  sim::trace_begin(node_.sched().now(), sim::TraceEvent::kBulkSession,
+                   node_.id(), to);
+  send_offer();
+}
+
 void BulkTransfer::send_offer() {
   net::TransferOffer offer;
   offer.sender = node_.id();
   offer.to = tx_->to;
-  // Offer what this session could move at most: the first chunks_left head
-  // chunks. Early-exit — the store may hold thousands of chunks and a
-  // session only ever moves a small prefix.
+  // Offer what this session could move at most: the pushed chunk, or the
+  // first chunks_left head chunks. Early-exit — the store may hold thousands
+  // of chunks and a session only ever moves a small prefix.
   std::uint64_t bytes = 0;
-  int counted = 0;
-  node_.store().for_each_until([&](const storage::ChunkMeta& m) {
-    if (counted >= tx_->chunks_left) return false;
-    ++counted;
-    bytes += m.bytes;
-    return true;
-  });
-  // The offer must cover at least the head chunk, or a full grant could
-  // never let next_chunk() move anything.
-  assert(counted == 0 || bytes >= node_.store().head_meta()->bytes);
+  if (tx_->push_mode) {
+    bytes = tx_->push_chunk->meta.bytes;
+  } else {
+    int counted = 0;
+    node_.store().for_each_until([&](const storage::ChunkMeta& m) {
+      if (counted >= tx_->chunks_left) return false;
+      ++counted;
+      bytes += m.bytes;
+      return true;
+    });
+    // The offer must cover at least the head chunk, or a full grant could
+    // never let next_chunk() move anything.
+    assert(counted == 0 || bytes >= node_.store().head_meta()->bytes);
+  }
   // A zero-byte chunk still needs a non-empty grant window.
   offer.bytes = std::max<std::uint64_t>(1, bytes);
   node_.nb().send_to(tx_->to, offer);
@@ -103,14 +126,25 @@ void BulkTransfer::next_chunk() {
     end_session(/*aborted=*/false);
     return;
   }
-  const storage::ChunkMeta* head = node_.store().head_meta();
-  if (!head || head->bytes > tx_->granted_bytes) {
-    end_session(/*aborted=*/false);
-    return;
-  }
   storage::Chunk c;
-  c.meta = *head;
-  c.payload = node_.store().read_payload(head->key);
+  if (tx_->push_mode) {
+    if (!tx_->push_chunk || tx_->push_chunk->meta.bytes > tx_->granted_bytes) {
+      // The peer could not absorb the fragment; not a liveness failure, so
+      // no unreachable penalty — the dispersal just tries the next peer.
+      end_session(/*aborted=*/false);
+      return;
+    }
+    c = std::move(*tx_->push_chunk);
+    tx_->push_chunk.reset();
+  } else {
+    const storage::ChunkMeta* head = node_.store().head_meta();
+    if (!head || head->bytes > tx_->granted_bytes) {
+      end_session(/*aborted=*/false);
+      return;
+    }
+    c.meta = *head;
+    c.payload = node_.store().read_payload(head->key);
+  }
   tx_->current = std::move(c);
   const std::uint32_t frag = node_.cfg().transfer_fragment_bytes;
   tx_->frag_count = std::max<std::uint32_t>(1, (tx_->current->meta.bytes + frag - 1) / frag);
@@ -189,6 +223,11 @@ bool BulkTransfer::send_fragment(std::uint32_t frag, bool ack_request) {
     d.recorded_by = meta.recorded_by;
     d.chunk_bytes = meta.bytes;
     d.is_prelude = meta.is_prelude;
+    d.ec_group = meta.ec_group;
+    d.ec_index = meta.ec_index;
+    d.ec_k = meta.ec_k;
+    d.ec_n = meta.ec_n;
+    d.ec_orig_bytes = meta.ec_orig_bytes;
   }
   if (!tx_->current->payload.empty() && off < tx_->current->payload.size()) {
     const auto len = std::min<std::size_t>(
@@ -269,11 +308,16 @@ void BulkTransfer::handle(const net::TransferAck& m) {
   }
 
   if (s.cum_acked >= s.frag_count) {
-    // Chunk fully delivered: remove it locally.
+    // Chunk fully delivered: remove it locally (a pushed chunk never lived
+    // in the store — its originator decides what the delivery means).
     const std::uint32_t moved = s.current->meta.bytes;
-    auto popped = node_.store().pop_head();
-    assert(popped && popped->meta.key == s.current->meta.key);
-    (void)popped;
+    if (s.push_mode) {
+      s.push_delivered = true;
+    } else {
+      auto popped = node_.store().pop_head();
+      assert(popped && popped->meta.key == s.current->meta.key);
+      (void)popped;
+    }
     s.granted_bytes -= std::min<std::uint64_t>(s.granted_bytes, moved);
     s.bytes_moved += moved;
     s.chunks_left -= 1;
@@ -340,6 +384,11 @@ void BulkTransfer::handle(const net::TransferData& m) {
     st.meta.recorded_by = m.recorded_by;
     st.meta.bytes = m.chunk_bytes;
     st.meta.is_prelude = m.is_prelude;
+    st.meta.ec_group = m.ec_group;
+    st.meta.ec_index = m.ec_index;
+    st.meta.ec_k = m.ec_k;
+    st.meta.ec_n = m.ec_n;
+    st.meta.ec_orig_bytes = m.ec_orig_bytes;
   }
   if (!m.payload.empty()) {
     // Place the payload at the SENDER's byte offset: the two nodes may be
@@ -418,6 +467,8 @@ void BulkTransfer::end_session(bool aborted) {
       << " bytes";
   const net::NodeId to = tx_->to;
   const std::uint64_t moved = tx_->bytes_moved;
+  auto push_done = std::move(tx_->push_done);
+  const bool delivered = tx_->push_delivered && !aborted;
   sim::trace_end(node_.sched().now(), sim::TraceEvent::kBulkSession,
                  node_.id(), to, moved, aborted ? 1.0 : 0.0);
   node_.proto_timer().disarm(pacing_slot_);
@@ -429,6 +480,9 @@ void BulkTransfer::end_session(bool aborted) {
     node_.balancer().note_peer_unreachable(to);
   }
   node_.balancer().on_session_end(to, moved, aborted);
+  // Last: the dispersal callback may immediately start the next fragment
+  // push (the balancer above already saw this session closed).
+  if (push_done) push_done(delivered);
 }
 
 void BulkTransfer::arm_rx_sweep() {

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -55,6 +56,16 @@ class BulkTransfer {
   /// Start migrating up to `max_chunks` chunks (head-of-queue first) to
   /// `to`. No-op if a session is already active.
   void start_session(net::NodeId to, int max_chunks);
+
+  /// Push one already-materialized chunk (e.g. an erasure-coded fragment) to
+  /// `to` through the same OFFER -> GRANT -> windowed-fragment machinery as a
+  /// migration session — but without touching the store: the chunk is not
+  /// popped on completion. `done(true)` fires once the peer acked the whole
+  /// chunk, `done(false)` on any other outcome (busy, no grant, too small a
+  /// grant, retries exhausted). The callback is dropped without being
+  /// invoked when the node crashes mid-push (reset()).
+  void start_push(net::NodeId to, storage::Chunk chunk,
+                  std::function<void(bool)> done);
 
   void handle(const net::TransferOffer& m);
   void handle(const net::TransferGrant& m);
@@ -108,6 +119,12 @@ class BulkTransfer {
     std::uint32_t burst_left = 0;
     sim::Time next_burst_at;
     bool stalled = false;  //!< pump parked on a full window, ack restarts it
+    // Push mode (start_push): the chunk comes from the caller, not the
+    // store head, and nothing is popped on completion.
+    bool push_mode = false;
+    std::optional<storage::Chunk> push_chunk;  //!< not yet in flight
+    bool push_delivered = false;
+    std::function<void(bool)> push_done;
   };
 
   struct RecvState {

@@ -10,6 +10,14 @@ const char* strategy_name(BalanceStrategy s) {
   return "?";
 }
 
+const char* policy_name(StoragePolicy p) {
+  switch (p) {
+    case StoragePolicy::kMigrate: return "migrate";
+    case StoragePolicy::kCoded: return "coded";
+  }
+  return "?";
+}
+
 const char* mode_name(Mode m) {
   switch (m) {
     case Mode::kUncoordinated: return "uncoordinated";

@@ -33,6 +33,18 @@ enum class BalanceStrategy {
 
 const char* strategy_name(BalanceStrategy s);
 
+/// What a hot node does with a head-of-queue chunk once the balancing
+/// trigger fires: migrate it whole (the paper's scheme), or erasure-code it
+/// into n fragments dispersed to distinct neighbours so any k surviving
+/// fragments reconstruct it after permanent node deaths (the Aly et al.
+/// coded-dispersal direction; see DESIGN.md).
+enum class StoragePolicy {
+  kMigrate,  //!< whole-chunk migration (paper §II-B)
+  kCoded,    //!< k-of-n erasure-coded dispersal
+};
+
+const char* policy_name(StoragePolicy p);
+
 /// Which group member the leader picks for the next recording task
 /// (paper §II-A.2 suggests either).
 enum class RecorderPolicy {
@@ -122,6 +134,18 @@ struct ProtocolConfig {
   /// draining instantly — the paper's Fig 13 shows the source regions as
   /// the densest.
   sim::Time session_cooldown = sim::Time::seconds_i(45);
+
+  // --- Coded dispersal ----------------------------------------------------
+  StoragePolicy storage_policy = StoragePolicy::kMigrate;
+  /// Fragments needed to reconstruct / fragments generated. Overhead is
+  /// roughly n/k of the original bytes; survival tolerates any n-k fragment
+  /// deaths once the original is released.
+  int coded_k = 3;
+  int coded_n = 5;
+  /// Abandon a dispersal (keeping the original chunk) after this many
+  /// aborted fragment pushes; each failed attempt retries the fragment on
+  /// the next candidate neighbour.
+  int coded_max_failures = 6;
 
   // --- Bulk transfer -----------------------------------------------------
   std::uint32_t transfer_fragment_bytes = 64;

@@ -301,6 +301,10 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
   if (cfg.transfer_window_frags != 0) {
     wc.node_defaults.protocol.transfer_window_frags = cfg.transfer_window_frags;
   }
+  wc.node_defaults.protocol.storage_policy = cfg.storage_policy;
+  wc.node_defaults.protocol.coded_k = cfg.coded_k;
+  wc.node_defaults.protocol.coded_n = cfg.coded_n;
+  wc.node_defaults.protocol.recording_replicas = cfg.recording_replicas;
   World world(wc);
 
   grid_deployment(world, cfg.grid_nx, cfg.grid_ny, cfg.spacing_ft);
@@ -446,6 +450,62 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
   // nothing vanishes, nothing aliases).
   r.retrieval_exact_once =
       world.drain_all(/*deduplicate=*/true).chunk_count() == live_keys.size();
+
+  // Payload survival census, over every node *including* lost motes: an
+  // original payload is reconstructible when a whole copy sits on a
+  // collectable flash, or at least k distinct fragments do. What misses both
+  // bars is what permanent death actually destroyed.
+  struct PayloadRecord {
+    bool whole_survives = false;
+    bool any_collectable = false;
+    std::uint32_t orig_bytes = 0;
+    unsigned k = 0;
+    std::set<std::uint8_t> frag_idx;  //!< distinct indices on collectable flash
+  };
+  std::map<std::uint64_t, PayloadRecord> census;
+  for (std::size_t i = 0; i < world.node_count(); ++i) {
+    Node& n = world.node(i);
+    const auto& cs = n.coded().stats();
+    r.coded.chunks_coded += cs.chunks_coded;
+    r.coded.fragments_placed += cs.fragments_placed;
+    r.coded.fragments_failed += cs.fragments_failed;
+    r.coded.placement_wraps += cs.placement_wraps;
+    r.coded.originals_released += cs.originals_released;
+    r.coded.originals_kept += cs.originals_kept;
+    r.coded.original_bytes += cs.original_bytes;
+    r.coded.fragment_bytes += cs.fragment_bytes;
+    if (!cfg.payload_census) continue;
+    const bool collectable = !n.data_lost();
+    n.store().for_each([&](const storage::ChunkMeta& m) {
+      auto& rec = census[m.is_fragment() ? m.ec_group : m.key];
+      rec.orig_bytes = m.is_fragment() ? m.ec_orig_bytes : m.bytes;
+      if (!collectable) return;
+      rec.any_collectable = true;
+      r.census_stored_bytes += m.bytes;
+      if (m.is_fragment()) {
+        rec.k = m.ec_k;
+        rec.frag_idx.insert(m.ec_index);
+      } else {
+        rec.whole_survives = true;
+      }
+    });
+  }
+  for (const auto& [key, rec] : census) {
+    (void)key;
+    ++r.payloads_total;
+    if (rec.whole_survives || (rec.k != 0 && rec.frag_idx.size() >= rec.k))
+      ++r.payloads_reconstructible;
+    if (rec.any_collectable) r.census_original_bytes += rec.orig_bytes;
+  }
+  r.payloads_lost_to_death = r.payloads_total - r.payloads_reconstructible;
+
+  // Decode-on-drain over the survivors: partial groups are accounted, the
+  // drain never stalls on them.
+  if (cfg.payload_census) {
+    const auto drained = world.drain_decoded();
+    r.decode = drained.stats;
+    r.drained_bytes = drained.bytes_collected;
+  }
 
   r.final_snapshot = world.snapshot();
   r.channel_stats = world.channel().stats();

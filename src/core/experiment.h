@@ -180,6 +180,19 @@ struct ChaosRunConfig {
   /// ChaosRunResult::kLiveEventsPerNodeBound (the flight-recorder test sets
   /// it to 0 to force an invariant failure on demand).
   std::size_t live_events_per_node_bound = 64;
+  /// Payload survival census + decode-on-drain at the end of the run (the
+  /// payloads_* / decode fields below). Costs a full store walk and a
+  /// drained payload read per chunk, so the wall-clock timing legs in the
+  /// perf bench turn it off (like flight_recorder above).
+  bool payload_census = true;
+  /// Storage policy under chaos: whole-chunk migration (the default) or
+  /// erasure-coded dispersal with the given k-of-n geometry.
+  StoragePolicy storage_policy = StoragePolicy::kMigrate;
+  int coded_k = 3;
+  int coded_n = 5;
+  /// Recording replicas (the coded-survival bench's matched-overhead
+  /// replication leg; 1 = the protocol default).
+  int recording_replicas = 1;
 };
 
 struct ChaosRunResult {
@@ -228,6 +241,27 @@ struct ChaosRunResult {
   /// Scheduler wall-time attribution (valid when the config set `profile`).
   bool profiled = false;
   sim::Profiler::Report profile;
+
+  // --- Payload survival census (coded dispersal) ---
+  /// Distinct original payloads ever stored, counted over every node
+  /// including permanently dead and lost ones (fragments count once per
+  /// ec_group, not per fragment).
+  std::uint64_t payloads_total = 0;
+  /// Originals recoverable from non-failed nodes: a whole copy survives, or
+  /// at least k distinct fragments do.
+  std::uint64_t payloads_reconstructible = 0;
+  /// payloads_total - payloads_reconstructible: what permanent death (and
+  /// lost motes) actually destroyed.
+  std::uint64_t payloads_lost_to_death = 0;
+  /// Redundancy overhead: bytes sitting in surviving stores vs the original
+  /// bytes they represent (1.0 = no redundancy).
+  std::uint64_t census_stored_bytes = 0;
+  std::uint64_t census_original_bytes = 0;
+  /// Decode-on-drain accounting (drain_decoded over the survivors).
+  DecodeDrainStats decode;
+  std::uint64_t drained_bytes = 0;  //!< raw bytes hauled off the motes
+  /// Coded-dispersal counters summed over all nodes.
+  CodedStats coded;
 
   bool invariants_hold() const {
     return stores_recoverable && retrieval_exact_once &&

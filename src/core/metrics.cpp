@@ -1,6 +1,7 @@
 #include "core/metrics.h"
 
 #include <algorithm>
+#include <set>
 
 namespace enviromic::core {
 
@@ -38,8 +39,8 @@ Metrics::Snapshot Metrics::compute(
   std::map<acoustic::SourceId, util::IntervalSet> covered;
   std::map<acoustic::SourceId, std::vector<util::IntervalSet::Interval>> raw;
   sim::Time stored_total = sim::Time::zero();
-  const auto account_chunk = [&](const storage::ChunkMeta& meta) {
-    const auto it = attribution_.find(meta.key);
+  const auto account_key = [&](std::uint64_t key) {
+    const auto it = attribution_.find(key);
     if (it == attribution_.end()) return;
     for (const auto& attr : it->second.per_source) {
       auto& cov = covered[attr.source];
@@ -50,6 +51,21 @@ Metrics::Snapshot Metrics::compute(
         stored_total += iv.end - iv.start;
       }
     }
+  };
+  // Erasure fragments cover audio only collectively: a group with at least
+  // k distinct surviving indices is as good as its original (the drain
+  // reconstructs it), so it accounts the original's attribution exactly
+  // once; a short group covers nothing yet. Surplus fragments beyond k are
+  // byte-level redundancy and show up in storage counters, not here.
+  std::map<std::uint64_t, std::set<std::uint8_t>> frag_groups;
+  std::map<std::uint64_t, unsigned> frag_k;
+  const auto account_chunk = [&](const storage::ChunkMeta& meta) {
+    if (meta.is_fragment()) {
+      frag_groups[meta.ec_group].insert(meta.ec_index);
+      frag_k[meta.ec_group] = meta.ec_k;
+      return;
+    }
+    account_key(meta.key);
   };
   if (collected) {
     for (const auto& meta : *collected) account_chunk(meta);
@@ -94,6 +110,10 @@ Metrics::Snapshot Metrics::compute(
     }
   }
   s.control_messages = s.total_messages - s.transfer_messages;
+
+  for (const auto& [group, idx] : frag_groups) {
+    if (idx.size() >= frag_k[group]) account_key(group);
+  }
 
   sim::Time unique_total = sim::Time::zero();
   for (const auto& [src, cov] : covered) unique_total += cov.measure();

@@ -48,6 +48,7 @@ Node::Node(net::NodeId id, sim::Position pos, const NodeParams& params,
       recorder_(*this),
       balancer_(*this),
       bulk_(*this),
+      coded_(*this),
       retrieval_(*this) {
   radio_->set_receive_handler([this](const net::Packet& p) { dispatch(p); });
   radio_->set_airtime_handler(
@@ -149,7 +150,10 @@ void Node::fail(bool lose_data) {
   duty_timer_.cancel();
   // Account the dying transfer session (an in-flight outgoing chunk is a
   // duplicate risk — the receiver may complete it from retransmit buffers)
-  // and drop partial reassembly state, before the blanket disarm below.
+  // and drop partial reassembly state, before the blanket disarm below. An
+  // in-progress coded dispersal dies with its RAM fragments; the original
+  // chunk is still on flash.
+  coded_.reset();
   bulk_.reset();
   // A permanently dead node never speaks again: drop every standing protocol
   // deadline and the queued lazy traffic (whose flush timer would otherwise
@@ -186,6 +190,7 @@ bool Node::crash() {
   tasking_.stop();
   recorder_.reset();
   balancer_.reset();
+  coded_.reset();
   bulk_.reset();
   retrieval_.reset();
   if (metrics_) metrics_->note_crash(id_, /*permanent=*/false);

@@ -14,6 +14,7 @@
 #include "acoustic/sampler.h"
 #include "core/balancer.h"
 #include "core/bulk_transfer.h"
+#include "core/coded_dispersal.h"
 #include "core/config.h"
 #include "core/group.h"
 #include "core/neighborhood.h"
@@ -98,6 +99,7 @@ class Node {
   RecorderComponent& recorder() { return recorder_; }
   Balancer& balancer() { return balancer_; }
   BulkTransfer& bulk() { return bulk_; }
+  CodedDispersal& coded() { return coded_; }
   RetrievalService& retrieval() { return retrieval_; }
   Metrics* metrics() { return metrics_; }
 
@@ -171,6 +173,7 @@ class Node {
   RecorderComponent recorder_;
   Balancer balancer_;
   BulkTransfer bulk_;
+  CodedDispersal coded_;
   RetrievalService retrieval_;
   sim::EventHandle duty_timer_;
   bool recording_ = false;

@@ -1,10 +1,101 @@
 #include "core/retrieval.h"
 
+#include <algorithm>
+#include <map>
 #include <vector>
 
 #include "core/node.h"
+#include "storage/erasure.h"
 
 namespace enviromic::core {
+
+std::vector<storage::Chunk> decode_collected(
+    const std::vector<CollectedChunk>& collected, DecodeDrainStats* stats) {
+  DecodeDrainStats local;
+  DecodeDrainStats& st = stats ? *stats : local;
+
+  struct Group {
+    std::vector<const CollectedChunk*> fragments;  //!< distinct ec_index only
+    const CollectedChunk* whole = nullptr;         //!< surviving original copy
+  };
+  std::map<std::uint64_t, Group> groups;
+  std::vector<storage::Chunk> out;
+  for (const auto& c : collected) {
+    if (!c.meta.is_fragment()) {
+      // Whole chunks pass straight through; remember any that belong to a
+      // coded group so redundant reconstructions can be cross-checked.
+      storage::Chunk ch;
+      ch.meta = c.meta;
+      ch.payload = c.payload;
+      out.push_back(std::move(ch));
+      groups[c.meta.key].whole = &c;
+      continue;
+    }
+    auto& g = groups[c.meta.ec_group];
+    const bool dup = std::any_of(
+        g.fragments.begin(), g.fragments.end(),
+        [&](const CollectedChunk* f) { return f->meta.ec_index == c.meta.ec_index; });
+    if (!dup) g.fragments.push_back(&c);
+    ++st.fragments_consumed;
+  }
+
+  for (auto& [orig_key, g] : groups) {
+    if (g.fragments.empty()) continue;  // whole-only entry, already emitted
+    ++st.groups_seen;
+    const storage::ChunkMeta& fm = g.fragments.front()->meta;
+    const unsigned k = fm.ec_k;
+    if (g.whole) {
+      // The original itself survived; the fragments are pure surplus. When
+      // both carry payloads and enough fragments are on hand, cross-check
+      // the decode against the surviving copy.
+      ++st.groups_redundant;
+      if (!g.whole->payload.empty() && g.fragments.size() >= k &&
+          std::all_of(g.fragments.begin(), g.fragments.end(),
+                      [](const CollectedChunk* f) { return !f->payload.empty(); })) {
+        std::vector<storage::ErasureShard> shards;
+        for (const CollectedChunk* f : g.fragments)
+          shards.push_back({f->meta.ec_index, f->payload});
+        const storage::ErasureCodec codec(k, fm.ec_n, orig_key);
+        auto decoded = codec.decode(shards, g.whole->payload.size());
+        if (!decoded || *decoded != g.whole->payload) st.byte_exact = false;
+      }
+      continue;
+    }
+    if (g.fragments.size() < k) {
+      ++st.groups_partial;
+      continue;
+    }
+    storage::Chunk rec;
+    rec.meta = fm;
+    rec.meta.key = orig_key;
+    rec.meta.bytes = fm.ec_orig_bytes;
+    rec.meta.ec_group = 0;
+    rec.meta.ec_index = 0;
+    rec.meta.ec_k = 0;
+    rec.meta.ec_n = 0;
+    rec.meta.ec_orig_bytes = 0;
+    const bool have_payloads = std::all_of(
+        g.fragments.begin(), g.fragments.end(),
+        [](const CollectedChunk* f) { return !f->payload.empty(); });
+    if (have_payloads && fm.ec_orig_bytes > 0) {
+      std::vector<storage::ErasureShard> shards;
+      shards.reserve(g.fragments.size());
+      for (const CollectedChunk* f : g.fragments)
+        shards.push_back({f->meta.ec_index, f->payload});
+      const storage::ErasureCodec codec(k, fm.ec_n, orig_key);
+      auto decoded = codec.decode(shards, fm.ec_orig_bytes);
+      if (!decoded) {
+        ++st.decode_failures;
+        ++st.groups_partial;
+        continue;
+      }
+      rec.payload = std::move(*decoded);
+    }
+    ++st.groups_reconstructed;
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
 
 std::vector<std::pair<sim::Time, sim::Time>> find_gap_windows(
     const storage::FileIndex& index) {
@@ -84,6 +175,11 @@ void RetrievalService::serve(const net::QueryRequest& q) {
     r.end = meta.end;
     r.recorded_by = meta.recorded_by;
     r.bytes = meta.bytes;
+    r.ec_group = meta.ec_group;
+    r.ec_index = meta.ec_index;
+    r.ec_k = meta.ec_k;
+    r.ec_n = meta.ec_n;
+    r.ec_orig_bytes = meta.ec_orig_bytes;
     replies.push_back(r);
   });
   const bool local = q.sink == node_.id();
@@ -139,6 +235,11 @@ void RetrievalService::harvest_drain(net::NodeId sink,
   r.end = chunk->meta.end;
   r.recorded_by = chunk->meta.recorded_by;
   r.bytes = chunk->meta.bytes;
+  r.ec_group = chunk->meta.ec_group;
+  r.ec_index = chunk->meta.ec_index;
+  r.ec_k = chunk->meta.ec_k;
+  r.ec_n = chunk->meta.ec_n;
+  r.ec_orig_bytes = chunk->meta.ec_orig_bytes;
   if (node_.nb().send_to(sink, r)) {
     ++stats_.replies_sent;
     ++stats_.chunks_uploaded;

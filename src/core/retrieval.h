@@ -33,6 +33,35 @@ class Node;
 std::vector<std::pair<sim::Time, sim::Time>> find_gap_windows(
     const storage::FileIndex& index);
 
+// --- Decode-on-drain (coded dispersal) --------------------------------------
+
+/// One chunk as physically collected from a store: metadata plus the payload
+/// bytes (empty when the experiment only tracks byte counts).
+struct CollectedChunk {
+  storage::ChunkMeta meta;
+  std::vector<std::uint8_t> payload;
+};
+
+struct DecodeDrainStats {
+  std::uint64_t groups_seen = 0;           //!< distinct ec_group values
+  std::uint64_t groups_reconstructed = 0;  //!< >= k fragments, decoded
+  std::uint64_t groups_redundant = 0;      //!< a whole copy also survived
+  std::uint64_t groups_partial = 0;        //!< < k fragments, no whole copy
+  std::uint64_t fragments_consumed = 0;
+  std::uint64_t decode_failures = 0;       //!< codec rejected the set
+  /// Every reconstruction with a surviving whole copy to compare against
+  /// matched it byte for byte (vacuously true without payloads).
+  bool byte_exact = true;
+};
+
+/// The coded half of draining the network: group collected fragments by
+/// their original chunk, reconstruct every original with at least k distinct
+/// surviving fragments, and pass whole chunks through. Partial groups are
+/// accounted (not returned) rather than stalling the drain; fragments are
+/// consumed. Payloads are decoded only when the fragments carry them.
+std::vector<storage::Chunk> decode_collected(
+    const std::vector<CollectedChunk>& collected, DecodeDrainStats* stats);
+
 struct RetrievalStats {
   std::uint32_t queries_served = 0;
   std::uint32_t replies_sent = 0;

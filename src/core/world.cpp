@@ -1,8 +1,10 @@
 #include "core/world.h"
 
 #include <cassert>
+#include <set>
 
 #include "sim/profiler.h"
+#include "sim/trace.h"
 
 namespace enviromic::core {
 
@@ -156,6 +158,35 @@ Metrics::Snapshot World::snapshot() {
                                        &n->bulk().stats()});
   }
   return metrics_.compute(sched_.now(), views);
+}
+
+World::DecodedDrain World::drain_decoded() const {
+  DecodedDrain out;
+  std::vector<CollectedChunk> collected;
+  std::set<std::uint64_t> seen_keys;
+  for (const auto& n : nodes_) {
+    if (n->data_lost()) continue;
+    n->store().for_each_with_payload(
+        [&](const storage::ChunkMeta& meta, std::vector<std::uint8_t> payload) {
+          // Duplicate physical copies of the same chunk (replicated
+          // recording, interrupted migration) collapse to one before
+          // decoding.
+          if (!seen_keys.insert(meta.key).second) return;
+          CollectedChunk c;
+          c.meta = meta;
+          c.payload = std::move(payload);
+          out.bytes_collected += meta.bytes;
+          collected.push_back(std::move(c));
+        });
+  }
+  out.chunks = decode_collected(collected, &out.stats);
+  for (const auto& c : out.chunks) out.index.add(c.meta, c.meta.recorded_by);
+  out.index.deduplicate();
+  sim::trace_instant(sched_.now(), sim::TraceEvent::kCodedDecode, 0,
+                     out.stats.groups_reconstructed, out.stats.groups_partial,
+                     static_cast<double>(out.stats.fragments_consumed),
+                     out.stats.byte_exact ? 1.0 : 0.0);
+  return out;
 }
 
 storage::FileIndex World::drain_all(bool deduplicate) const {

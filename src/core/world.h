@@ -87,6 +87,18 @@ class World {
   /// "Physically collect the motes": read every store into a FileIndex.
   storage::FileIndex drain_all(bool deduplicate = true) const;
 
+  struct DecodedDrain {
+    storage::FileIndex index;     //!< reconstructed + whole chunks
+    DecodeDrainStats stats;
+    std::vector<storage::Chunk> chunks;
+    std::uint64_t bytes_collected = 0;  //!< raw bytes read off the motes
+  };
+  /// Drain with erasure decoding: collect every surviving chunk (payload
+  /// included), reconstruct coded originals from any >= k fragments, and
+  /// index the result. Partial groups are accounted in `stats`, never a
+  /// stall. With coded dispersal off this degenerates to drain_all().
+  DecodedDrain drain_decoded() const;
+
  private:
   /// One coalesced detector-poll pump per distinct poll interval: instead of
   /// N nodes keeping N standing 10 Hz poll timers, a single repeating event

@@ -26,14 +26,18 @@ struct SizeVisitor {
   std::uint32_t operator()(const TransferData& d) const {
     // 16 bytes of header + 4-byte fragment byte offset + 1 flag byte; the
     // offset rides on the wire so heterogeneously configured nodes reassemble
-    // at the sender's layout.
-    return 21 + d.payload_bytes;
+    // at the sender's layout. A coded fragment's descriptor adds the
+    // erasure-coding identity (group key 8, index/k/n 3, original size 4);
+    // plain chunks pay nothing, so non-coded runs keep their exact airtime.
+    return 21 + d.payload_bytes + (d.ec_k != 0 ? 15 : 0);
   }
   // Cumulative index (4) + SACK bitmap (4) on top of the old 14-byte ack.
   std::uint32_t operator()(const TransferAck&) const { return 22; }
   std::uint32_t operator()(const TimeSyncBeacon&) const { return 16; }
   std::uint32_t operator()(const QueryRequest&) const { return 16; }
-  std::uint32_t operator()(const QueryReply&) const { return 26; }
+  std::uint32_t operator()(const QueryReply& r) const {
+    return 26 + (r.ec_k != 0 ? 15 : 0);
+  }
 };
 
 struct NameVisitor {

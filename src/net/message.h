@@ -168,6 +168,14 @@ struct TransferData {
   NodeId recorded_by = kInvalidNode;
   std::uint32_t chunk_bytes = 0;
   bool is_prelude = false;
+  /// Erasure-coding descriptor (frag_index == 0 only; ec_k == 0 for a plain
+  /// chunk). Rides on the wire only for coded fragments, so non-coded runs
+  /// keep their exact airtime.
+  std::uint64_t ec_group = 0;
+  std::uint8_t ec_index = 0;
+  std::uint8_t ec_k = 0;
+  std::uint8_t ec_n = 0;
+  std::uint32_t ec_orig_bytes = 0;
   /// Actual audio bytes when the experiment stores payloads (not counted in
   /// wire size beyond payload_bytes, which it mirrors).
   std::vector<std::uint8_t> payload;
@@ -227,6 +235,13 @@ struct QueryReply {
   sim::Time end;
   NodeId recorded_by = kInvalidNode;
   std::uint32_t bytes = 0;
+  /// Erasure-coding descriptor of the described chunk (ec_k == 0 for a
+  /// plain chunk); only coded replies pay for it on the wire.
+  std::uint64_t ec_group = 0;
+  std::uint8_t ec_index = 0;
+  std::uint8_t ec_k = 0;
+  std::uint8_t ec_n = 0;
+  std::uint32_t ec_orig_bytes = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -18,6 +18,7 @@ const char* trace_event_name(TraceEvent e) {
     case TraceEvent::kTaskRecord: return "task_record";
     case TraceEvent::kPrelude: return "prelude";
     case TraceEvent::kBulkSession: return "bulk_session";
+    case TraceEvent::kCodedDisperse: return "coded_disperse";
     case TraceEvent::kLeader: return "leader";
     case TraceEvent::kResign: return "resign";
     case TraceEvent::kWatchdog: return "watchdog";
@@ -40,6 +41,8 @@ const char* trace_event_name(TraceEvent e) {
     case TraceEvent::kBrownout: return "brownout";
     case TraceEvent::kClockStep: return "clock_step";
     case TraceEvent::kNodeSample: return "node_sample";
+    case TraceEvent::kCodedEncode: return "coded_encode";
+    case TraceEvent::kCodedDecode: return "coded_decode";
   }
   return "unknown";
 }
@@ -169,7 +172,7 @@ void Trace::export_chrome_trace(std::ostream& out) const {
 
   std::map<std::pair<std::uint32_t, std::uint8_t>, std::vector<TraceRecord>>
       open_spans;
-  // node -> bitmask of tids used: bits 0..4 the event/span tracks, bit 5 the
+  // node -> bitmask of tids used: bits 0..5 the event/span tracks, bit 6 the
   // counter track (rendered as tid 63).
   std::map<std::uint32_t, std::uint32_t> tracks_used;
   std::int64_t last_ticks = 0;
@@ -180,6 +183,7 @@ void Trace::export_chrome_trace(std::ostream& out) const {
       case TraceEvent::kTaskRecord: return 2;
       case TraceEvent::kPrelude: return 3;
       case TraceEvent::kBulkSession: return 4;
+      case TraceEvent::kCodedDisperse: return 5;
       case TraceEvent::kNodeSample: return 63;
       default: return 0;
     }
@@ -203,7 +207,7 @@ void Trace::export_chrome_trace(std::ostream& out) const {
   for_each([&](const TraceRecord& r) {
     last_ticks = r.t_ticks;
     int tid = tid_for(r.event);
-    tracks_used[r.node] |= 1u << (tid == 63 ? 5 : tid);
+    tracks_used[r.node] |= 1u << (tid == 63 ? 6 : tid);
     if (r.phase == TracePhase::kBegin) {
       open_spans[{r.node, static_cast<std::uint8_t>(r.event)}].push_back(r);
       return;
@@ -240,15 +244,15 @@ void Trace::export_chrome_trace(std::ostream& out) const {
     for (const auto& b : stack) emit_span(b, last_ticks, 0, 0, 0.0);
 
   // Metadata: readable process (node) and thread (track) names.
-  static const char* kTrackNames[] = {"events",       "leadership", "task",
-                                      "prelude",      "migration"};
+  static const char* kTrackNames[] = {"events",    "leadership", "task",
+                                      "prelude",   "migration",  "coded"};
   for (const auto& [node, mask] : tracks_used) {
     std::snprintf(buf, sizeof(buf),
                   "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
                   "\"args\":{\"name\":\"node %u\"}}",
                   node, node);
     emit(buf);
-    for (int tid = 0; tid < 5; ++tid) {
+    for (int tid = 0; tid < 6; ++tid) {
       if (!(mask & (1u << tid))) continue;
       std::snprintf(buf, sizeof(buf),
                     "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,"
@@ -256,7 +260,7 @@ void Trace::export_chrome_trace(std::ostream& out) const {
                     node, tid, kTrackNames[tid]);
       emit(buf);
     }
-    if (mask & (1u << 5)) {
+    if (mask & (1u << 6)) {
       std::snprintf(buf, sizeof(buf),
                     "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,"
                     "\"tid\":63,\"args\":{\"name\":\"samples\"}}",

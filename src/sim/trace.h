@@ -38,6 +38,9 @@ enum class TraceEvent : std::uint8_t {
   kTaskRecord = 1,   // recorder busy on an assigned task; a = event seq, b = recorder
   kPrelude = 2,      // prelude recording window; a = event seq
   kBulkSession = 3,  // bulk-transfer send session; a = peer, b = bytes moved (end)
+  kCodedDisperse = 4,  // coded dispersal of one chunk; a = original key,
+                       // b = fragments placed (end), x = 1 if the original
+                       // was kept (end)
   // --- instants ---
   kLeader = 16,        // became leader; a = event seq, b = 1 if handoff
   kResign = 17,        // resigned leadership; a = event seq, b = successor
@@ -62,6 +65,12 @@ enum class TraceEvent : std::uint8_t {
   kClockStep = 36,  // local clock stepped; x = offset s
   kNodeSample = 37,  // timeseries sample: a = free flash bytes, b = in-flight frags,
                      // x = TTL_storage s (clamped), y = pending scheduler events (global, node 0 only)
+  kCodedEncode = 38,  // chunk encoded into fragments; a = original key,
+                      // b = pack(k, n), x = original bytes
+  kCodedDecode = 39,  // decode-on-drain summary; a = groups reconstructed,
+                      // b = groups partial, x = fragments consumed,
+                      // y = 0 if a redundant cross-check mismatched
+
 };
 
 enum class TraceDropReason : std::uint8_t {

@@ -25,6 +25,18 @@ struct ChunkMeta {
   std::uint32_t bytes = 0;         //!< audio payload size
   bool is_prelude = false;
 
+  // Erasure-coding descriptor: a coded fragment is a first-class chunk (it
+  // migrates, checkpoints, and recovers like any other) that additionally
+  // names the original chunk it encodes a share of. ec_k == 0 means a plain,
+  // whole chunk.
+  std::uint64_t ec_group = 0;      //!< original chunk's key
+  std::uint8_t ec_index = 0;       //!< which of the n fragments this is
+  std::uint8_t ec_k = 0;           //!< fragments needed to reconstruct
+  std::uint8_t ec_n = 0;           //!< fragments generated
+  std::uint32_t ec_orig_bytes = 0; //!< original payload size
+
+  bool is_fragment() const { return ec_k != 0; }
+
   friend bool operator==(const ChunkMeta&, const ChunkMeta&) = default;
 };
 

@@ -51,6 +51,11 @@ bool ChunkStore::append(Chunk chunk) {
       tag.recorded_by = chunk.meta.recorded_by;
       tag.chunk_bytes = chunk.meta.bytes;
       tag.is_prelude = chunk.meta.is_prelude;
+      tag.ec_group = chunk.meta.ec_group;
+      tag.ec_index = chunk.meta.ec_index;
+      tag.ec_k = chunk.meta.ec_k;
+      tag.ec_n = chunk.meta.ec_n;
+      tag.ec_orig_bytes = chunk.meta.ec_orig_bytes;
     }
     std::span<const std::uint8_t> slice;
     if (!chunk.payload.empty()) {
@@ -120,18 +125,21 @@ std::uint64_t ChunkStore::free_bytes() const {
 
 std::vector<std::uint8_t> ChunkStore::read_payload(std::uint64_t key) const {
   for (const auto& sc : chunks_) {
-    if (sc.meta.key != key) continue;
-    std::vector<std::uint8_t> out;
-    std::uint32_t block = sc.first_block;
-    for (std::uint32_t i = 0; i < sc.block_count; ++i) {
-      const auto span = flash_.payload(block);
-      out.insert(out.end(), span.begin(), span.end());
-      block = ring_next(block);
-    }
-    out.resize(std::min<std::size_t>(out.size(), sc.meta.bytes));
-    return out;
+    if (sc.meta.key == key) return read_blocks(sc);
   }
   return {};
+}
+
+std::vector<std::uint8_t> ChunkStore::read_blocks(const Stored& sc) const {
+  std::vector<std::uint8_t> out;
+  std::uint32_t block = sc.first_block;
+  for (std::uint32_t i = 0; i < sc.block_count; ++i) {
+    const auto span = flash_.payload(block);
+    out.insert(out.end(), span.begin(), span.end());
+    block = ring_next(block);
+  }
+  out.resize(std::min<std::size_t>(out.size(), sc.meta.bytes));
+  return out;
 }
 
 void ChunkStore::checkpoint() {
@@ -214,6 +222,11 @@ void ChunkStore::reload_from_flash() {
     meta.recorded_by = first->recorded_by;
     meta.bytes = first->chunk_bytes;
     meta.is_prelude = first->is_prelude;
+    meta.ec_group = first->ec_group;
+    meta.ec_index = first->ec_index;
+    meta.ec_k = first->ec_k;
+    meta.ec_n = first->ec_n;
+    meta.ec_orig_bytes = first->ec_orig_bytes;
     chunks_.push_back(Stored{meta, block, n});
     if (!have_head) {
       head_block_ = block;

@@ -80,6 +80,13 @@ class ChunkStore {
   /// payloads).
   std::vector<std::uint8_t> read_payload(std::uint64_t key) const;
 
+  /// Iterate stored chunks oldest first with payloads materialized — one
+  /// linear pass, unlike per-key read_payload() which rescans the queue.
+  template <typename Fn>
+  void for_each_with_payload(Fn&& fn) const {
+    for (const auto& sc : chunks_) fn(sc.meta, read_blocks(sc));
+  }
+
   /// Force an EEPROM checkpoint now.
   void checkpoint();
 
@@ -109,6 +116,7 @@ class ChunkStore {
 
   std::uint32_t ring_next(std::uint32_t b) const;
   std::uint32_t tail_block() const;  //!< first free block position
+  std::vector<std::uint8_t> read_blocks(const Stored& sc) const;
 
   Flash& flash_;
   Eeprom& eeprom_;

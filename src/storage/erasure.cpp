@@ -1,0 +1,210 @@
+#include "storage/erasure.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+namespace enviromic::storage {
+
+namespace gf256 {
+namespace {
+
+// log/exp tables for GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11d); generator 2 cycles through all 255 nonzero elements.
+struct Tables {
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 512> exp{};
+  Tables() {
+    std::uint32_t x = 1;
+    for (std::uint32_t i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    // Mirror so mul() can index exp[log a + log b] without a modulo.
+    for (std::uint32_t i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  assert(a != 0);
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+}  // namespace gf256
+
+namespace {
+
+/// Invert a k x k matrix over GF(2^8) in place via Gauss-Jordan. Returns
+/// false when singular (cannot happen for distinct-point Vandermonde-derived
+/// submatrices, but decode degrades gracefully anyway).
+bool invert(std::vector<std::uint8_t>& m, unsigned k) {
+  std::vector<std::uint8_t> inv(static_cast<std::size_t>(k) * k, 0);
+  for (unsigned i = 0; i < k; ++i) inv[i * k + i] = 1;
+  for (unsigned col = 0; col < k; ++col) {
+    unsigned pivot = col;
+    while (pivot < k && m[pivot * k + col] == 0) ++pivot;
+    if (pivot == k) return false;
+    if (pivot != col) {
+      for (unsigned j = 0; j < k; ++j) {
+        std::swap(m[pivot * k + j], m[col * k + j]);
+        std::swap(inv[pivot * k + j], inv[col * k + j]);
+      }
+    }
+    const std::uint8_t scale = gf256::inv(m[col * k + col]);
+    for (unsigned j = 0; j < k; ++j) {
+      m[col * k + j] = gf256::mul(m[col * k + j], scale);
+      inv[col * k + j] = gf256::mul(inv[col * k + j], scale);
+    }
+    for (unsigned row = 0; row < k; ++row) {
+      if (row == col) continue;
+      const std::uint8_t f = m[row * k + col];
+      if (f == 0) continue;
+      for (unsigned j = 0; j < k; ++j) {
+        m[row * k + j] =
+            static_cast<std::uint8_t>(m[row * k + j] ^ gf256::mul(f, m[col * k + j]));
+        inv[row * k + j] = static_cast<std::uint8_t>(
+            inv[row * k + j] ^ gf256::mul(f, inv[col * k + j]));
+      }
+    }
+  }
+  m = std::move(inv);
+  return true;
+}
+
+}  // namespace
+
+ErasureCodec::ErasureCodec(unsigned k, unsigned n, std::uint64_t seed)
+    : k_(std::clamp(k, 1u, 255u)), n_(std::clamp(n, k_, 255u)) {
+  // Evaluation points: a seed-keyed Fisher-Yates permutation of the nonzero
+  // field elements (a private xorshift — the simulator's RNG streams are
+  // never touched, so coded dispersal cannot perturb seeded runs).
+  std::array<std::uint8_t, 255> points;
+  for (unsigned i = 0; i < 255; ++i) points[i] = static_cast<std::uint8_t>(i + 1);
+  // splitmix64 finalizer keys the stream: adjacent seeds diverge fully and
+  // the xorshift state below can never start at zero.
+  std::uint64_t s = seed + 0x9e3779b97f4a7c15ULL;
+  s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  s = (s ^ (s >> 27)) * 0x94d049bb133111ebULL;
+  s ^= s >> 31;
+  s |= 1;
+  auto next = [&s] {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  for (unsigned i = 254; i > 0; --i) {
+    const unsigned j = static_cast<unsigned>(next() % (i + 1));
+    std::swap(points[i], points[j]);
+  }
+
+  // Vandermonde V (n x k) over the first n points, then A = V * inv(V_top):
+  // top k rows collapse to the identity (systematic) and any k rows of A
+  // stay invertible because any k rows of V do.
+  std::vector<std::uint8_t> v(static_cast<std::size_t>(n_) * k_);
+  for (unsigned i = 0; i < n_; ++i) {
+    std::uint8_t p = 1;
+    for (unsigned j = 0; j < k_; ++j) {
+      v[i * k_ + j] = p;
+      p = gf256::mul(p, points[i]);
+    }
+  }
+  std::vector<std::uint8_t> top(v.begin(), v.begin() + static_cast<std::size_t>(k_) * k_);
+  const bool ok = invert(top, k_);
+  assert(ok);
+  (void)ok;
+  matrix_.assign(static_cast<std::size_t>(n_) * k_, 0);
+  for (unsigned i = 0; i < n_; ++i) {
+    for (unsigned j = 0; j < k_; ++j) {
+      std::uint8_t acc = 0;
+      for (unsigned t = 0; t < k_; ++t) {
+        acc = static_cast<std::uint8_t>(
+            acc ^ gf256::mul(v[i * k_ + t], top[t * k_ + j]));
+      }
+      matrix_[i * k_ + j] = acc;
+    }
+  }
+}
+
+std::size_t ErasureCodec::shard_len(std::size_t data_len) const {
+  return (data_len + k_ - 1) / k_;
+}
+
+std::vector<std::vector<std::uint8_t>> ErasureCodec::encode(
+    std::span<const std::uint8_t> data) const {
+  const std::size_t s = shard_len(data.size());
+  std::vector<std::vector<std::uint8_t>> shards(n_);
+  for (auto& sh : shards) sh.assign(s, 0);
+  if (s == 0) return shards;
+  auto row_byte = [&](unsigned row, std::size_t pos) -> std::uint8_t {
+    const std::size_t off = static_cast<std::size_t>(row) * s + pos;
+    return off < data.size() ? data[off] : 0;
+  };
+  for (unsigned i = 0; i < n_; ++i) {
+    for (std::size_t pos = 0; pos < s; ++pos) {
+      std::uint8_t acc = 0;
+      for (unsigned j = 0; j < k_; ++j) {
+        const std::uint8_t c = matrix_[i * k_ + j];
+        if (c) acc = static_cast<std::uint8_t>(acc ^ gf256::mul(c, row_byte(j, pos)));
+      }
+      shards[i][pos] = acc;
+    }
+  }
+  return shards;
+}
+
+std::optional<std::vector<std::uint8_t>> ErasureCodec::decode(
+    std::span<const ErasureShard> shards, std::size_t data_len) const {
+  const std::size_t s = shard_len(data_len);
+  if (data_len == 0) return std::vector<std::uint8_t>{};
+  // Pick the first k usable fragments with distinct indices.
+  std::vector<const ErasureShard*> use;
+  std::vector<bool> seen(n_, false);
+  for (const auto& sh : shards) {
+    if (sh.index >= n_ || seen[sh.index] || sh.bytes.size() < s) continue;
+    seen[sh.index] = true;
+    use.push_back(&sh);
+    if (use.size() == k_) break;
+  }
+  if (use.size() < k_) return std::nullopt;
+
+  std::vector<std::uint8_t> sub(static_cast<std::size_t>(k_) * k_);
+  for (unsigned r = 0; r < k_; ++r) {
+    for (unsigned c = 0; c < k_; ++c) {
+      sub[r * k_ + c] = matrix_[use[r]->index * k_ + c];
+    }
+  }
+  if (!invert(sub, k_)) return std::nullopt;
+
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(k_) * s, 0);
+  for (unsigned row = 0; row < k_; ++row) {
+    for (std::size_t pos = 0; pos < s; ++pos) {
+      std::uint8_t acc = 0;
+      for (unsigned c = 0; c < k_; ++c) {
+        const std::uint8_t f = sub[row * k_ + c];
+        if (f) acc = static_cast<std::uint8_t>(acc ^ gf256::mul(f, use[c]->bytes[pos]));
+      }
+      out[static_cast<std::size_t>(row) * s + pos] = acc;
+    }
+  }
+  out.resize(data_len);
+  return out;
+}
+
+}  // namespace enviromic::storage

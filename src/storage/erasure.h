@@ -1,0 +1,68 @@
+// Systematic erasure codec for coded chunk dispersal.
+//
+// EnviroMic's balancer migrates whole chunks, so a payload lives or dies
+// with the nodes holding its copies; the flooding-based storage line (Aly et
+// al.) disperses coded fragments instead, so any k of n survivors
+// reconstruct the original. This codec is a systematic Reed-Solomon code
+// over GF(2^8): the encode matrix is A = V * inv(V_top) for an n x k
+// Vandermonde matrix V over distinct evaluation points, so the top k rows
+// are the identity (fragments 0..k-1 are plain data slices) and *any* k
+// rows are invertible (any k fragments decode byte-exactly).
+//
+// Everything is a pure function of (k, n, seed): no global state, no
+// simulator RNG stream is consumed, so coded dispersal stays deterministic
+// and seed-repeatable. The seed permutes the evaluation points, giving
+// distinct-but-consistent parity per seed (the dispersal policy derives it
+// from the chunk key).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace enviromic::storage {
+
+/// GF(2^8) arithmetic (polynomial 0x11d), exposed for the property tests.
+namespace gf256 {
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+std::uint8_t inv(std::uint8_t a);  //!< a != 0
+}  // namespace gf256
+
+/// One received fragment handed to decode(): which of the n fragments it is,
+/// and its bytes (at least shard_len(data_len) of them).
+struct ErasureShard {
+  unsigned index = 0;
+  std::span<const std::uint8_t> bytes;
+};
+
+class ErasureCodec {
+ public:
+  /// Requires 1 <= k <= n <= 255 (clamped if out of range).
+  ErasureCodec(unsigned k, unsigned n, std::uint64_t seed = 0);
+
+  unsigned k() const { return k_; }
+  unsigned n() const { return n_; }
+
+  /// Bytes per fragment for a `data_len`-byte payload: ceil(data_len / k).
+  std::size_t shard_len(std::size_t data_len) const;
+
+  /// Produce all n fragments, each shard_len(data.size()) bytes. The first
+  /// k fragments are the (zero-padded) data slices themselves.
+  std::vector<std::vector<std::uint8_t>> encode(
+      std::span<const std::uint8_t> data) const;
+
+  /// Reconstruct the original `data_len` bytes from any k fragments with
+  /// distinct valid indices. Returns nullopt when fewer than k distinct
+  /// usable fragments are supplied (never throws — a drain with too few
+  /// surviving fragments must account the loss, not stall).
+  std::optional<std::vector<std::uint8_t>> decode(
+      std::span<const ErasureShard> shards, std::size_t data_len) const;
+
+ private:
+  unsigned k_;
+  unsigned n_;
+  std::vector<std::uint8_t> matrix_;  //!< n x k encode matrix, row-major
+};
+
+}  // namespace enviromic::storage

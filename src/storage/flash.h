@@ -34,6 +34,14 @@ struct BlockTag {
   net::NodeId recorded_by = net::kInvalidNode;
   std::uint32_t chunk_bytes = 0;
   bool is_prelude = false;
+  // Erasure-coding descriptor (frag_index == 0 only): a coded fragment must
+  // survive a crash with its coding identity, or the post-reboot census
+  // could not tell which original it reconstructs.
+  std::uint64_t ec_group = 0;
+  std::uint8_t ec_index = 0;
+  std::uint8_t ec_k = 0;
+  std::uint8_t ec_n = 0;
+  std::uint32_t ec_orig_bytes = 0;
 };
 
 struct FlashConfig {

@@ -146,6 +146,63 @@ TEST(Determinism, TracingAndProfilingDoNotPerturbSeededChaosRuns) {
   EXPECT_GT(b.profile.fires, 0u);
 }
 
+TEST(Determinism, CodedDispersalIsBitIdenticalAcrossRepeats) {
+  // The coded policy draws no RNG of its own (key-seeded codec, callback-
+  // driven state machine), so repeated seeded coded runs must match bit for
+  // bit — snapshot, channel counters, and executed-event count.
+  ChaosRunConfig cfg = probe(41);
+  cfg.faults.permanent_fraction = 0.5;
+  cfg.faults.lose_data_fraction = 0.5;
+  cfg.storage_policy = StoragePolicy::kCoded;
+  cfg.coded_k = 2;
+  cfg.coded_n = 4;
+  const auto a = run_chaos(cfg);
+  const auto b = run_chaos(cfg);
+  expect_identical(a.final_snapshot, b.final_snapshot);
+  expect_identical(a.channel_stats, b.channel_stats);
+  EXPECT_EQ(a.live_chunks, b.live_chunks);
+  EXPECT_EQ(a.live_events_at_end, b.live_events_at_end);
+  EXPECT_EQ(a.executed_events, b.executed_events);
+  EXPECT_EQ(a.payloads_total, b.payloads_total);
+  EXPECT_EQ(a.payloads_reconstructible, b.payloads_reconstructible);
+  EXPECT_EQ(a.coded.fragments_placed, b.coded.fragments_placed);
+  EXPECT_EQ(a.decode.groups_reconstructed, b.decode.groups_reconstructed);
+  // The policy actually engaged.
+  EXPECT_GT(a.coded.chunks_coded, 0u);
+}
+
+TEST(Determinism, CodedPolicyOffLeavesSeededRunsUntouched) {
+  // With the policy off, the coded component must be invisible: no RNG
+  // draws, no scheduled events, no wire-format change. An explicit
+  // kMigrate config and the config default must match bit for bit.
+  ChaosRunConfig base = probe(17);
+  ChaosRunConfig off = probe(17);
+  off.storage_policy = StoragePolicy::kMigrate;
+  off.coded_k = 7;  // knobs are inert while the policy is off
+  off.coded_n = 9;
+  const auto a = run_chaos(base);
+  const auto b = run_chaos(off);
+  expect_identical(a.final_snapshot, b.final_snapshot);
+  expect_identical(a.channel_stats, b.channel_stats);
+  EXPECT_EQ(a.live_chunks, b.live_chunks);
+  EXPECT_EQ(a.executed_events, b.executed_events);
+  EXPECT_EQ(a.coded.chunks_coded, 0u);
+  EXPECT_EQ(b.coded.chunks_coded, 0u);
+}
+
+TEST(Determinism, CodedPolicyChangesTrafficWhenOn) {
+  // Guard against the coded leg silently never engaging: same seed, the two
+  // policies must produce different channel totals.
+  ChaosRunConfig cfg = probe(41);
+  cfg.faults.permanent_fraction = 0.5;
+  ChaosRunConfig coded = cfg;
+  coded.storage_policy = StoragePolicy::kCoded;
+  const auto a = run_chaos(cfg);
+  const auto b = run_chaos(coded);
+  EXPECT_GT(b.coded.chunks_coded, 0u);
+  EXPECT_NE(a.channel_stats.transmissions, b.channel_stats.transmissions);
+}
+
 TEST(Determinism, DistinctSeedsDiverge) {
   // Guards against the comparison helpers vacuously passing (e.g. a snapshot
   // that is all zeros would make the two tests above meaningless).

@@ -511,5 +511,158 @@ TEST(CrashMidProtocol, RecordingTaskDiesWithCrashedRecorder) {
   EXPECT_LT(world->snapshot().miss_ratio, 0.6);
 }
 
+// --- Coded dispersal under faults ----------------------------------------
+
+std::unique_ptr<World> coded_star(std::uint64_t seed, int k, int n) {
+  WorldBuilder b;
+  b.mode(Mode::kFull).seed(seed);
+  b.cfg.channel.loss_probability = 0.0;
+  b.cfg.node_defaults.protocol.storage_policy = StoragePolicy::kCoded;
+  b.cfg.node_defaults.protocol.coded_k = k;
+  b.cfg.node_defaults.protocol.coded_n = n;
+  b.cfg.node_defaults.protocol.transfer_fragment_spacing =
+      sim::Time::millis(20);
+  auto world = std::make_unique<World>(b.cfg);
+  world->add_node({0, 0});                          // id 1: the source
+  world->add_node({2, 0});                          // id 2
+  world->add_node({0, 2});                          // id 3
+  world->add_node({-2, 0});                         // id 4
+  return world;
+}
+
+/// Distinct surviving fragment indices of `group` plus whether a whole copy
+/// survives, over every collectable flash.
+std::pair<std::set<std::uint8_t>, bool> survivors_of(World& world,
+                                                     std::uint64_t group) {
+  std::set<std::uint8_t> frags;
+  bool whole = false;
+  for (std::size_t i = 0; i < world.node_count(); ++i) {
+    auto& n = world.node(i);
+    if (n.data_lost()) continue;
+    n.store().for_each([&](const storage::ChunkMeta& m) {
+      if (m.is_fragment() && m.ec_group == group) frags.insert(m.ec_index);
+      if (!m.is_fragment() && m.key == group) whole = true;
+    });
+  }
+  return {frags, whole};
+}
+
+TEST(CodedFaults, CrashDuringDispersalRetriesWithoutLosingData) {
+  auto world = coded_star(421, 2, 3);
+  auto& a = world->node(0);
+  a.store().append(chunk_for(a, 3000));
+  const std::uint64_t orig = keys_of(a.store()).front();
+  world->start();
+  world->sched().at(sim::Time::millis(50), [&] {
+    EXPECT_TRUE(a.coded().start({2, 3, 4}));
+  });
+  // Kill the first target while its fragment push is in flight (the 20 ms
+  // burst spacing stretches the 24-fragment push well past this); the
+  // dispersal must retry on the remaining candidates.
+  world->sched().at(sim::Time::millis(70), [&] { world->node(1).crash(); });
+  world->run_until(sim::Time::seconds_i(120));
+
+  EXPECT_FALSE(a.coded().active());
+  EXPECT_FALSE(a.bulk().sending());
+  EXPECT_GE(a.coded().stats().fragments_failed, 1u);
+  const auto [frags, whole] = survivors_of(*world, orig);
+  // Never lost: either the original survived, or >= k fragments did.
+  EXPECT_TRUE(whole || frags.size() >= 2u)
+      << frags.size() << " fragments, whole=" << whole;
+  if (a.coded().stats().originals_released == 1u) {
+    EXPECT_FALSE(whole);
+    EXPECT_GE(frags.size(), 2u);
+  } else {
+    EXPECT_TRUE(whole);
+  }
+}
+
+TEST(CodedFaults, SourceCrashDuringDispersalKeepsOriginalOnFlash) {
+  auto world = coded_star(422, 2, 3);
+  auto& a = world->node(0);
+  a.store().append(chunk_for(a, 3000));
+  const std::uint64_t orig = keys_of(a.store()).front();
+  world->start();
+  world->sched().at(sim::Time::millis(50),
+                    [&] { EXPECT_TRUE(a.coded().start({2, 3, 4})); });
+  // The source itself dies mid-dispersal: the in-RAM fragments evaporate,
+  // but the original was never popped, so flash recovery restores it.
+  world->sched().at(sim::Time::millis(300), [&] { a.crash(); });
+  world->sched().at(sim::Time::seconds_i(5), [&] { a.reboot(); });
+  world->run_until(sim::Time::seconds_i(30));
+
+  EXPECT_FALSE(a.coded().active());
+  const auto keys = keys_of(a.store());
+  EXPECT_TRUE(std::find(keys.begin(), keys.end(), orig) != keys.end());
+}
+
+TEST(CodedFaults, DrainDecodesDespiteCrashedHolderAndAccountsPartials) {
+  auto world = coded_star(423, 2, 3);
+  auto& a = world->node(0);
+  a.store().append(chunk_for(a, 3000));
+  const std::uint64_t orig = keys_of(a.store()).front();
+  world->start();
+  world->sched().at(sim::Time::millis(50),
+                    [&] { EXPECT_TRUE(a.coded().start({2, 3, 4})); });
+  world->run_until(sim::Time::seconds_i(60));
+  ASSERT_EQ(a.coded().stats().originals_released, 1u);
+
+  // One fragment holder crashes (flash collectable), one is lost for good:
+  // exactly one fragment survives per... the remaining holder + the downed
+  // one still give >= k collectable fragments, so the drain reconstructs.
+  world->node(1).crash();
+  auto contains = [](const World::DecodedDrain& d, std::uint64_t key) {
+    return std::any_of(d.chunks.begin(), d.chunks.end(),
+                       [&](const storage::Chunk& c) { return c.meta.key == key; });
+  };
+  auto dd = world->drain_decoded();
+  EXPECT_EQ(dd.stats.groups_reconstructed, 1u);
+  EXPECT_EQ(dd.stats.groups_partial, 0u);
+  EXPECT_TRUE(contains(dd, orig));
+
+  // Now lose two holders outright: < k fragments remain. The drain must
+  // account the partial group and keep going, not stall.
+  world->node(1).fail(/*lose_data=*/true);
+  world->node(2).fail(/*lose_data=*/true);
+  const auto [frags, whole] = survivors_of(*world, orig);
+  ASSERT_LT(frags.size(), 2u);
+  ASSERT_FALSE(whole);
+  auto dd2 = world->drain_decoded();
+  EXPECT_EQ(dd2.stats.groups_reconstructed, 0u);
+  EXPECT_EQ(dd2.stats.groups_partial, 1u);
+  EXPECT_FALSE(contains(dd2, orig));
+}
+
+TEST(CodedFaults, CodedChaosInvariantsHoldAndBeatMigrationOnSurvival) {
+  // The acceptance campaign in miniature: same seeded permanent-death storm,
+  // migrate vs coded. Coded must keep strictly more payloads reconstructible.
+  ChaosRunConfig cfg;
+  cfg.seed = 424;
+  cfg.horizon = sim::Time::seconds_i(900);
+  cfg.faults.crash_probability = 0.5;
+  cfg.faults.permanent_fraction = 1.0;
+  cfg.faults.lose_data_fraction = 1.0;
+  cfg.flight_recorder = false;
+
+  ChaosRunConfig coded = cfg;
+  coded.storage_policy = StoragePolicy::kCoded;
+  coded.coded_k = 2;
+  coded.coded_n = 4;
+
+  const auto plain = run_chaos(cfg);
+  const auto with_code = run_chaos(coded);
+  EXPECT_TRUE(plain.invariants_hold());
+  EXPECT_TRUE(with_code.invariants_hold());
+  EXPECT_GT(with_code.coded.chunks_coded, 0u);
+  EXPECT_GT(with_code.payloads_reconstructible,
+            plain.payloads_reconstructible);
+  EXPECT_LT(with_code.payloads_lost_to_death, plain.payloads_lost_to_death);
+  // The decode-on-drain pass accounts every surviving coded group.
+  EXPECT_EQ(with_code.decode.groups_reconstructed +
+                with_code.decode.groups_partial +
+                with_code.decode.groups_redundant,
+            with_code.decode.groups_seen);
+}
+
 }  // namespace
 }  // namespace enviromic::core

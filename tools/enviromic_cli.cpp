@@ -33,6 +33,9 @@ struct Args {
   bool csv = false;
   bool contours = false;
   bool gossip = false;
+  core::StoragePolicy policy = core::StoragePolicy::kMigrate;
+  int coded_k = 3;
+  int coded_n = 5;
   bool have_faults = false;
   core::ChaosSpec chaos;
   std::string trace_path;
@@ -49,6 +52,8 @@ void usage() {
       "  --seed <n>                               (default 7)\n"
       "  --horizon <seconds>                      (default 4400)\n"
       "  --sample <seconds>                       snapshot period (60)\n"
+      "  --storage-policy migrate|coded           (default migrate)\n"
+      "  --coded-k <k>  --coded-n <n>             erasure geometry (3 of 5)\n"
       "  --trc <seconds>  --dta <ms>              mobile scenario knobs\n"
       "  --runs <n>                               repetitions (mobile)\n"
       "  --csv                                    CSV time series output\n"
@@ -87,6 +92,26 @@ bool parse(int argc, char** argv, Args& args) {
       args.beta = std::atof(next("--beta"));
     } else if (a == "--gossip") {
       args.gossip = true;
+    } else if (a == "--storage-policy") {
+      const std::string p = next("--storage-policy");
+      if (p == "migrate") args.policy = core::StoragePolicy::kMigrate;
+      else if (p == "coded") args.policy = core::StoragePolicy::kCoded;
+      else {
+        std::fprintf(stderr, "unknown storage policy %s\n", p.c_str());
+        return false;
+      }
+    } else if (a == "--coded-k") {
+      args.coded_k = std::atoi(next("--coded-k"));
+      if (args.coded_k < 1 || args.coded_k > 255) {
+        std::fprintf(stderr, "bad --coded-k %d (need 1..255)\n", args.coded_k);
+        return false;
+      }
+    } else if (a == "--coded-n") {
+      args.coded_n = std::atoi(next("--coded-n"));
+      if (args.coded_n < 1 || args.coded_n > 255) {
+        std::fprintf(stderr, "bad --coded-n %d (need 1..255)\n", args.coded_n);
+        return false;
+      }
     } else if (a == "--seed") {
       args.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
     } else if (a == "--horizon") {
@@ -133,6 +158,11 @@ bool parse(int argc, char** argv, Args& args) {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       return false;
     }
+  }
+  if (args.coded_k > args.coded_n) {
+    std::fprintf(stderr, "bad erasure geometry: --coded-k %d > --coded-n %d\n",
+                 args.coded_k, args.coded_n);
+    return false;
   }
   return true;
 }
@@ -250,6 +280,9 @@ int run_chaos_cli(const Args& args) {
   if (args.trace_sample_s > 0.0) {
     cfg.trace_sample_interval = sim::Time::seconds(args.trace_sample_s);
   }
+  cfg.storage_policy = args.policy;
+  cfg.coded_k = args.coded_k;
+  cfg.coded_n = args.coded_n;
   if (args.have_faults) {
     cfg.faults = args.chaos.faults;
     cfg.burst = args.chaos.burst;
@@ -289,6 +322,28 @@ int run_chaos_cli(const Args& args) {
       res.final_snapshot.transfer_fragments_retried,
       res.final_snapshot.transfer_window_stalls,
       res.final_snapshot.transfer_max_in_flight);
+  const double overhead =
+      res.census_original_bytes > 0
+          ? static_cast<double>(res.census_stored_bytes) /
+                static_cast<double>(res.census_original_bytes)
+          : 1.0;
+  std::printf(
+      "  payloads[%s]: total=%llu reconstructible=%llu lost_to_death=%llu "
+      "overhead=%.2fx\n",
+      core::policy_name(args.policy),
+      static_cast<unsigned long long>(res.payloads_total),
+      static_cast<unsigned long long>(res.payloads_reconstructible),
+      static_cast<unsigned long long>(res.payloads_lost_to_death), overhead);
+  if (args.policy == core::StoragePolicy::kCoded) {
+    std::printf(
+        "  coded[k=%d n=%d]: chunks=%u frags_placed=%u frags_failed=%u "
+        "released=%u kept=%u decode: reconstructed=%llu partial=%llu\n",
+        args.coded_k, args.coded_n, res.coded.chunks_coded,
+        res.coded.fragments_placed, res.coded.fragments_failed,
+        res.coded.originals_released, res.coded.originals_kept,
+        static_cast<unsigned long long>(res.decode.groups_reconstructed),
+        static_cast<unsigned long long>(res.decode.groups_partial));
+  }
   std::printf(
       "  invariants: stores_recoverable=%d retrieval_exact_once=%d "
       "counters_consistent=%d => %s\n",
