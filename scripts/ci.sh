@@ -47,6 +47,13 @@ pct = sum(v for k, v in ci.items()
 print(f"profiler attribution sum: {pct:.2f}%")
 if not 95.0 <= pct <= 105.0:
     sys.exit(f"FAIL: profiler attribution sums to {pct:.2f}%, not ~100%")
+# Budget gate for the batched delivery fan-out: channel_delivery sat at
+# ~35% of run-loop self time before the flattening; keep it from creeping
+# back toward the scalar-path cost profile.
+deliv = ci.get("prof_chaos_200_channel_delivery_pct")
+print(f"channel_delivery attribution: {deliv:.2f}% (budget 25%)")
+if deliv is None or deliv > 25.0:
+    sys.exit(f"FAIL: channel_delivery at {deliv}% of chaos_200, budget 25%")
 EOF
 else
   echo "== python3 not found; skipping overhead/attribution checks"
@@ -58,6 +65,17 @@ for e in build/examples/*; do
 done
 
 echo "== cli smoke"
+# Argument validation: nonsensical sampling intervals must be rejected with
+# the usage exit code, like the erasure-geometry flags.
+if ./build/tools/enviromic_cli --scenario voice --trace-sample-interval 0 \
+    > /dev/null 2>&1; then
+  echo "FAIL: --trace-sample-interval 0 accepted"; exit 1
+fi
+./build/tools/enviromic_cli --scenario voice --trace-sample-interval -5 \
+  > /dev/null 2>&1 && { echo "FAIL: negative interval accepted"; exit 1; }
+rc=0
+./build/tools/enviromic_cli --trace-sample-interval -1 > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "FAIL: bad interval should exit 2, got $rc"; exit 1; }
 ./build/tools/enviromic_cli --scenario mobile --runs 3 > /dev/null
 ./build/tools/enviromic_cli --scenario indoor --horizon 300 --sample 300 > /dev/null
 ./build/tools/enviromic_cli --scenario voice > /dev/null

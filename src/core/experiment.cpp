@@ -295,6 +295,7 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
   wc.channel.burst = cfg.burst;
   wc.channel.link_asymmetry_max = cfg.link_asymmetry_max;
   wc.channel.use_spatial_index = cfg.spatial_index;
+  wc.channel.batched_delivery = cfg.batched_delivery;
   wc.node_defaults.protocol.beacon_idle_backoff_max =
       cfg.beacon_idle_backoff_max;
   wc.node_defaults.flash.store_payloads = cfg.store_payloads;

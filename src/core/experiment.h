@@ -148,6 +148,10 @@ struct ChaosRunConfig {
   /// Channel spatial index; the determinism test and the bench harness flip
   /// this off to A/B against the linear delivery path.
   bool spatial_index = true;
+  /// Batched delivery fan-out (precomputed collision verdicts over the SoA
+  /// snapshot); the determinism test flips this off to A/B against the
+  /// per-receiver scalar verdict path.
+  bool batched_delivery = true;
   /// Beacon idle back-off cap (multiple of beacon_period); the determinism
   /// test runs the coalesced-timer path with back-off on and off.
   double beacon_idle_backoff_max = 4.0;

@@ -7,11 +7,25 @@
 
 namespace enviromic::net {
 
+namespace {
+/// Relative half-width of the squared-distance boundary band. Verdicts with
+/// |d - range| > range * kRangeBand are decided from d^2 alone (the band
+/// exceeds any accumulated double rounding — relative error ~1e-15 at
+/// simulation scales — by six orders of magnitude); distances inside the
+/// band re-run the exact sqrt comparison, so every verdict is bit-identical
+/// to the scalar sim::distance test.
+constexpr double kRangeBand = 1e-9;
+}  // namespace
+
 Channel::Channel(sim::Scheduler& sched, sim::Rng rng, ChannelConfig cfg)
     : sched_(sched), rng_(rng), cfg_(cfg) {
   grid_on_ = cfg_.use_spatial_index && cfg_.comm_range > 0.0;
   cell_size_ = cfg_.comm_range;
   active_cell_size_ = 2.0 * cfg_.comm_range;
+  const double lo = cfg_.comm_range * (1.0 - kRangeBand);
+  const double hi = cfg_.comm_range * (1.0 + kRangeBand);
+  range_lo2_ = lo * lo;
+  range_hi2_ = hi * hi;
 }
 
 std::uint64_t Channel::cell_for(const sim::Position& p) const {
@@ -25,22 +39,43 @@ std::uint64_t Channel::active_cell_for(const sim::Position& p) const {
 void Channel::grid_insert(Radio* r) {
   if (!grid_on_) return;
   r->cell_key_ = cell_for(r->position());
-  cells_[r->cell_key_].push_back(r);
+  CellBucket& b = cells_[r->cell_key_];
+  r->cell_slot_ = static_cast<std::uint32_t>(b.radios.size());
+  b.radios.push_back(r);
+  b.xs.push_back(r->position().x);
+  b.ys.push_back(r->position().y);
+  b.seqs.push_back(r->reg_seq_);
 }
 
 void Channel::grid_erase(Radio* r) {
   if (!grid_on_) return;
   const auto it = cells_.find(r->cell_key_);
   if (it == cells_.end()) return;
-  auto& bucket = it->second;
-  bucket.erase(std::remove(bucket.begin(), bucket.end(), r), bucket.end());
-  if (bucket.empty()) cells_.erase(it);
+  CellBucket& b = it->second;
+  const std::size_t slot = r->cell_slot_;
+  if (slot >= b.radios.size() || b.radios[slot] != r) return;
+  const std::size_t last = b.radios.size() - 1;
+  if (slot != last) {
+    b.radios[slot] = b.radios[last];
+    b.xs[slot] = b.xs[last];
+    b.ys[slot] = b.ys[last];
+    b.seqs[slot] = b.seqs[last];
+    b.radios[slot]->cell_slot_ = static_cast<std::uint32_t>(slot);
+  }
+  b.radios.pop_back();
+  b.xs.pop_back();
+  b.ys.pop_back();
+  b.seqs.pop_back();
+  if (b.radios.empty()) cells_.erase(it);
 }
 
 std::unique_ptr<Radio> Channel::create_radio(NodeId id, sim::Position pos) {
   auto radio = std::make_unique<Radio>(*this, id, pos);
   radio->reg_seq_ = next_reg_seq_++;
-  ++topology_epoch_;
+  if (grid_on_) {
+    ++cell_mod_[cell_for(pos)];
+    ++topo_mods_;
+  }
   radios_.push_back(radio.get());
   registered_.insert(radio.get());
   by_id_.emplace(id, radio.get());  // keeps the first-registered radio
@@ -49,10 +84,20 @@ std::unique_ptr<Radio> Channel::create_radio(NodeId id, sim::Position pos) {
 }
 
 void Channel::unregister(Radio* r) {
-  ++topology_epoch_;
+  ++unregistrations_;
+  if (grid_on_) {
+    ++cell_mod_[r->cell_key_];
+    ++topo_mods_;
+  }
   radios_.erase(std::remove(radios_.begin(), radios_.end(), r), radios_.end());
   registered_.erase(r);
-  if (in_delivery_) dead_in_delivery_.push_back(r);
+  // Torn down while the delivery loop walks a snapshot containing it: null
+  // its slot so the loop skips it. O(1) per death — a FaultPlan mass-crash
+  // from a delivery handler used to trigger an O(deaths x receivers)
+  // dead-list scan here.
+  if (in_delivery_ && r->delivery_stamp_ == delivery_seq_) {
+    delivery_scratch_.radios[r->delivery_slot_] = nullptr;
+  }
   grid_erase(r);
   const auto it = by_id_.find(r->id());
   if (it != by_id_.end() && it->second == r) {
@@ -70,13 +115,31 @@ void Channel::unregister(Radio* r) {
 
 void Channel::move_radio(Radio* r, const sim::Position& p) {
   r->pos_ = p;
-  ++topology_epoch_;
+  // Position changes during a delivery loop invalidate the precomputed
+  // collision verdicts of not-yet-served receivers; flag the loop back onto
+  // the exact per-receiver test.
+  if (in_delivery_) moved_in_delivery_ = true;
   if (!grid_on_) return;
   const std::uint64_t key = cell_for(p);
-  if (key == r->cell_key_) return;
+  ++cell_mod_[r->cell_key_];
+  ++topo_mods_;
+  if (key == r->cell_key_) {
+    // Same cell: refresh the mirrored coordinates in place. One counter
+    // bump covers the move — neighbor caches keying on this cell see it.
+    CellBucket& b = cells_[key];
+    b.xs[r->cell_slot_] = p.x;
+    b.ys[r->cell_slot_] = p.y;
+    return;
+  }
+  ++cell_mod_[key];
   grid_erase(r);
   r->cell_key_ = key;
-  cells_[key].push_back(r);
+  CellBucket& b = cells_[key];
+  r->cell_slot_ = static_cast<std::uint32_t>(b.radios.size());
+  b.radios.push_back(r);
+  b.xs.push_back(p.x);
+  b.ys.push_back(p.y);
+  b.seqs.push_back(r->reg_seq_);
 }
 
 void Channel::radios_in_range(const sim::Position& pos, double range,
@@ -88,14 +151,32 @@ void Channel::radios_in_range(const sim::Position& pos, double range,
     }
     return;
   }
+  // Squared-distance pre-verdict over the SoA coordinates: candidates far
+  // from the boundary are admitted or skipped without a sqrt or a Radio
+  // dereference; the band runs the exact test, so membership is identical
+  // to the linear scan above.
+  const double lo = range * (1.0 - kRangeBand);
+  const double hi = range * (1.0 + kRangeBand);
+  const double lo2 = lo * lo;
+  const double hi2 = hi * hi;
   const sim::CellCoord c = sim::cell_of(pos, cell_size_);
   const std::int32_t reach = sim::cell_reach(range, cell_size_);
   for (std::int32_t dy = -reach; dy <= reach; ++dy) {
     for (std::int32_t dx = -reach; dx <= reach; ++dx) {
       const auto it = cells_.find(sim::cell_key({c.x + dx, c.y + dy}));
       if (it == cells_.end()) continue;
-      for (Radio* r : it->second) {
-        if (sim::distance(r->position(), pos) <= range) out.push_back(r);
+      const CellBucket& b = it->second;
+      const std::size_t n = b.radios.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        const double ddx = b.xs[i] - pos.x;
+        const double ddy = b.ys[i] - pos.y;
+        const double d2 = ddx * ddx + ddy * ddy;
+        if (d2 > hi2) continue;
+        if (d2 >= lo2 &&
+            !(sim::distance(b.radios[i]->position(), pos) <= range)) {
+          continue;
+        }
+        out.push_back(b.radios[i]);
       }
     }
   }
@@ -104,6 +185,92 @@ void Channel::radios_in_range(const sim::Position& pos, double range,
   std::sort(out.begin(), out.end(), [](const Radio* a, const Radio* b) {
     return a->reg_seq_ < b->reg_seq_;
   });
+}
+
+void Channel::snapshot_in_range(const sim::Position& pos, double range,
+                                RadioSnapshot& out) const {
+  if (!grid_on_) {
+    radios_in_range(pos, range, out.radios);
+    const std::size_t n = out.radios.size();
+    out.xs.resize(n);
+    out.ys.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.xs[i] = out.radios[i]->pos_.x;
+      out.ys[i] = out.radios[i]->pos_.y;
+    }
+    return;
+  }
+  // Grid path: every per-candidate fact (coordinates, registration sequence)
+  // is mirrored in the bucket SoA, so the gather, the registration-order
+  // sort, and the SoA fill below never dereference a Radio. Chaos runs
+  // rebuild neighbor caches ~100k times (every crash/reboot invalidates the
+  // 3x3 neighborhood), and the old sort comparator pointer-chased two cold
+  // Radio cache lines per compare. Distance verdicts are unchanged: same
+  // band, same exact fallback on the same coordinate values (the mirror is
+  // bit-exact by invariant).
+  const double lo = range * (1.0 - kRangeBand);
+  const double hi = range * (1.0 + kRangeBand);
+  const double lo2 = lo * lo;
+  const double hi2 = hi * hi;
+  snap_scratch_.clear();
+  const sim::CellCoord c = sim::cell_of(pos, cell_size_);
+  const std::int32_t reach = sim::cell_reach(range, cell_size_);
+  for (std::int32_t dy = -reach; dy <= reach; ++dy) {
+    for (std::int32_t dx = -reach; dx <= reach; ++dx) {
+      const auto it = cells_.find(sim::cell_key({c.x + dx, c.y + dy}));
+      if (it == cells_.end()) continue;
+      const CellBucket& b = it->second;
+      const std::size_t n = b.radios.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        const double ddx = b.xs[i] - pos.x;
+        const double ddy = b.ys[i] - pos.y;
+        const double d2 = ddx * ddx + ddy * ddy;
+        if (d2 > hi2) continue;
+        if (d2 >= lo2 &&
+            !(sim::distance({b.xs[i], b.ys[i]}, pos) <= range)) {
+          continue;
+        }
+        snap_scratch_.push_back({b.seqs[i], b.radios[i], b.xs[i], b.ys[i]});
+      }
+    }
+  }
+  std::sort(snap_scratch_.begin(), snap_scratch_.end(),
+            [](const SnapCand& a, const SnapCand& b) { return a.seq < b.seq; });
+  const std::size_t n = snap_scratch_.size();
+  out.radios.resize(n);
+  out.xs.resize(n);
+  out.ys.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.radios[i] = snap_scratch_[i].radio;
+    out.xs[i] = snap_scratch_[i].x;
+    out.ys[i] = snap_scratch_[i].y;
+  }
+}
+
+std::uint64_t Channel::neighborhood_sig(Radio& r) {
+  const sim::CellCoord c = sim::cell_of(r.pos_, cell_size_);
+  if (!r.nbr_mod_ok_ || !(r.nbr_mod_cell_ == c)) {
+    // (Re)build the counter-pointer cache for this position. try_emplace
+    // creates zeroed counters for still-empty cells so later registrations
+    // into them are visible through the cached pointer; entries are never
+    // erased and unordered_map references survive rehash, so the pointers
+    // cannot dangle.
+    std::size_t k = 0;
+    for (std::int32_t dy = -1; dy <= 1; ++dy) {
+      for (std::int32_t dx = -1; dx <= 1; ++dx) {
+        const std::uint64_t key = sim::cell_key({c.x + dx, c.y + dy});
+        r.nbr_mod_cache_[k++] = &cell_mod_.try_emplace(key).first->second;
+      }
+    }
+    r.nbr_mod_cell_ = c;
+    r.nbr_mod_ok_ = true;
+  }
+  // Counters only increment, so the sum strictly increases on any change in
+  // the 3x3 neighborhood. Starting at 1 keeps a live signature from ever
+  // matching the never-cached sentinel 0.
+  std::uint64_t sig = 1;
+  for (const auto* m : r.nbr_mod_cache_) sig += *m;
+  return sig;
 }
 
 sim::Time Channel::air_time(std::uint32_t bytes) const {
@@ -139,61 +306,100 @@ double Channel::link_extra_loss(NodeId src, NodeId dst) const {
 }
 
 bool Channel::link_in_bad_state(NodeId src, NodeId dst) const {
-  const auto it = link_bad_.find({src, dst});
-  return it != link_bad_.end() && it->second;
+  return link_bad_.bad((static_cast<std::uint64_t>(src) << 32) |
+                       static_cast<std::uint64_t>(dst));
 }
 
 bool Channel::drop_random(NodeId src, NodeId dst) {
-  if (cfg_.burst.enabled) {
-    bool& bad = link_bad_[{src, dst}];
-    const double p = bad ? cfg_.burst.loss_bad : cfg_.burst.loss_good;
-    const bool lost = p > 0.0 && rng_.chance(p);
-    // Advance the two-state chain after sampling, so loss runs match the
-    // dwell time in the bad state.
-    const double trans = bad ? cfg_.burst.p_bad_to_good : cfg_.burst.p_good_to_bad;
-    if (trans > 0.0 && rng_.chance(trans)) bad = !bad;
-    if (lost) {
-      ++stats_.losses_burst;
-      return true;
+  // One RNG draw per delivery attempt. The three independent loss processes
+  // (burst state loss, per-link asymmetric loss, base random loss) are
+  // folded into a single combined probability; the draw's high 32 bits
+  // decide the loss, its low 32 bits advance the Gilbert–Elliott chain (two
+  // independent uniforms from one xoshiro output — this used to be up to
+  // four separate draws, a measured cost at one call per (delivery,
+  // receiver)). Attribution mirrors sequential sampling exactly: landing in
+  // [0, p_burst) is a burst loss, [p_burst, p_total) a random loss — the
+  // same conditional split drawing burst first then the rest produces, so
+  // the loss statistics are distributionally unchanged. 32-bit uniform
+  // resolution (2^-32) sits ~7 orders below any configured probability.
+  //
+  // A configuration with every loss process off consumes no RNG at all
+  // (mirroring chance()'s p <= 0 early-out), so lossless runs keep their
+  // draw sequence.
+  if (!cfg_.burst.enabled && cfg_.link_asymmetry_max <= 0.0 &&
+      cfg_.loss_probability <= 0.0) {
+    return false;
+  }
+  const std::uint64_t u = rng_.next_u64();
+  const double u_loss = static_cast<double>(u >> 32) * 0x1.0p-32;
+  double p_burst = 0.0;
+  double extra = 0.0;
+  if (cfg_.burst.enabled || cfg_.link_asymmetry_max > 0.0) {
+    auto& s = link_bad_.slot((static_cast<std::uint64_t>(src) << 32) |
+                             static_cast<std::uint64_t>(dst));
+    if (s.extra < 0.0f) s.extra = static_cast<float>(link_extra_loss(src, dst));
+    extra = s.extra;
+    if (cfg_.burst.enabled) {
+      const bool bad = s.state == 2;
+      p_burst = bad ? cfg_.burst.loss_bad : cfg_.burst.loss_good;
+      // Chain advance is sampled from the independent low half, so loss
+      // runs still match the dwell time in the bad state.
+      const double trans =
+          bad ? cfg_.burst.p_bad_to_good : cfg_.burst.p_good_to_bad;
+      if (trans > 0.0 &&
+          static_cast<double>(u & 0xffffffffull) * 0x1.0p-32 < trans) {
+        s.state = bad ? 1 : 2;
+      }
     }
   }
-  if (cfg_.link_asymmetry_max > 0.0 && rng_.chance(link_extra_loss(src, dst))) {
+  const double p_rest =
+      1.0 - (1.0 - extra) * (1.0 - cfg_.loss_probability);
+  const double p_total = p_burst + (1.0 - p_burst) * p_rest;
+  if (u_loss >= p_total) return false;
+  if (u_loss < p_burst) {
+    ++stats_.losses_burst;
+  } else {
     ++stats_.losses_random;
-    return true;
   }
-  if (rng_.chance(cfg_.loss_probability)) {
-    ++stats_.losses_random;
-    return true;
-  }
-  return false;
+  return true;
 }
 
-bool Channel::medium_busy_near(const sim::Position& pos) const {
+bool Channel::medium_busy_near(Radio& from) {
   const double sense = cfg_.comm_range * cfg_.carrier_sense_factor;
   if (sense <= 0.0) return false;  // carrier sensing disabled
   const sim::Time now = sched_.now();
-  const std::int32_t reach =
-      grid_on_ ? sim::cell_reach(sense, active_cell_size_) : 0;
-  // The grid only pays off once the flat list outgrows the bucket probes;
-  // a lightly loaded medium (the common case) scans a handful of entries.
-  const std::size_t probes =
-      static_cast<std::size_t>(2 * reach + 1) * (2 * reach + 1);
-  if (!grid_on_ || active_.size() <= probes) {
-    for (const auto& tx : active_) {
+  const sim::Position& pos = from.position();
+  // Squared-distance test, identically in every path below, so the busy
+  // verdict never depends on which path answered.
+  const double sense_sq = sense * sense;
+  const auto busy_in = [&](const std::vector<ActiveTx>& list) {
+    for (const auto& tx : list) {
       if (tx.end <= now) continue;
-      if (sim::distance(tx.pos, pos) <= sense) return true;
+      const double ddx = tx.pos.x - pos.x;
+      const double ddy = tx.pos.y - pos.y;
+      if (ddx * ddx + ddy * ddy <= sense_sq) return true;
+    }
+    return false;
+  };
+  if (!grid_on_) return busy_in(active_);
+  const std::int32_t reach = sim::cell_reach(sense, active_cell_size_);
+  const sim::CellCoord c = sim::cell_of(pos, active_cell_size_);
+  if (reach == 1) {
+    // Common case (sense <= 2 * comm_range): carrier sense probes the same
+    // fixed 3x3 coarse cells as the interferer gather, through the same
+    // per-radio cached bucket pointers — no hashing, and no scan of the
+    // lazily-pruned flat list.
+    ensure_probe_cache(from, c);
+    for (const auto* bucket : from.probe_cache_) {
+      if (busy_in(*bucket)) return true;
     }
     return false;
   }
-  const sim::CellCoord c = sim::cell_of(pos, active_cell_size_);
   for (std::int32_t dy = -reach; dy <= reach; ++dy) {
     for (std::int32_t dx = -reach; dx <= reach; ++dx) {
       const auto it = active_cells_.find(sim::cell_key({c.x + dx, c.y + dy}));
       if (it == active_cells_.end()) continue;
-      for (const auto& tx : it->second) {
-        if (tx.end <= now) continue;
-        if (sim::distance(tx.pos, pos) <= sense) return true;
-      }
+      if (busy_in(it->second)) return true;
     }
   }
   return false;
@@ -206,7 +412,7 @@ void Channel::start_send(Radio& from, Packet packet, int attempt) {
     from.note_send_failure();
     return;
   }
-  if (medium_busy_near(from.position())) {
+  if (medium_busy_near(from)) {
     if (attempt >= cfg_.max_retries) {
       from.note_send_failure();
       return;
@@ -224,118 +430,223 @@ void Channel::start_send(Radio& from, Packet packet, int attempt) {
 }
 
 void Channel::prune_active(sim::Time now) {
-  // Prune finished transmissions. Keep anything that could still overlap a
-  // transmission in flight. The grid mirror prunes with the same predicate
-  // so both query paths see exactly the same survivors. Every query already
-  // skips ended transmissions by timestamp, so prune cadence never changes
-  // results — once the list is large, scanning it on every delivery would
-  // itself be a hot-path O(active) cost, so pruning goes amortized.
-  if (active_.size() >= 64 && ++prune_skips_ < 256) return;
+  // Prune finished transmissions — but only those that can no longer matter.
+  // The collision gather keys on *interval overlap* with the delivering
+  // transmission, not on "still on air": a packet that ended a moment ago is
+  // a legitimate interferer for a longer packet still in flight. So the
+  // erase horizon is the earliest start among live transmissions; an entry
+  // ending at or before it cannot overlap anything that still delivers (and
+  // a transmission that has not begun cannot reach back before now). The old
+  // `end < now` predicate silently dropped still-relevant interferers of
+  // long packets whenever a short packet's delivery pruned between them —
+  // and made results depend on prune cadence. With the horizon predicate the
+  // cadence is genuinely unobservable, so pruning is amortized
+  // unconditionally; queries step over the bounded leftovers with one
+  // timestamp compare each. The cadence trades prune cost against the
+  // stale-entry window that every carrier-sense probe and interferer gather
+  // re-walks; a short stride keeps those scans near the true in-flight count
+  // (usually a handful) while still amortizing the erase. The grid mirror
+  // prunes with the same predicate so both query paths see exactly the same
+  // survivors.
+  if (++prune_skips_ < 8) return;
   prune_skips_ = 0;
-  active_.erase(std::remove_if(active_.begin(), active_.end(),
-                               [now](const ActiveTx& t) { return t.end < now; }),
+  sim::Time horizon = now;
+  for (const auto& t : active_) {
+    if (t.end >= now && t.start < horizon) horizon = t.start;
+  }
+  const auto dead = [horizon](const ActiveTx& t) { return t.end <= horizon; };
+  active_.erase(std::remove_if(active_.begin(), active_.end(), dead),
                 active_.end());
   if (!grid_on_) return;
-  // Drained buckets are kept, not erased: per-radio probe caches hold
-  // pointers into this map, and the bucket count is bounded by the coarse
-  // cells the deployment has ever touched.
-  for (auto& [key, bucket] : active_cells_) {
-    bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
-                                [now](const ActiveTx& t) { return t.end < now; }),
-                 bucket.end());
+  // Drained buckets are kept in the map, not erased: per-radio probe caches
+  // hold pointers into it. Only the buckets known to hold entries are
+  // visited — pruning must not pay for every coarse cell the deployment has
+  // ever touched.
+  std::size_t w = 0;
+  for (auto* bucket : active_nonempty_) {
+    bucket->erase(std::remove_if(bucket->begin(), bucket->end(), dead),
+                  bucket->end());
+    if (!bucket->empty()) active_nonempty_[w++] = bucket;
   }
+  active_nonempty_.resize(w);
 }
 
 void Channel::begin_transmission(Radio& from, Packet packet) {
   const sim::Time start = sched_.now();
+  // The packet is sized exactly once per transmission; receivers and trace
+  // sites reuse this instead of re-walking the message list.
   const std::uint32_t tx_bytes = packet.total_bytes();
   const sim::Time end = start + air_time(tx_bytes);
   const ActiveTx tx{from.id(), from.position(), start, end};
   active_.push_back(tx);
-  if (grid_on_) active_cells_[active_cell_for(tx.pos)].push_back(tx);
+  if (grid_on_) {
+    auto& bucket = active_cells_[active_cell_for(tx.pos)];
+    if (bucket.empty()) active_nonempty_.push_back(&bucket);
+    bucket.push_back(tx);
+  }
   ++stats_.transmissions;
-  from.note_sent(packet, start, end);
+  from.note_sent(packet, tx_bytes, start, end);
   sim::trace_instant(start, sim::TraceEvent::kChannelSend, from.id(),
                      packet.dst, tx_bytes);
 
   // Deliveries resolve at transmission end; collision checks look at every
   // transmission that overlapped [start, end] at the receiver.
-  sched_.at(end, [this, &from, packet = std::move(packet), start, end,
-                  tx_bytes]() {
+  const std::uint64_t from_seq = from.reg_seq_;
+  const std::uint64_t unreg0 = unregistrations_;
+  sched_.at(end, [this, &from, from_seq, unreg0, packet = std::move(packet),
+                  start, end, tx_bytes]() {
     sim::ProfileScope prof(sched_.profiler(), sim::ProfTag::kChannelDelivery);
-    if (registered_.find(&from) == registered_.end()) {
-      // The sender was torn down while its packet was in the air; nothing to
-      // deliver (its transmission still occupied the medium until now).
+    // The sender may have been torn down while its packet was in the air
+    // (nothing to deliver — its transmission still occupied the medium until
+    // now). If no radio at all unregistered since the send, the sender is
+    // necessarily still alive and the registry probe is skipped; otherwise
+    // the reg_seq cross-check closes the allocator-reuse hole: a radio
+    // created at the recycled address would pass the pointer test and stand
+    // in for the dead sender.
+    if (unregistrations_ != unreg0 &&
+        (registered_.find(&from) == registered_.end() ||
+         from.reg_seq_ != from_seq)) {
       prune_active(sched_.now());
       return;
     }
-    const ActiveTx me{from.id(), from.position(), start, end};
-    // Snapshot the recipients before delivering: protocol handlers run from
-    // r->deliver() can crash a node under a FaultPlan and unregister radios,
-    // which would invalidate any live iterator into the registry. Radios
-    // unregistered mid-loop land in `dead_in_delivery_` and are skipped.
-    // With the index on, the sender's epoch-stamped neighbor cache makes the
-    // gather O(neighbors) on repeat transmissions from a static node; the
-    // loop still runs over channel-owned delivery_scratch_ (a handler could
-    // tear down `from` itself, taking its cache with it).
-    if (grid_on_) {
-      if (from.nbr_epoch_ != topology_epoch_) {
-        radios_in_range(from.position(), cfg_.comm_range, from.nbr_cache_);
-        from.nbr_epoch_ = topology_epoch_;
+    deliver_transmission(from, packet, start, end, tx_bytes);
+    prune_active(sched_.now());
+  });
+}
+
+void Channel::deliver_transmission(Radio& from, const Packet& packet,
+                                   sim::Time start, sim::Time end,
+                                   std::uint32_t tx_bytes) {
+  const ActiveTx me{from.id(), from.position(), start, end};
+  // Snapshot the recipients before delivering: protocol handlers run from
+  // r->deliver() can crash a node under a FaultPlan and unregister radios,
+  // which would invalidate any live iterator into the registry. Radios
+  // unregistered mid-loop null their snapshot slot (see unregister). With
+  // the index on, the sender's neighbor cache (validated against the 3x3
+  // cell modification counters) makes the gather a copy on repeat
+  // transmissions from a static node; the loop still runs over channel-owned
+  // delivery_scratch_ (a handler could tear down `from` itself, taking its
+  // cache with it).
+  // `geom` names the coordinate arrays for the verdict pass below. Only the
+  // pointer array is copied out of the neighbor cache: the coordinates are
+  // consumed by the verdict pass before any handler can run (a handler that
+  // tears down the sender frees the cache), while the pointers must survive
+  // the whole loop.
+  const RadioSnapshot* geom;
+  if (grid_on_) {
+    // Nothing anywhere changed since this sender last validated -> the
+    // per-cell signature cannot have moved; skip even the nine counter
+    // loads. Any register/unregister/move bumps topo_mods_ and forces the
+    // signature path.
+    if (from.nbr_topo_mods_ != topo_mods_) {
+      const std::uint64_t sig = neighborhood_sig(from);
+      if (from.nbr_sig_ != sig) {
+        snapshot_in_range(from.position(), cfg_.comm_range, from.nbr_cache_);
+        from.nbr_sig_ = sig;
       }
-      delivery_scratch_ = from.nbr_cache_;
-    } else {
-      radios_in_range(me.pos, cfg_.comm_range, delivery_scratch_);
+      from.nbr_topo_mods_ = topo_mods_;
     }
-    if (cfg_.model_collisions) gather_interferers(me, from);
-    in_delivery_ = true;
-    for (Radio* r : delivery_scratch_) {
-      if (r == &from) continue;
-      if (!dead_in_delivery_.empty() &&
-          std::find(dead_in_delivery_.begin(), dead_in_delivery_.end(), r) !=
-              dead_in_delivery_.end()) {
-        continue;
-      }
-      if (packet.dst != kBroadcast && packet.dst != r->id()) {
-        // Unicast packets are still heard by everyone in range (overhearing
-        // is load-bearing for EnviroMic: TASK_CONFIRM suppression and soft
-        // state both rely on it), so do not skip delivery here.
-      }
-      if (!r->is_on()) {
-        r->note_missed_off();
-        ++stats_.losses_radio_off;
-        sim::trace_instant(
-            end, sim::TraceEvent::kChannelDrop, r->id(), from.id(),
-            static_cast<std::uint64_t>(sim::TraceDropReason::kRadioOff));
-        continue;
-      }
-      if (cfg_.model_collisions && collided(*r)) {
+    delivery_scratch_.radios = from.nbr_cache_.radios;
+    geom = &from.nbr_cache_;
+  } else {
+    snapshot_in_range(me.pos, cfg_.comm_range, delivery_scratch_);
+    geom = &delivery_scratch_;
+  }
+  if (cfg_.model_collisions) gather_interferers(me, from);
+
+  const std::size_t n = delivery_scratch_.radios.size();
+  // Batched pass 1, fused with the death-slot stamping: every receiver is
+  // stamped so a mid-loop death nulls its slot in O(1), and its collision
+  // verdict is resolved against the one gathered interferer set in a
+  // branch-light scan over the SoA coordinates — no RNG, no handlers, so
+  // hoisting the verdicts ahead of the loop cannot reorder anything
+  // observable. Verdicts are bit-identical to the scalar path's (see
+  // collided_at); receivers that move mid-loop fall back to the exact test
+  // via moved_in_delivery_.
+  // An empty interferer set decides every verdict (false) up front — both
+  // collided() and collided_at() scan the same empty scratch — so the whole
+  // per-receiver collision machinery is skipped on a quiet medium, the
+  // common case at realistic beacon rates.
+  const bool check_collisions =
+      cfg_.model_collisions && !interferers_scratch_.empty();
+  const bool batched = cfg_.batched_delivery && check_collisions;
+  if (batched) verdicts_.resize(n);
+  ++delivery_seq_;
+  for (std::size_t i = 0; i < n; ++i) {
+    Radio* r = delivery_scratch_.radios[i];
+    r->delivery_stamp_ = delivery_seq_;
+    r->delivery_slot_ = static_cast<std::uint32_t>(i);
+    if (batched) {
+      verdicts_[i] =
+          static_cast<std::uint8_t>(collided_at(geom->xs[i], geom->ys[i]));
+    }
+  }
+
+  // Pass 2: per-receiver loss processes (RNG, in registration order, with
+  // exactly the scalar path's skip conditions) and protocol handlers for the
+  // accepted receivers. The sender's identity is hoisted — a handler may
+  // tear `from` down mid-loop, after which reading from.id() would be
+  // use-after-free.
+  const NodeId from_id = me.src;
+  const double air_s = (end - start).to_seconds();
+  in_delivery_ = true;
+  moved_in_delivery_ = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    Radio* r = delivery_scratch_.radios[i];
+    if (!r || r == &from) continue;  // died mid-loop / self
+    if (!r->is_on()) {
+      r->note_missed_off();
+      ++stats_.losses_radio_off;
+      sim::trace_instant(
+          end, sim::TraceEvent::kChannelDrop, r->id(), from_id,
+          static_cast<std::uint64_t>(sim::TraceDropReason::kRadioOff));
+      continue;
+    }
+    if (check_collisions) {
+      const bool hit = batched && !moved_in_delivery_
+                           ? verdicts_[i] != 0
+                           : collided(*r);
+      if (hit) {
         r->note_loss();
         ++stats_.losses_collision;
         sim::trace_instant(
-            end, sim::TraceEvent::kChannelDrop, r->id(), from.id(),
+            end, sim::TraceEvent::kChannelDrop, r->id(), from_id,
             static_cast<std::uint64_t>(sim::TraceDropReason::kCollision));
         continue;
       }
-      const std::uint64_t burst_before = stats_.losses_burst;
-      if (drop_random(from.id(), r->id())) {
-        r->note_loss();
-        sim::trace_instant(
-            end, sim::TraceEvent::kChannelDrop, r->id(), from.id(),
-            static_cast<std::uint64_t>(stats_.losses_burst != burst_before
-                                           ? sim::TraceDropReason::kBurst
-                                           : sim::TraceDropReason::kRandom));
-        continue;
-      }
-      ++stats_.deliveries;
-      sim::trace_instant(end, sim::TraceEvent::kChannelDeliver, r->id(),
-                         from.id(), tx_bytes);
-      r->deliver(packet, start, end);
     }
-    in_delivery_ = false;
-    dead_in_delivery_.clear();
-    prune_active(sched_.now());
-  });
+    const std::uint64_t burst_before = stats_.losses_burst;
+    if (drop_random(from_id, r->id())) {
+      r->note_loss();
+      sim::trace_instant(
+          end, sim::TraceEvent::kChannelDrop, r->id(), from_id,
+          static_cast<std::uint64_t>(stats_.losses_burst != burst_before
+                                         ? sim::TraceDropReason::kBurst
+                                         : sim::TraceDropReason::kRandom));
+      continue;
+    }
+    ++stats_.deliveries;
+    sim::trace_instant(end, sim::TraceEvent::kChannelDeliver, r->id(),
+                       from_id, tx_bytes);
+    r->deliver(packet, tx_bytes, air_s, start, end);
+  }
+  in_delivery_ = false;
+}
+
+void Channel::ensure_probe_cache(Radio& from, sim::CellCoord c) {
+  // The cache self-validates against the cell coordinate (mobility-safe) and
+  // creating missing buckets up front keeps it valid as cells fill later
+  // (the map never erases buckets and keeps references stable across rehash).
+  if (from.probe_cache_ok_ && from.probe_cell_ == c) return;
+  std::size_t k = 0;
+  for (std::int32_t dy = -1; dy <= 1; ++dy) {
+    for (std::int32_t dx = -1; dx <= 1; ++dx) {
+      const std::uint64_t key = sim::cell_key({c.x + dx, c.y + dy});
+      from.probe_cache_[k++] = &active_cells_.try_emplace(key).first->second;
+    }
+  }
+  from.probe_cell_ = c;
+  from.probe_cache_ok_ = true;
 }
 
 void Channel::gather_interferers(const ActiveTx& me, Radio& from) {
@@ -381,20 +692,9 @@ void Channel::gather_interferers(const ActiveTx& me, Radio& from) {
   const sim::CellCoord c = sim::cell_of(me.pos, active_cell_size_);
   if (reach == 1) {
     // Common case (active_cell_size_ == 2 * comm_range): the probe pattern
-    // is a fixed 3x3, so the sender caches the nine bucket pointers. The
-    // cache self-validates against the cell coordinate (mobility-safe) and
-    // creating missing buckets up front keeps it valid as cells fill later.
-    if (!from.probe_cache_ok_ || !(from.probe_cell_ == c)) {
-      std::size_t k = 0;
-      for (std::int32_t dy = -1; dy <= 1; ++dy) {
-        for (std::int32_t dx = -1; dx <= 1; ++dx) {
-          const std::uint64_t key = sim::cell_key({c.x + dx, c.y + dy});
-          from.probe_cache_[k++] = &active_cells_.try_emplace(key).first->second;
-        }
-      }
-      from.probe_cell_ = c;
-      from.probe_cache_ok_ = true;
-    }
+    // is a fixed 3x3, so the sender caches the nine bucket pointers (shared
+    // with carrier sense, which probes the same cells).
+    ensure_probe_cache(from, c);
     for (const auto* bucket : from.probe_cache_) scan(*bucket);
     return;
   }
@@ -418,6 +718,19 @@ bool Channel::collided(const Radio& receiver) const {
   return false;
 }
 
+bool Channel::collided_at(double rx, double ry) const {
+  for (const auto& pos : interferers_scratch_) {
+    const double ddx = pos.x - rx;
+    const double ddy = pos.y - ry;
+    const double d2 = ddx * ddx + ddy * ddy;
+    if (d2 > range_hi2_) continue;  // certainly out of range
+    if (d2 < range_lo2_) return true;  // certainly within
+    // Boundary band: the exact verdict, same FP comparison as collided().
+    if (sim::distance(pos, {rx, ry}) <= cfg_.comm_range) return true;
+  }
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // Radio
 
@@ -437,18 +750,20 @@ bool Radio::send(Packet packet) {
   return true;
 }
 
-void Radio::note_sent(const Packet& p, sim::Time start, sim::Time end) {
+void Radio::note_sent(const Packet& p, std::uint32_t total_bytes,
+                      sim::Time start, sim::Time end) {
   ++stats_.packets_sent;
-  stats_.bytes_sent += p.total_bytes();
+  stats_.bytes_sent += total_bytes;
   for (const auto& m : p.messages) ++stats_.messages_sent[type_index(m)];
   if (on_airtime_) on_airtime_((end - start).to_seconds(), /*is_tx=*/true);
   if (on_activity_) on_activity_(start, end, /*is_tx=*/true);
 }
 
-void Radio::deliver(const Packet& p, sim::Time start, sim::Time end) {
+void Radio::deliver(const Packet& p, std::uint32_t total_bytes, double air_s,
+                    sim::Time start, sim::Time end) {
   ++stats_.packets_received;
-  stats_.bytes_received += p.total_bytes();
-  if (on_airtime_) on_airtime_((end - start).to_seconds(), /*is_tx=*/false);
+  stats_.bytes_received += total_bytes;
+  if (on_airtime_) on_airtime_(air_s, /*is_tx=*/false);
   if (on_activity_) on_activity_(start, end, /*is_tx=*/false);
   if (on_receive_) on_receive_(p);
 }

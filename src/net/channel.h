@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -67,6 +66,16 @@ struct ChannelConfig {
   /// linear path exactly; the flag exists for the determinism test and for
   /// A/B timing in the bench harness.
   bool use_spatial_index = true;
+  /// Batched delivery fan-out: precompute every receiver's collision verdict
+  /// in one branch-light pass over the structure-of-arrays recipient
+  /// snapshot (squared-distance fast path, exact test only in the float
+  /// boundary band) before any protocol handler runs, then walk the accepted
+  /// receivers. Off reproduces the scalar per-receiver loop (verdict
+  /// computed at the receiver's turn). Results are bit-identical either way
+  /// — the RNG draw order per receiver, the skip conditions, and the exact
+  /// FP comparisons all match; the flag exists for the determinism suite and
+  /// A/B timing, like use_spatial_index.
+  bool batched_delivery = true;
 };
 
 /// Global channel statistics, used by the overhead figures.
@@ -126,9 +135,44 @@ class Channel {
 
   using ActiveTx = detail::ActiveTx;
 
+  /// Per-cell radio state, structure-of-arrays: the coordinates live beside
+  /// the pointers so range queries scan two contiguous double arrays and only
+  /// dereference a Radio that actually matches. `radios[i]`'s position is
+  /// exactly (xs[i], ys[i]); each radio knows its slot (cell_slot_) so
+  /// erasure is an O(1) swap-remove — bucket order is arbitrary, queries
+  /// re-sort matches by registration sequence anyway.
+  struct CellBucket {
+    std::vector<Radio*> radios;
+    std::vector<double> xs;
+    std::vector<double> ys;
+    /// radios[i]->reg_seq_, mirrored so the snapshot gather can sort
+    /// candidates into registration order without dereferencing any Radio
+    /// (the comparator used to pointer-chase two cache lines per compare).
+    std::vector<std::uint64_t> seqs;
+  };
+
+  /// One snapshot-gather candidate, self-contained so the post-gather sort
+  /// and the SoA fill never touch a Radio object.
+  struct SnapCand {
+    std::uint64_t seq;
+    Radio* radio;
+    double x, y;
+  };
+
   void start_send(Radio& from, Packet packet, int attempt);
   void begin_transmission(Radio& from, Packet packet);
-  bool medium_busy_near(const sim::Position& pos) const;
+  /// The transmission-end fan-out: snapshot recipients, gather interferers
+  /// once, resolve per-receiver verdicts, run handlers for accepted
+  /// receivers. `tx_bytes` is the packet size computed once at send time.
+  void deliver_transmission(Radio& from, const Packet& packet, sim::Time start,
+                            sim::Time end, std::uint32_t tx_bytes);
+  /// Carrier sense around the sending radio's position. Takes the radio
+  /// (not just a position) so the common 3x3 case can reuse the sender's
+  /// cached active-cell bucket pointers instead of hashing per probe.
+  bool medium_busy_near(Radio& from);
+  /// (Re)build `from`'s 3x3 active-cell bucket-pointer cache around cell
+  /// `c`; shared by carrier sense and the interferer gather.
+  void ensure_probe_cache(Radio& from, sim::CellCoord c);
   /// Collect into `interferers_scratch_` every active transmission that
   /// temporally overlaps `me` and could reach any receiver of `me` (i.e.
   /// within 2x comm_range of the sender — the union of all receivers'
@@ -138,6 +182,11 @@ class Channel {
   /// Did any gathered interferer reach this receiver? Exact distance test,
   /// so the verdict is identical whichever superset the gather produced.
   bool collided(const Radio& receiver) const;
+  /// Same verdict for a receiver at (rx, ry), via the squared-distance fast
+  /// path: distances outside the float boundary band around comm_range are
+  /// decided without a sqrt, the band falls back to the exact test, so the
+  /// verdict is bit-identical to collided().
+  bool collided_at(double rx, double ry) const;
   /// Sample the non-collision loss processes for one delivery attempt on the
   /// directed link src -> dst (mutates the burst state chain). Returns true
   /// when the packet is lost and bumps the matching stats counter.
@@ -148,26 +197,41 @@ class Channel {
   void move_radio(Radio* r, const sim::Position& p);
 
   // --- Spatial index -------------------------------------------------------
-  // Radios bucket into cells of side comm_range (range queries visit 3x3).
-  // Active transmissions bucket into coarser cells of side 2*comm_range:
-  // their queries use larger radii (interference horizon 2r, carrier sense
-  // 1.5r), and the coarse grid covers both with a 3x3 probe instead of 5x5.
-  // Invariants: every registered radio appears in exactly the cell bucket of
-  // its current position; `registered_` mirrors `radios_` as a set; bucket
-  // order is arbitrary (queries re-sort candidates by registration sequence
-  // to reproduce the linear scan's visit order bit for bit). Active
-  // transmissions are double-booked in `active_` and `active_cells_` and
-  // pruned together with the same predicate, so grid queries see exactly the
-  // transmissions the linear scan would.
+  // Radios bucket into SoA cells of side comm_range (range queries visit
+  // 3x3). Active transmissions bucket into coarser cells of side
+  // 2*comm_range: their queries use larger radii (interference horizon 2r,
+  // carrier sense 1.5r), and the coarse grid covers both with a 3x3 probe
+  // instead of 5x5. Invariants: every registered radio appears in exactly
+  // the cell bucket of its current position, at the slot its cell_slot_
+  // names, with its coordinates mirrored in the bucket's xs/ys;
+  // `registered_` mirrors `radios_` as a set; bucket order is arbitrary
+  // (queries re-sort candidates by registration sequence to reproduce the
+  // linear scan's visit order bit for bit). Active transmissions are
+  // double-booked in `active_` and `active_cells_` and pruned together with
+  // the same predicate, so grid queries see exactly the transmissions the
+  // linear scan would.
   std::uint64_t cell_for(const sim::Position& p) const;
   std::uint64_t active_cell_for(const sim::Position& p) const;
   void grid_insert(Radio* r);
   void grid_erase(Radio* r);
   /// Fill `out` with the registered radios within `range` of `pos`, in
-  /// registration order. Used by the delivery loop and neighbors_of; the
-  /// snapshot is immune to register/unregister during delivery callbacks.
+  /// registration order. Used by neighbors_of and the snapshot gather; the
+  /// grid path pre-filters candidates on squared distance (with a boundary
+  /// band falling back to the exact test) so far radios are skipped without
+  /// a sqrt or a Radio dereference.
   void radios_in_range(const sim::Position& pos, double range,
                        std::vector<Radio*>& out) const;
+  /// radios_in_range plus the matched positions, SoA. Feeds the delivery
+  /// loop and the per-radio neighbor cache; immune to register/unregister
+  /// during delivery callbacks (the loop walks the snapshot, not the index).
+  void snapshot_in_range(const sim::Position& pos, double range,
+                         RadioSnapshot& out) const;
+  /// Summed modification counters of the 3x3 radio cells around `r`'s
+  /// current position, read through r's cached counter pointers (rebuilt
+  /// when r changes cell). Strictly increases whenever any radio that could
+  /// be in r's range registers, unregisters, or moves — the neighbor-cache
+  /// validity signature.
+  std::uint64_t neighborhood_sig(Radio& r);
   void prune_active(sim::Time now);
 
   sim::Scheduler& sched_;
@@ -176,22 +240,133 @@ class Channel {
   ChannelStats stats_;
   std::vector<Radio*> radios_;  //!< registration order (delivery visit order)
   std::vector<ActiveTx> active_;  //!< pruned lazily
-  /// Gilbert–Elliott state per directed link; absent entries are good.
-  std::map<std::pair<NodeId, NodeId>, bool> link_bad_;
+  /// Per-directed-link loss state, keyed (src << 32 | dst): the
+  /// Gilbert–Elliott burst chain position plus the cached asymmetric extra
+  /// loss (a pure hash of the endpoint pair, memoized here so the hot loss
+  /// path computes it once per link instead of once per delivery attempt).
+  /// Absent links are good. Open-addressing linear probing over a
+  /// power-of-two slot array at <= 0.5 load: this is probed once per
+  /// (delivery, receiver) when burst loss is on, and the node-based
+  /// unordered_map it replaces (prime-modulo bucket index plus a pointer
+  /// chase per probe) was a measured top cost of the delivery fan-out.
+  /// Iteration order is never observed, so the layout cannot perturb
+  /// seeded runs.
+  struct LinkStateTable {
+    struct Slot {
+      std::uint64_t key = 0;
+      float extra = -1.0f;     //!< link_extra_loss, < 0 = not yet computed
+      std::uint8_t state = 0;  //!< 0 = empty, 1 = good, 2 = bad
+    };
+    std::vector<Slot> slots;
+    std::size_t used = 0;
+
+    /// SplitMix64 finalizer; the raw key's low bits are just the dst id.
+    static std::uint64_t mix(std::uint64_t k) {
+      k += 0x9E3779B97F4A7C15ull;
+      k = (k ^ (k >> 30)) * 0xBF58476D1CE4E5B9ull;
+      k = (k ^ (k >> 27)) * 0x94D049BB133111EBull;
+      return k ^ (k >> 31);
+    }
+
+    /// True iff the link has a state entry and it is bad. Read-only probe.
+    bool bad(std::uint64_t key) const {
+      if (slots.empty()) return false;
+      const std::size_t mask = slots.size() - 1;
+      for (std::size_t i = static_cast<std::size_t>(mix(key)) & mask;;
+           i = (i + 1) & mask) {
+        const Slot& s = slots[i];
+        if (s.state == 0) return false;
+        if (s.key == key) return s.state == 2;
+      }
+    }
+
+    /// Find-or-insert; new links start good with the extra loss unset. The
+    /// returned reference stays valid until the next slot() call (growth
+    /// happens only on entry).
+    Slot& slot(std::uint64_t key) {
+      if (slots.size() < 2 * (used + 1)) grow();
+      const std::size_t mask = slots.size() - 1;
+      for (std::size_t i = static_cast<std::size_t>(mix(key)) & mask;;
+           i = (i + 1) & mask) {
+        Slot& s = slots[i];
+        if (s.state == 0) {
+          s.key = key;
+          s.state = 1;
+          ++used;
+          return s;
+        }
+        if (s.key == key) return s;
+      }
+    }
+
+    void grow() {
+      std::vector<Slot> old = std::move(slots);
+      slots.assign(old.empty() ? 1024 : old.size() * 2, Slot{});
+      const std::size_t mask = slots.size() - 1;
+      for (const Slot& s : old) {
+        if (s.state == 0) continue;
+        std::size_t i = static_cast<std::size_t>(mix(s.key)) & mask;
+        while (slots[i].state != 0) i = (i + 1) & mask;
+        slots[i] = s;
+      }
+    }
+  };
+  LinkStateTable link_bad_;
 
   bool grid_on_ = false;
   double cell_size_ = 0.0;         //!< radio cells: comm_range
   double active_cell_size_ = 0.0;  //!< active-tx cells: 2 * comm_range
-  /// Bumped on every registration, unregistration, and position change;
-  /// per-radio neighbor caches are valid only while their stamp matches.
-  std::uint64_t topology_epoch_ = 1;
+  /// Squared comm_range boundary band for the no-sqrt distance verdicts:
+  /// d2 > range_hi2_ is certainly out of range, d2 < range_lo2_ certainly
+  /// in; only the (ulp-dominating, practically never hit except by exact
+  /// boundary placements) band between runs the exact sqrt comparison.
+  double range_lo2_ = 0.0;
+  double range_hi2_ = 0.0;
+  /// Per radio-cell modification counter, bumped whenever a radio registers
+  /// into, unregisters from, or moves within/into/out of the cell. A
+  /// sender's neighbor cache is valid while the summed counters of its 3x3
+  /// cells are unchanged (every in-range radio lives in one of them) — a
+  /// topology change in a far cell leaves the cache warm, where the previous
+  /// channel-global epoch invalidated every cache in the deployment on any
+  /// crash. Entries are created up front (including for still-empty cells a
+  /// radio may later register into) and never erased, so per-radio cached
+  /// pointers into this map cannot dangle.
+  std::unordered_map<std::uint64_t, std::uint64_t> cell_mod_;
+  /// Bumped once per operation that bumps any cell_mod_ counter. A sender
+  /// whose cached count matches can skip even the nine per-cell counter
+  /// loads — in a static deployment between faults, cache validation is a
+  /// single compare. Under constant mobility this check always fails and
+  /// the cost degrades to exactly the per-cell path.
+  std::uint64_t topo_mods_ = 0;
+  /// Bumped on every unregister. A delivery event whose captured count is
+  /// unchanged at fire time knows its sender (registered when the packet
+  /// hit the air) is still alive without probing `registered_`.
+  std::uint64_t unregistrations_ = 0;
   std::uint64_t next_reg_seq_ = 0;
-  std::unordered_map<std::uint64_t, std::vector<Radio*>> cells_;
+  std::unordered_map<std::uint64_t, CellBucket> cells_;
   std::unordered_map<std::uint64_t, std::vector<ActiveTx>> active_cells_;
+  /// The active-cell buckets currently holding entries, so pruning visits
+  /// only them. The map itself never erases buckets (probe caches hold
+  /// pointers into it), and walking every bucket the deployment ever touched
+  /// on each delivery was the single hottest line of the old delivery path.
+  /// A bucket enters on its empty -> non-empty transition and leaves when a
+  /// prune finds it drained; list order is irrelevant (queries read the map,
+  /// never this list).
+  std::vector<std::vector<ActiveTx>*> active_nonempty_;
   /// Recipient snapshot reused across delivery events (one live use at a
   /// time: nested channel work from receive handlers never re-enters the
   /// delivery gather synchronously — new transmissions resolve later).
-  std::vector<Radio*> delivery_scratch_;
+  /// Radios destroyed by a receive handler mid-loop null their own slot via
+  /// (delivery_stamp_, delivery_slot_), so the per-recipient liveness check
+  /// is a pointer test — O(1) per death instead of the previous
+  /// O(deaths x receivers) dead-list scan under a mass-crash FaultPlan.
+  RadioSnapshot delivery_scratch_;
+  /// Per-receiver collision verdicts of the batched pass (parallel to
+  /// delivery_scratch_; single-use like it).
+  std::vector<std::uint8_t> verdicts_;
+  /// Candidate scratch for snapshot_in_range's gather-then-sort (reused
+  /// across calls to keep cache rebuilds allocation-free).
+  mutable std::vector<SnapCand> snap_scratch_;
   /// Positions of interferer candidates for the delivery event in flight
   /// (same single-use discipline as delivery_scratch_; the per-receiver test
   /// only needs positions, and the compact layout keeps its scan tight).
@@ -199,13 +374,18 @@ class Channel {
   /// Liveness check for the delivery snapshot: a radio destroyed by a
   /// receive handler (crash under a FaultPlan) unregisters itself and must
   /// be skipped instead of dereferenced. `registered_` answers "is this
-  /// sender still alive" once per delivery event; `dead_in_delivery_`
-  /// records radios torn down while the recipient loop is running, so the
-  /// per-recipient liveness check is an empty-vector test instead of a hash
-  /// probe.
+  /// sender still alive" once per delivery event (paired with a reg_seq
+  /// cross-check so a recycled allocation cannot impersonate the sender).
   std::unordered_set<const Radio*> registered_;
   bool in_delivery_ = false;
-  std::vector<const Radio*> dead_in_delivery_;
+  /// Monotone delivery counter; radios stamped with the current value are in
+  /// the live delivery snapshot (see delivery_stamp_ in Radio).
+  std::uint64_t delivery_seq_ = 0;
+  /// A receiver moved mid-loop (handler-driven set_position): precomputed
+  /// batched verdicts may be stale for not-yet-served receivers, so the rest
+  /// of the loop falls back to the exact per-receiver test — behavior stays
+  /// identical to the scalar path.
+  bool moved_in_delivery_ = false;
   /// Deliveries since the last prune of a large active list (prune cadence
   /// is amortized once the list is big; see prune_active).
   std::uint32_t prune_skips_ = 0;

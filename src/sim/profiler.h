@@ -13,7 +13,31 @@
 #include <chrono>
 #include <cstdint>
 
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
 namespace enviromic::sim {
+
+namespace detail {
+/// Scope timestamps. On x86-64 this is a raw TSC read (~a quarter of a
+/// clock_gettime vDSO call): scopes open around *every* scheduler callback
+/// and nest per delivered packet, so the read cost is charged to whichever
+/// tag encloses it and directly pollutes the attribution it exists to
+/// measure. Ticks are converted to nanoseconds at report time against a
+/// steady_clock baseline (invariant TSC makes the rate constant). Elsewhere
+/// it falls back to steady_clock nanoseconds, making the conversion a no-op.
+inline std::uint64_t prof_ticks() {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+}  // namespace detail
 
 enum class ProfTag : std::uint8_t {
   kEventQueue = 0,    // heap push/pop bookkeeping in Scheduler/EventQueue
@@ -62,11 +86,13 @@ class Profiler {
   bool enabled() const { return enabled_; }
 
   void reset() {
-    self_ns_.fill(0);
+    self_ticks_.fill(0);
     fires_.fill(0);
     total_ns_ = 0;
     total_fires_ = 0;
     current_child_ = nullptr;
+    cal_ticks_ = detail::prof_ticks();
+    cal_wall_ = std::chrono::steady_clock::now();
   }
 
   // Called by Scheduler around the run loop; the delta covers everything the
@@ -77,12 +103,23 @@ class Profiler {
   }
 
   Report report() const {
+    // Calibrate ticks -> ns over the enable()..report() interval; the TSC
+    // rate is constant, so any interval longer than the run works and a
+    // longer one is only more precise. On the steady_clock fallback ticks
+    // already are nanoseconds and the ratio lands at ~1.
+    const std::uint64_t dticks = detail::prof_ticks() - cal_ticks_;
+    const auto dwall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - cal_wall_)
+                           .count();
+    const double ns_per_tick =
+        dticks > 0 ? static_cast<double>(dwall) / static_cast<double>(dticks)
+                   : 1.0;
     Report r;
     r.total_ms = total_ns_ * 1e-6;
     r.fires = total_fires_;
     double accounted = 0.0;
     for (std::size_t i = 0; i < kTags; ++i) {
-      double ms = self_ns_[i] * 1e-6;
+      double ms = static_cast<double>(self_ticks_[i]) * ns_per_tick * 1e-6;
       accounted += ms;
       r.lines[i] = {prof_tag_name(static_cast<ProfTag>(i)), fires_[i], ms,
                     r.total_ms > 0 ? 100.0 * ms / r.total_ms : 0.0};
@@ -97,11 +134,13 @@ class Profiler {
  private:
   friend class ProfileScope;
   bool enabled_ = false;
-  std::array<std::int64_t, kTags> self_ns_{};
+  std::array<std::int64_t, kTags> self_ticks_{};
   std::array<std::uint64_t, kTags> fires_{};
   std::int64_t total_ns_ = 0;
   std::uint64_t total_fires_ = 0;
   std::int64_t* current_child_ = nullptr;  // innermost live scope's child sink
+  std::uint64_t cal_ticks_ = 0;  // ticks/wall pair at reset(), for the
+  std::chrono::steady_clock::time_point cal_wall_{};  // report-time ratio
 };
 
 // RAII self-time scope. One branch when profiling is off.
@@ -112,17 +151,15 @@ class ProfileScope {
     active_ = true;
     tag_ = tag;
     parent_child_ = p_.current_child_;
-    p_.current_child_ = &child_ns_;
-    start_ = std::chrono::steady_clock::now();
+    p_.current_child_ = &child_ticks_;
+    start_ = detail::prof_ticks();
   }
   ~ProfileScope() {
     if (!active_) return;
-    auto end = std::chrono::steady_clock::now();
-    std::int64_t elapsed =
-        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
-            .count();
+    const std::int64_t elapsed =
+        static_cast<std::int64_t>(detail::prof_ticks() - start_);
     p_.current_child_ = parent_child_;
-    p_.self_ns_[static_cast<std::size_t>(tag_)] += elapsed - child_ns_;
+    p_.self_ticks_[static_cast<std::size_t>(tag_)] += elapsed - child_ticks_;
     ++p_.fires_[static_cast<std::size_t>(tag_)];
     if (parent_child_) *parent_child_ += elapsed;
   }
@@ -133,9 +170,9 @@ class ProfileScope {
   Profiler& p_;
   bool active_ = false;
   ProfTag tag_{};
-  std::int64_t child_ns_ = 0;
+  std::int64_t child_ticks_ = 0;
   std::int64_t* parent_child_ = nullptr;
-  std::chrono::steady_clock::time_point start_{};
+  std::uint64_t start_ = 0;
 };
 
 }  // namespace enviromic::sim

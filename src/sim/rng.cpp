@@ -25,34 +25,12 @@ std::uint64_t fnv1a(std::string_view s) {
   return h;
 }
 
-std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t x = seed;
   for (auto& s : s_) s = splitmix64(x);
 }
-
-std::uint64_t Rng::next_u64() {
-  // xoshiro256**
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 high bits -> [0, 1)
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) { return lo + uniform() * (hi - lo); }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   assert(lo <= hi);
@@ -83,12 +61,6 @@ double Rng::normal(double mu, double sigma) {
   const double u2 = uniform();
   const double mag = std::sqrt(-2.0 * std::log(u1));
   return mu + sigma * mag * std::cos(2.0 * std::numbers::pi * u2);
-}
-
-bool Rng::chance(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform() < p;
 }
 
 Rng Rng::fork(std::string_view tag) const {

@@ -16,14 +16,29 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed);
 
-  /// Raw 64 random bits.
-  std::uint64_t next_u64();
+  /// Raw 64 random bits. Inline: the channel's loss models draw per
+  /// (delivery, receiver), and the out-of-line call was measurable there.
+  std::uint64_t next_u64() {
+    // xoshiro256**
+    const std::uint64_t result = rotl_(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl_(s_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1).
-  double uniform();
+  double uniform() {
+    // 53 high bits -> [0, 1)
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) { return lo + uniform() * (hi - lo); }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
@@ -36,7 +51,11 @@ class Rng {
   double normal(double mu = 0.0, double sigma = 1.0);
 
   /// Bernoulli trial.
-  bool chance(double p);
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
 
   /// Derive an independent deterministic stream for a sub-component.
   /// The tag is hashed (FNV-1a) into the child seed so call order of other
@@ -47,6 +66,10 @@ class Rng {
   Rng fork(std::uint64_t id) const;
 
  private:
+  static std::uint64_t rotl_(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
   std::uint64_t seed_;
 };

@@ -254,6 +254,206 @@ TEST(Channel, RadioDestroyedByReceiveHandlerDuringDelivery) {
   EXPECT_EQ(d_received, 1);  // later recipients still served
 }
 
+TEST(Channel, MassCrashDuringDeliveryServesExactlyTheSurvivors) {
+  // Regression for the O(deaths x receivers) dead-list scan: a fault handler
+  // that crashes a whole cell mid-delivery must leave the loop serving every
+  // survivor exactly once and no destroyed radio at all, whatever the crash
+  // count. Radios now null their own snapshot slot in O(1) on unregister.
+  ChannelFixture f;
+  auto sender = f.channel->create_radio(1, {0, 0});
+  std::vector<std::unique_ptr<Radio>> radios;
+  std::vector<int> received(64, 0);
+  for (NodeId id = 2; id <= 50; ++id) {
+    radios.push_back(f.channel->create_radio(id, {0.1 * id, 0.0}));
+    radios.back()->set_receive_handler(
+        [&received, id](const Packet&) { ++received[id]; });
+  }
+  // The first receiver in registration order tears down every third radio
+  // registered after it — 16 deaths inside one delivery loop.
+  radios[0]->set_receive_handler([&](const Packet&) {
+    ++received[2];
+    for (std::size_t i = 1; i < radios.size(); i += 3) radios[i].reset();
+  });
+  sender->send(f.packet_from(1));
+  f.sched.run();
+  std::uint64_t live = 0;
+  for (NodeId id = 2; id <= 50; ++id) {
+    const std::size_t slot = static_cast<std::size_t>(id) - 2;
+    const bool crashed = slot >= 1 && (slot - 1) % 3 == 0;
+    if (crashed) {
+      EXPECT_EQ(received[id], 0) << "delivered to dead radio " << id;
+    } else {
+      EXPECT_EQ(received[id], 1) << "skipped live radio " << id;
+      ++live;
+    }
+  }
+  EXPECT_EQ(f.channel->stats().deliveries, live);
+}
+
+TEST(Channel, NeighborCacheInvalidatedByMidDeliveryUnregister) {
+  // A permanent crash that unregisters a radio from inside the delivery loop
+  // must invalidate the sender's cached neighbor snapshot before the next
+  // send: the dead radio may not be revisited, and a replacement registered
+  // afterwards must be found.
+  ChannelFixture f;
+  auto sender = f.channel->create_radio(1, {0, 0});
+  // The witness registers first, so the delivery loop serves it before the
+  // victim and its handler can tear the victim down mid-loop.
+  auto witness = f.channel->create_radio(2, {2, 0});
+  auto victim = f.channel->create_radio(3, {1, 0});
+  int witness_received = 0, victim_received = 0;
+  // Warm the sender's neighbor cache with a first broadcast.
+  witness->set_receive_handler([&](const Packet&) { ++witness_received; });
+  victim->set_receive_handler([&](const Packet&) { ++victim_received; });
+  sender->send(f.packet_from(1));
+  f.sched.run();
+  EXPECT_EQ(witness_received, 1);
+  EXPECT_EQ(victim_received, 1);
+  // Second broadcast: the witness's handler kills the victim mid-loop, so
+  // the victim's (already-snapshotted) slot must be skipped.
+  witness->set_receive_handler([&](const Packet&) {
+    ++witness_received;
+    victim.reset();
+  });
+  sender->send(f.packet_from(1));
+  f.sched.run();
+  EXPECT_EQ(victim, nullptr);
+  EXPECT_EQ(witness_received, 2);
+  EXPECT_EQ(victim_received, 1);
+  // Third broadcast with no topology change since: if the mid-loop
+  // unregister had not bumped the epoch, the sender's cached snapshot would
+  // still hold the dangling victim pointer.
+  witness->set_receive_handler([&](const Packet&) { ++witness_received; });
+  sender->send(f.packet_from(1));
+  f.sched.run();
+  EXPECT_EQ(witness_received, 3);
+  // And a radio registered afterwards is picked up by the refreshed cache.
+  auto late = f.channel->create_radio(4, {3, 0});
+  int late_received = 0;
+  late->set_receive_handler([&](const Packet&) { ++late_received; });
+  sender->send(f.packet_from(1));
+  f.sched.run();
+  EXPECT_EQ(witness_received, 4);
+  EXPECT_EQ(late_received, 1);
+  EXPECT_EQ(f.channel->stats().deliveries, 6u);
+}
+
+namespace {
+void expect_same_stats(const ChannelStats& a, const ChannelStats& b) {
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.losses_random, b.losses_random);
+  EXPECT_EQ(a.losses_collision, b.losses_collision);
+  EXPECT_EQ(a.losses_radio_off, b.losses_radio_off);
+  EXPECT_EQ(a.losses_burst, b.losses_burst);
+}
+
+void expect_same_stats(const RadioStats& a, const RadioStats& b) {
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.packets_received, b.packets_received);
+  EXPECT_EQ(a.packets_missed_off, b.packets_missed_off);
+  EXPECT_EQ(a.packets_lost, b.packets_lost);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.bytes_received, b.bytes_received);
+}
+
+/// Heterogeneous broadcast scenario: hidden-terminal collisions, random and
+/// burst losses, powered-off receivers — every delivery-loop branch at once.
+/// Returns (channel stats, per-radio stats in id order).
+std::pair<ChannelStats, std::vector<RadioStats>> run_heterogeneous(
+    bool batched) {
+  auto cfg = ChannelFixture::make_default();
+  cfg.batched_delivery = batched;
+  cfg.carrier_sense_factor = 1.0;
+  cfg.loss_probability = 0.2;
+  cfg.burst.enabled = true;
+  cfg.burst.p_good_to_bad = 0.2;
+  cfg.burst.p_bad_to_good = 0.4;
+  cfg.burst.loss_bad = 0.8;
+  cfg.link_asymmetry_max = 0.3;
+  ChannelFixture f(cfg);
+  // Hidden terminals a (id 1) and e (id 5) straddle a line of receivers.
+  auto a = f.channel->create_radio(1, {0, 0});
+  auto b = f.channel->create_radio(2, {6, 0});
+  auto c = f.channel->create_radio(3, {9, 0});
+  auto d = f.channel->create_radio(4, {12, 0});
+  auto e = f.channel->create_radio(5, {18, 0});
+  auto off = f.channel->create_radio(6, {3, 0});
+  off->set_on(false);
+  for (int round = 0; round < 200; ++round) {
+    f.sched.after(sim::Time::millis(10 * round), [&] {
+      a->send(f.packet_from(1));
+      e->send(f.packet_from(5));
+    });
+  }
+  f.sched.run();
+  std::vector<RadioStats> per_radio{a->stats(), b->stats(), c->stats(),
+                                    d->stats(), e->stats(), off->stats()};
+  return {f.channel->stats(), per_radio};
+}
+}  // namespace
+
+TEST(Channel, BatchedDeliveryMatchesScalarPathExactly) {
+  // Same seed, same scenario: the batched fan-out (one packet sizing, one
+  // interferer gather, precomputed collision verdicts) must be bit-identical
+  // to the per-receiver scalar path — same RNG draw order, same counters.
+  const auto batched = run_heterogeneous(true);
+  const auto scalar = run_heterogeneous(false);
+  expect_same_stats(batched.first, scalar.first);
+  ASSERT_EQ(batched.second.size(), scalar.second.size());
+  for (std::size_t i = 0; i < batched.second.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_same_stats(batched.second[i], scalar.second[i]);
+  }
+  EXPECT_GT(batched.first.losses_collision, 0u);
+  EXPECT_GT(batched.first.losses_burst, 0u);
+  EXPECT_GT(batched.first.losses_random, 0u);
+  EXPECT_GT(batched.first.losses_radio_off, 0u);
+  EXPECT_GT(batched.first.deliveries, 0u);
+}
+
+TEST(Channel, DeliveryOrderAtCellBoundariesIsRegistrationOrder) {
+  // Receivers sitting exactly on grid-cell edges and exactly at comm_range
+  // (the squared-distance boundary band) must be served in registration
+  // order with any combination of index/batching, so RNG consumers observe
+  // the same draw sequence.
+  std::vector<std::vector<NodeId>> orders;
+  for (const bool spatial : {true, false}) {
+    for (const bool batched : {true, false}) {
+      auto cfg = ChannelFixture::make_default();
+      cfg.use_spatial_index = spatial;
+      cfg.batched_delivery = batched;
+      ChannelFixture f(cfg);
+      auto sender = f.channel->create_radio(1, {0, 0});
+      // Registration order deliberately differs from id and spatial order;
+      // cell side is comm_range (10), so x in {10, -10, 0} are cell edges
+      // and (10, 0) is exactly at range.
+      const std::vector<std::pair<NodeId, sim::Position>> layout = {
+          {7, {10.0, 0.0}},  {3, {-10.0, 0.0}}, {9, {0.0, 10.0}},
+          {2, {5.0, 5.0}},   {8, {0.0, -10.0}}, {4, {10.0, 0.0}},
+          {6, {-5.0, 5.0}},  {5, {0.0, 0.0}},
+      };
+      std::vector<std::unique_ptr<Radio>> keep;
+      std::vector<NodeId> order;
+      for (const auto& [id, pos] : layout) {
+        keep.push_back(f.channel->create_radio(id, pos));
+        keep.back()->set_receive_handler(
+            [&order, id = id](const Packet&) { order.push_back(id); });
+      }
+      sender->send(f.packet_from(1));
+      f.sched.run();
+      EXPECT_EQ(order.size(), layout.size());
+      orders.push_back(std::move(order));
+    }
+  }
+  for (std::size_t i = 1; i < orders.size(); ++i) {
+    EXPECT_EQ(orders[i], orders[0]) << "config " << i;
+  }
+  // Registration order, by construction of the layout above.
+  EXPECT_EQ(orders[0],
+            (std::vector<NodeId>{7, 3, 9, 2, 8, 4, 6, 5}));
+}
+
 TEST(Channel, IdRebindsToNextRadioAfterUnregister) {
   ChannelFixture f;
   auto a = f.channel->create_radio(1, {0, 0});

@@ -63,7 +63,7 @@ void usage() {
       "      .jsonl extension dumps raw records, anything else writes\n"
       "      Chrome-trace JSON (open in Perfetto / chrome://tracing)\n"
       "  --trace-sample-interval <seconds>        per-node counter samples\n"
-      "      in the trace (chaos scenario; 0 = off, default)\n"
+      "      in the trace (chaos scenario; > 0, off by default)\n"
       "  --faults k=v[,k=v...]                    fault plan; implies chaos\n"
       "      keys: crash downtime permanent lose_data brownout brownout_len\n"
       "            clockstep clockstep_max burst pgb pbg loss_bad loss_good\n"
@@ -147,6 +147,11 @@ bool parse(int argc, char** argv, Args& args) {
       args.trace_path = next("--trace");
     } else if (a == "--trace-sample-interval") {
       args.trace_sample_s = std::atof(next("--trace-sample-interval"));
+      if (args.trace_sample_s <= 0.0) {
+        std::fprintf(stderr, "bad --trace-sample-interval %g (need > 0)\n",
+                     args.trace_sample_s);
+        return false;
+      }
     } else if (a == "--csv") {
       args.csv = true;
     } else if (a == "--contours") {
