@@ -42,8 +42,10 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/fleet.h"
 #include "enviromic.h"
 
 using namespace enviromic;
@@ -732,6 +734,64 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(coded.result.decode.groups_partial),
         rate(replicated.result) * 100.0, overhead(replicated.result),
         coded.ms);
+  }
+
+  // 6. Fleet scaling: the same 16-world chaos campaign (2 crash-rate points
+  // x 8 seeds) through the multi-process fleet runner at -j1 and -jN
+  // (N = hardware threads). The merged reports must be byte-identical —
+  // that's the runner's determinism contract — and the parallel leg must
+  // deliver at least 0.7 x min(N, worlds) speedup (perfect scaling is
+  // min(N, worlds); on a single-core box the gate degenerates to "no
+  // slowdown"). Quick mode shrinks the horizon: fleet_* keys are scaling
+  // diagnostics, not regression-gated timings.
+  {
+    core::FleetSpec spec;
+    spec.scenario = "chaos";
+    spec.seeds_per_point = 8;
+    spec.sweep.push_back({"crash", {0.2, 0.4}});
+    spec.fixed.emplace_back("horizon", quick ? 60.0 : 120.0);
+    spec.fixed.emplace_back("downtime", 30.0);
+    const int n_jobs = std::max(1u, std::thread::hardware_concurrency());
+
+    spec.jobs = 1;
+    const auto t1 = Clock::now();
+    const auto j1 = core::run_fleet(spec);
+    const double j1_ms = ms_since(t1);
+    spec.jobs = n_jobs;
+    const auto tn = Clock::now();
+    const auto jn = core::run_fleet(spec);
+    const double jn_ms = ms_since(tn);
+
+    if (!j1.ok() || !jn.ok() || j1.failed != 0 || jn.failed != 0) {
+      determinism_ok = false;
+      std::fprintf(stderr, "FAIL: fleet campaign had failed worlds\n");
+    }
+    if (j1.report_json != jn.report_json) {
+      determinism_ok = false;
+      std::fprintf(stderr,
+                   "DIVERGENCE: fleet -j1 vs -j%d report bytes\n", n_jobs);
+    }
+    const double speedup = jn_ms > 0 ? j1_ms / jn_ms : 0.0;
+    const double ideal = std::min<double>(n_jobs, j1.worlds);
+    const double efficiency = ideal > 0 ? speedup / ideal : 0.0;
+    results["fleet_worlds"] = j1.worlds;
+    results["fleet_jobs"] = n_jobs;
+    results["fleet_j1_ms"] = j1_ms;
+    results["fleet_jn_ms"] = jn_ms;
+    results["fleet_speedup"] = speedup;
+    results["fleet_efficiency"] = efficiency;
+    if (efficiency < 0.7) {
+      determinism_ok = false;
+      std::fprintf(stderr,
+                   "FAIL: fleet speedup %.2fx < 0.7 x min(%d jobs, %d "
+                   "worlds)\n",
+                   speedup, n_jobs, j1.worlds);
+    }
+    std::printf(
+        "fleet: %d chaos worlds, -j1 %.1f ms, -j%d %.1f ms (%.2fx, "
+        "%.0f%% of ideal), reports %s\n",
+        j1.worlds, j1_ms, n_jobs, jn_ms, speedup, efficiency * 100.0,
+        j1.report_json == jn.report_json ? "byte-identical" : "DIVERGED");
   }
 
   // Emit the JSON trajectory point.

@@ -76,6 +76,15 @@ fi
 rc=0
 ./build/tools/enviromic_cli --trace-sample-interval -1 > /dev/null 2>&1 || rc=$?
 [ "$rc" -eq 2 ] || { echo "FAIL: bad interval should exit 2, got $rc"; exit 1; }
+# Strict numeric parsing: non-numeric, trailing-junk, and out-of-range
+# arguments exit 2 with a diagnostic (atoll/atof silently accepted these).
+for bad in "--seed garbage" "--seed 1e3" "--runs 3x" "--beta nope" \
+    "--coded-k 0" "--coded-n 300" "--coded-k 6 --coded-n 4"; do
+  rc=0
+  # shellcheck disable=SC2086
+  ./build/tools/enviromic_cli $bad > /dev/null 2>&1 || rc=$?
+  [ "$rc" -eq 2 ] || { echo "FAIL: '$bad' should exit 2, got $rc"; exit 1; }
+done
 ./build/tools/enviromic_cli --scenario mobile --runs 3 > /dev/null
 ./build/tools/enviromic_cli --scenario indoor --horizon 300 --sample 300 > /dev/null
 ./build/tools/enviromic_cli --scenario voice > /dev/null
@@ -96,6 +105,44 @@ echo "== coded chaos smoke"
 grep -E 'payloads\[coded\]: total=[0-9]+ reconstructible=[1-9]' \
   build/coded_smoke.txt > /dev/null \
   || { echo "FAIL: coded smoke reconstructed nothing"; exit 1; }
+
+echo "== fleet smoke"
+# Small campaign through the multi-process runner: the merged report must
+# parse as JSON and be byte-identical between -j1 and -j2 (determinism by
+# sorting, not by arrival order), and bad fleet arguments exit 2.
+./build/tools/enviromic_fleet --scenario chaos --seeds 2 \
+  --sweep crash=0.2,0.4 --horizon 120 --faults downtime=30 \
+  -j 2 --out build/fleet_j2.json > /dev/null
+./build/tools/enviromic_fleet --scenario chaos --seeds 2 \
+  --sweep crash=0.2,0.4 --horizon 120 --faults downtime=30 \
+  -j 1 --out build/fleet_j1.json > /dev/null
+cmp build/fleet_j1.json build/fleet_j2.json \
+  || { echo "FAIL: fleet -j1 vs -j2 reports differ"; exit 1; }
+# Resume over the complete report re-runs nothing and keeps the bytes.
+./build/tools/enviromic_fleet --scenario chaos --seeds 2 \
+  --sweep crash=0.2,0.4 --horizon 120 --faults downtime=30 \
+  -j 2 --resume build/fleet_j1.json --out build/fleet_resume.json \
+  2> build/fleet_resume.log > /dev/null
+cmp build/fleet_j1.json build/fleet_resume.json \
+  || { echo "FAIL: fleet resume changed the report bytes"; exit 1; }
+grep -q "4 worlds (4 resumed), 0 launched" build/fleet_resume.log \
+  || { echo "FAIL: fleet resume re-ran completed worlds"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json, sys
+r = json.load(open("build/fleet_j1.json"))
+if r["worlds"] != 4 or r["failed"] != 0 or len(r["rows"]) != 4:
+    sys.exit(f"FAIL: fleet report shape {r['worlds']}/{r['failed']}")
+print(f"fleet smoke OK: {r['worlds']} worlds, {len(r['aggregates'])} points")
+EOF
+fi
+for bad in "--seed garbage" "--seeds 0" "--scenario bogus" \
+    "--sweep nope=1,2" "--coded-k 0 --coded-n 5"; do
+  rc=0
+  # shellcheck disable=SC2086
+  ./build/tools/enviromic_fleet $bad > /dev/null 2>&1 || rc=$?
+  [ "$rc" -eq 2 ] || { echo "FAIL: fleet '$bad' should exit 2, got $rc"; exit 1; }
+done
 
 echo "== traced chaos smoke"
 ./build/tools/enviromic_cli --faults crash=0.3,downtime=60,burst=1 \

@@ -5,9 +5,11 @@
 # the migration drain (windowed bulk-transfer pipeline vs the stop-and-wait
 # window=1 degenerate), plus the scheduler-profiled chaos runs whose
 # per-component wall-time attribution (prof_chaos_*_pct keys) answers
-# ROADMAP's "is the event queue >15%?" question. Pass --quick for the CI
-# smoke lane (shorter horizons, no 500-node linear soak, no 500-node
-# attribution run); any further args go straight through to perf_substrates.
+# ROADMAP's "is the event queue >15%?" question, and the fleet scaling leg
+# (fleet_* keys: a 16-world chaos campaign at -j1 vs -jN with byte-compared
+# reports). Pass --quick for the CI smoke lane (shorter horizons, no
+# 500-node linear soak, no 500-node attribution run); any further args go
+# straight through to perf_substrates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

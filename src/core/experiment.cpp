@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -530,6 +531,137 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
     sim::Trace::instance().clear();
   }
   return r;
+}
+
+std::uint64_t derive_run_seed(std::uint64_t base_seed,
+                              std::uint64_t run_index) {
+  if (run_index == 0) return base_seed;
+  // splitmix64: golden-ratio stream step keyed by the run index, then the
+  // finalizer — adjacent (base, run) pairs land in unrelated worlds.
+  std::uint64_t s = base_seed + run_index * 0x9e3779b97f4a7c15ULL;
+  s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  s = (s ^ (s >> 27)) * 0x94d049bb133111ebULL;
+  return s ^ (s >> 31);
+}
+
+std::string format_metric(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) <= 9.0e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+RunRecord chaos_run_record(const ChaosRunResult& r) {
+  const auto& s = r.final_snapshot;
+  const auto& f = s.faults;
+  RunRecord rec;
+  auto put = [&rec](const char* name, double v) { rec.emplace_back(name, v); };
+  put("miss_ratio", s.miss_ratio);
+  put("redundancy_ratio", s.redundancy_ratio);
+  put("total_messages", static_cast<double>(s.total_messages));
+  put("control_messages", static_cast<double>(s.control_messages));
+  put("transfer_messages", static_cast<double>(s.transfer_messages));
+  put("nodes", static_cast<double>(r.nodes));
+  put("live_chunks", static_cast<double>(r.live_chunks));
+  put("crashes", f.crashes);
+  put("reboots", f.reboots);
+  put("permanent_failures", f.permanent_failures);
+  put("brownouts", f.brownouts);
+  put("clock_steps", f.clock_steps);
+  put("downtime_s", f.downtime_total.to_seconds());
+  put("chunks_recovered", static_cast<double>(f.chunks_recovered));
+  put("recovery_mismatches", static_cast<double>(f.recovery_mismatches));
+  put("nodes_down_at_end", r.nodes_down_at_end);
+  put("nodes_lost", r.nodes_lost);
+  put("transfer_aborts", s.transfer_aborts);
+  put("transfer_duplicate_risks", s.transfer_duplicate_risks);
+  put("transfer_rx_expired", s.transfer_rx_expired);
+  put("transfer_fragments_retried", s.transfer_fragments_retried);
+  put("transfer_window_stalls", s.transfer_window_stalls);
+  put("transfer_max_in_flight", s.transfer_max_in_flight);
+  put("duplicate_copies", static_cast<double>(r.duplicate_copies));
+  put("payloads_total", static_cast<double>(r.payloads_total));
+  put("payloads_reconstructible",
+      static_cast<double>(r.payloads_reconstructible));
+  put("payloads_lost_to_death",
+      static_cast<double>(r.payloads_lost_to_death));
+  put("census_stored_bytes", static_cast<double>(r.census_stored_bytes));
+  put("census_original_bytes", static_cast<double>(r.census_original_bytes));
+  put("drained_bytes", static_cast<double>(r.drained_bytes));
+  put("decode_reconstructed",
+      static_cast<double>(r.decode.groups_reconstructed));
+  put("decode_partial", static_cast<double>(r.decode.groups_partial));
+  put("coded_chunks", r.coded.chunks_coded);
+  put("coded_fragments_placed", r.coded.fragments_placed);
+  put("coded_fragments_failed", r.coded.fragments_failed);
+  put("executed_events", static_cast<double>(r.executed_events));
+  put("live_events_at_end", static_cast<double>(r.live_events_at_end));
+  put("stuck_tx_sessions", r.stuck_tx_sessions);
+  put("stuck_rx_sessions", r.stuck_rx_sessions);
+  put("invariants_hold", r.invariants_hold() ? 1.0 : 0.0);
+  return rec;
+}
+
+RunRecord indoor_run_record(const IndoorRunResult& r) {
+  RunRecord rec;
+  if (r.series.empty()) return rec;
+  const auto& s = r.series.back();
+  rec.emplace_back("miss_ratio", s.miss_ratio);
+  rec.emplace_back("redundancy_ratio", s.redundancy_ratio);
+  rec.emplace_back("total_messages", static_cast<double>(s.total_messages));
+  rec.emplace_back("control_messages",
+                   static_cast<double>(s.control_messages));
+  rec.emplace_back("transfer_messages",
+                   static_cast<double>(s.transfer_messages));
+  rec.emplace_back("hearable_s", s.hearable.to_seconds());
+  rec.emplace_back("covered_unique_s", s.covered_unique.to_seconds());
+  rec.emplace_back("stored_total_s", s.stored_total.to_seconds());
+  return rec;
+}
+
+RunRecord mobile_run_record(const MobileRunResult& r) {
+  RunRecord rec;
+  rec.emplace_back("miss_ratio", r.miss_ratio);
+  rec.emplace_back("recordings", static_cast<double>(r.recordings.size()));
+  rec.emplace_back("event_duration_s",
+                   (r.event_end - r.event_start).to_seconds());
+  return rec;
+}
+
+RunRecord outdoor_run_record(const OutdoorRunResult& r) {
+  RunRecord rec;
+  const auto& s = r.final_snapshot;
+  rec.emplace_back("miss_ratio", s.miss_ratio);
+  rec.emplace_back("redundancy_ratio", s.redundancy_ratio);
+  rec.emplace_back("total_messages", static_cast<double>(s.total_messages));
+  rec.emplace_back("nodes", static_cast<double>(r.positions.size()));
+  rec.emplace_back("hottest_node", static_cast<double>(r.hottest));
+  return rec;
+}
+
+RunRecord voice_run_record(const VoiceRunResult& r) {
+  RunRecord rec;
+  rec.emplace_back("stitched_coverage", r.stitched_coverage);
+  rec.emplace_back("envelope_correlation", r.envelope_correlation);
+  return rec;
+}
+
+std::string run_record_json(const std::string& scenario, std::uint64_t seed,
+                            const RunRecord& rec) {
+  std::string out = "{\"scenario\": \"" + scenario +
+                    "\", \"seed\": " + std::to_string(seed) +
+                    ", \"metrics\": {";
+  bool first = true;
+  for (const auto& [name, value] : rec) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": " + format_metric(value);
+  }
+  out += "}}";
+  return out;
 }
 
 }  // namespace enviromic::core

@@ -286,4 +286,39 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg);
 /// the given mode/beta).
 NodeParams paper_node_params(Mode mode, double beta_max);
 
+// --- Machine-readable single-run records (CLI --json, fleet workers) ------------
+
+/// Per-run seed derivation for repeated runs (`enviromic_cli --runs`, fleet
+/// seed ranges). Run 0 is the base seed itself, so existing single-run
+/// outputs are unchanged; later runs go through a splitmix64 finalizer of
+/// (base_seed, run_index) — the same keying discipline storage/erasure uses
+/// for its codec streams — so adjacent base seeds never produce overlapping
+/// world sets (under the old `base + r` rule, seed 7 run 1 was the same
+/// world as seed 8 run 0).
+std::uint64_t derive_run_seed(std::uint64_t base_seed, std::uint64_t run_index);
+
+/// Canonical number formatting shared by every machine-readable emitter
+/// (single-run JSON records, fleet reports): integral values print exactly
+/// as integers, everything else round-trips through "%.17g". Reports merged
+/// from re-parsed rows (fleet --resume) stay byte-identical because
+/// format(parse(format(x))) == format(x).
+std::string format_metric(double v);
+
+/// A flat, ordered (name, value) view of one run's results — the Metrics
+/// snapshot plus the runner's scenario-specific outcomes — for machine
+/// consumption (fleet workers, --json). Order is fixed per scenario so
+/// emitted records are byte-stable.
+using RunRecord = std::vector<std::pair<std::string, double>>;
+
+RunRecord chaos_run_record(const ChaosRunResult& r);
+RunRecord indoor_run_record(const IndoorRunResult& r);
+RunRecord mobile_run_record(const MobileRunResult& r);
+RunRecord outdoor_run_record(const OutdoorRunResult& r);
+RunRecord voice_run_record(const VoiceRunResult& r);
+
+/// One-line JSON record for a single seeded run:
+///   {"scenario": "chaos", "seed": 7, "metrics": {"miss_ratio": ...}}
+std::string run_record_json(const std::string& scenario, std::uint64_t seed,
+                            const RunRecord& rec);
+
 }  // namespace enviromic::core

@@ -1,0 +1,752 @@
+#include "core/fleet.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "core/faults.h"
+#include "storage/erasure.h"
+
+namespace enviromic::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// --- Parameter application ---------------------------------------------------
+
+std::string axis_value_str(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+bool apply_chaos_param(ChaosRunConfig& cfg, const std::string& name,
+                       double v) {
+  if (name == "horizon") cfg.horizon = sim::Time::seconds(v);
+  else if (name == "grace") cfg.grace = sim::Time::seconds(v);
+  else if (name == "beta") cfg.beta_max = v;
+  else if (name == "flash_scale") cfg.flash_scale = v;
+  else if (name == "grid_nx") cfg.grid_nx = static_cast<int>(v);
+  else if (name == "grid_ny") cfg.grid_ny = static_cast<int>(v);
+  else if (name == "spacing") cfg.spacing_ft = v;
+  else if (name == "crash") cfg.faults.crash_probability = v;
+  else if (name == "downtime") cfg.faults.downtime_mean = sim::Time::seconds(v);
+  else if (name == "permanent") cfg.faults.permanent_fraction = v;
+  else if (name == "lose_data") cfg.faults.lose_data_fraction = v;
+  else if (name == "brownout") cfg.faults.brownout_probability = v;
+  else if (name == "brownout_len") cfg.faults.brownout_mean = sim::Time::seconds(v);
+  else if (name == "clockstep") cfg.faults.clock_step_probability = v;
+  else if (name == "clockstep_max") cfg.faults.clock_step_max_s = v;
+  else if (name == "burst") cfg.burst.enabled = v != 0.0;
+  else if (name == "asym") cfg.link_asymmetry_max = v;
+  else if (name == "coded") {
+    cfg.storage_policy = v != 0.0 ? StoragePolicy::kCoded
+                                  : StoragePolicy::kMigrate;
+  } else if (name == "coded_k") cfg.coded_k = static_cast<int>(v);
+  else if (name == "coded_n") cfg.coded_n = static_cast<int>(v);
+  else if (name == "replicas") cfg.recording_replicas = static_cast<int>(v);
+  else if (name == "window") {
+    cfg.transfer_window_frags = static_cast<std::uint32_t>(v);
+  } else if (name == "census") cfg.payload_census = v != 0.0;
+  else return false;
+  return true;
+}
+
+bool apply_indoor_param(IndoorRunConfig& cfg, const std::string& name,
+                        double v) {
+  if (name == "horizon") {
+    cfg.horizon = sim::Time::seconds(v);
+  } else if (name == "beta") {
+    cfg.beta_max = v;
+  } else if (name == "flash_scale") {
+    cfg.flash_scale = v;
+  } else if (name == "mode") {
+    cfg.mode = v == 0.0   ? Mode::kUncoordinated
+               : v == 1.0 ? Mode::kCooperativeOnly
+                          : Mode::kFull;
+  } else if (name == "grid_nx") {
+    cfg.grid_nx = static_cast<int>(v);
+  } else if (name == "grid_ny") {
+    cfg.grid_ny = static_cast<int>(v);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool apply_mobile_param(MobileRunConfig& cfg, const std::string& name,
+                        double v) {
+  if (name == "trc") {
+    cfg.task_period = sim::Time::seconds(v);
+  } else if (name == "dta") {
+    cfg.task_assign_delay = sim::Time::millis(static_cast<std::int64_t>(v));
+  } else if (name == "prelude") {
+    cfg.prelude = v != 0.0;
+  } else if (name == "event_s") {
+    cfg.event_duration = sim::Time::seconds(v);
+  } else if (name == "grid_nx") {
+    cfg.grid_nx = static_cast<int>(v);
+  } else if (name == "grid_ny") {
+    cfg.grid_ny = static_cast<int>(v);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool apply_outdoor_param(OutdoorRunConfig& cfg, const std::string& name,
+                         double v) {
+  if (name == "horizon") cfg.horizon = sim::Time::seconds(v);
+  else if (name == "beta") cfg.beta_max = v;
+  else if (name == "nodes") cfg.nodes = static_cast<int>(v);
+  else if (name == "plot_ft") cfg.plot_ft = v;
+  else if (name == "time_scale") cfg.time_scale = v;
+  else return false;
+  return true;
+}
+
+bool selftest_param_known(const std::string& name) {
+  return name == "crash" || name == "exit" || name == "hang_s" ||
+         name == "hang_first_s" || name == "x" || name == "y";
+}
+
+/// The effective parameter list of one world: fixed overrides first, then
+/// the point's axis values (axes win on name collision by coming later).
+std::vector<std::pair<std::string, double>> world_params(
+    const FleetSpec& spec, const FleetPoint& point) {
+  auto params = spec.fixed;
+  params.insert(params.end(), point.params.begin(), point.params.end());
+  return params;
+}
+
+double param_or(const std::vector<std::pair<std::string, double>>& params,
+                const std::string& name, double fallback) {
+  double v = fallback;
+  for (const auto& [k, val] : params) {
+    if (k == name) v = val;  // last writer wins, like the apply loops
+  }
+  return v;
+}
+
+// --- Worker wire protocol ----------------------------------------------------
+//
+// The child writes one line per metric, then a terminator, and exits 0:
+//   m <name> <format_metric literal>\n
+//   ...
+//   end ok\n
+// Anything else — a missing terminator, a nonzero exit, a signal death, a
+// SIGKILL from the timeout — marks the attempt failed.
+
+void write_all(int fd, const std::string& s) {
+  std::size_t off = 0;
+  while (off < s.size()) {
+    const ssize_t n = ::write(fd, s.data() + off, s.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Parse the child's buffered output. Returns true when the terminator was
+/// seen and every metric line was well formed.
+bool parse_worker_output(
+    const std::string& buf,
+    std::vector<std::pair<std::string, std::string>>* metrics) {
+  metrics->clear();
+  std::size_t pos = 0;
+  bool done = false;
+  while (pos < buf.size()) {
+    const std::size_t eol = buf.find('\n', pos);
+    if (eol == std::string::npos) break;
+    const std::string line = buf.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line == "end ok") {
+      done = true;
+      break;
+    }
+    if (line.rfind("m ", 0) != 0) return false;
+    const std::size_t sp = line.find(' ', 2);
+    if (sp == std::string::npos) return false;
+    metrics->emplace_back(line.substr(2, sp - 2), line.substr(sp + 1));
+  }
+  return done;
+}
+
+// --- Report building ---------------------------------------------------------
+
+void csv_field(std::string& out, const std::string& s) {
+  if (s.find(',') != std::string::npos ||
+      s.find('"') != std::string::npos) {
+    out += '"';
+    for (char c : s) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+  } else {
+    out += s;
+  }
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto n = sorted.size();
+  auto idx = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (idx > 0) --idx;  // nearest-rank, 1-based -> 0-based
+  if (idx >= n) idx = n - 1;
+  return sorted[idx];
+}
+
+/// Metric column order for the CSV and the aggregate blocks: the first ok
+/// row's order (every world of one scenario emits the same record layout).
+std::vector<std::string> metric_names(const std::vector<FleetRow>& rows) {
+  for (const auto& row : rows) {
+    if (row.status != "ok") continue;
+    std::vector<std::string> names;
+    names.reserve(row.metrics.size());
+    for (const auto& [name, value] : row.metrics) names.push_back(name);
+    return names;
+  }
+  return {};
+}
+
+void build_report(const FleetSpec& spec,
+                  const std::vector<FleetPoint>& points, FleetResult* out) {
+  const auto names = metric_names(out->rows);
+
+  // JSON. Rows are emitted one per line on purpose: the resume path parses
+  // them back line by line.
+  std::string& j = out->report_json;
+  j.clear();
+  j += "{\n";
+  j += "  \"fleet\": \"enviromic_fleet\",\n";
+  j += "  \"schema\": 1,\n";
+  j += "  \"scenario\": \"" + spec.scenario + "\",\n";
+  j += "  \"base_seed\": " + std::to_string(spec.base_seed) + ",\n";
+  j += "  \"seeds_per_point\": " + std::to_string(spec.seeds_per_point) +
+       ",\n";
+  j += "  \"points\": " + std::to_string(points.size()) + ",\n";
+  j += "  \"worlds\": " + std::to_string(out->worlds) + ",\n";
+  j += "  \"ok\": " + std::to_string(out->worlds - out->failed) + ",\n";
+  j += "  \"failed\": " + std::to_string(out->failed) + ",\n";
+  j += "  \"rows\": [\n";
+  for (std::size_t i = 0; i < out->rows.size(); ++i) {
+    const auto& row = out->rows[i];
+    j += "    {\"point\": \"" + row.point_label +
+         "\", \"seed_index\": " + std::to_string(row.seed_index) +
+         ", \"seed\": " + std::to_string(row.seed) + ", \"status\": \"" +
+         row.status + "\", \"metrics\": {";
+    for (std::size_t m = 0; m < row.metrics.size(); ++m) {
+      if (m != 0) j += ", ";
+      j += "\"" + row.metrics[m].first + "\": " + row.metrics[m].second;
+    }
+    j += "}}";
+    if (i + 1 != out->rows.size()) j += ",";
+    j += "\n";
+  }
+  j += "  ],\n";
+  j += "  \"aggregates\": [\n";
+  for (std::size_t pi = 0; pi < points.size(); ++pi) {
+    // Values per metric over this point's ok rows, in seed order.
+    std::map<std::string, std::vector<double>> values;
+    int n_ok = 0;
+    for (const auto& row : out->rows) {
+      if (row.point != pi || row.status != "ok") continue;
+      ++n_ok;
+      for (const auto& [name, literal] : row.metrics) {
+        values[name].push_back(std::strtod(literal.c_str(), nullptr));
+      }
+    }
+    j += "    {\"point\": \"" + points[pi].label +
+         "\", \"n_ok\": " + std::to_string(n_ok) + ", \"metrics\": {";
+    bool first = true;
+    for (const auto& name : names) {
+      auto it = values.find(name);
+      if (it == values.end()) continue;
+      auto v = it->second;
+      std::sort(v.begin(), v.end());
+      double sum = 0.0;
+      for (double x : v) sum += x;
+      const double mean = v.empty() ? 0.0 : sum / static_cast<double>(v.size());
+      if (!first) j += ", ";
+      first = false;
+      j += "\"" + name + "\": {\"mean\": " + format_metric(mean) +
+           ", \"min\": " + format_metric(v.empty() ? 0.0 : v.front()) +
+           ", \"max\": " + format_metric(v.empty() ? 0.0 : v.back()) +
+           ", \"p50\": " + format_metric(percentile(v, 50.0)) +
+           ", \"p90\": " + format_metric(percentile(v, 90.0)) + "}";
+    }
+    j += "}}";
+    if (pi + 1 != points.size()) j += ",";
+    j += "\n";
+  }
+  j += "  ]\n";
+  j += "}\n";
+
+  // CSV: one row per world, aggregate-free (the JSON carries those).
+  std::string& c = out->report_csv;
+  c.clear();
+  c += "point,seed_index,seed,status";
+  for (const auto& name : names) c += "," + name;
+  c += "\n";
+  for (const auto& row : out->rows) {
+    csv_field(c, row.point_label);
+    c += "," + std::to_string(row.seed_index) + "," +
+         std::to_string(row.seed) + "," + row.status;
+    // Rows emit by name so a failed row (no metrics) leaves empty cells.
+    std::size_t cursor = 0;
+    for (const auto& name : names) {
+      c += ",";
+      if (cursor < row.metrics.size() && row.metrics[cursor].first == name) {
+        c += row.metrics[cursor].second;
+        ++cursor;
+      }
+    }
+    c += "\n";
+  }
+}
+
+// --- Resume: re-parse our own report rows ------------------------------------
+
+bool extract_string(const std::string& line, const std::string& key,
+                    std::string* out) {
+  const std::string pat = "\"" + key + "\": \"";
+  const auto at = line.find(pat);
+  if (at == std::string::npos) return false;
+  const auto start = at + pat.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+bool extract_u64(const std::string& line, const std::string& key,
+                 std::uint64_t* out) {
+  const std::string pat = "\"" + key + "\": ";
+  const auto at = line.find(pat);
+  if (at == std::string::npos) return false;
+  return std::sscanf(line.c_str() + at + pat.size(), "%llu",
+                     reinterpret_cast<unsigned long long*>(out)) == 1;
+}
+
+/// Parse the ok rows of a previous report_json into (point label,
+/// seed_index) -> metrics. Rigid by design: it only reads the format
+/// build_report writes.
+std::map<std::pair<std::string, std::uint64_t>, FleetRow> parse_resume_rows(
+    const std::string& report, const std::string& scenario) {
+  std::map<std::pair<std::string, std::uint64_t>, FleetRow> rows;
+  std::string prev_scenario;
+  if (!extract_string(report, "scenario", &prev_scenario) ||
+      prev_scenario != scenario) {
+    return rows;  // different campaign shape: nothing reusable
+  }
+  const auto rows_at = report.find("\"rows\": [");
+  if (rows_at == std::string::npos) return rows;
+  std::size_t pos = report.find('\n', rows_at);
+  while (pos != std::string::npos) {
+    const auto eol = report.find('\n', pos + 1);
+    if (eol == std::string::npos) break;
+    const std::string line = report.substr(pos + 1, eol - pos - 1);
+    pos = eol;
+    if (line.find("{\"point\"") == std::string::npos) break;  // "]," ends rows
+    FleetRow row;
+    std::string status;
+    if (!extract_string(line, "point", &row.point_label) ||
+        !extract_u64(line, "seed_index", &row.seed_index) ||
+        !extract_u64(line, "seed", &row.seed) ||
+        !extract_string(line, "status", &status) ||
+        status != "ok") {
+      continue;  // failed rows are re-run, malformed rows ignored
+    }
+    row.status = status;
+    const std::string mpat = "\"metrics\": {";
+    const auto mat = line.find(mpat);
+    if (mat == std::string::npos) continue;
+    const auto mend = line.rfind("}}");
+    if (mend == std::string::npos || mend < mat) continue;
+    std::string body = line.substr(mat + mpat.size(), mend - mat - mpat.size());
+    std::size_t mp = 0;
+    bool bad = false;
+    while (mp < body.size()) {
+      if (body[mp] != '"') { bad = true; break; }
+      const auto q = body.find('"', mp + 1);
+      if (q == std::string::npos || body.compare(q, 3, "\": ") != 0) {
+        bad = true;
+        break;
+      }
+      const std::string name = body.substr(mp + 1, q - mp - 1);
+      const auto vstart = q + 3;
+      auto vend = body.find(", \"", vstart);
+      if (vend == std::string::npos) vend = body.size();
+      row.metrics.emplace_back(name, body.substr(vstart, vend - vstart));
+      mp = vend == body.size() ? vend : vend + 2;
+    }
+    if (!bad) rows.emplace(std::make_pair(row.point_label, row.seed_index),
+                           std::move(row));
+  }
+  return rows;
+}
+
+// --- The forked worker -------------------------------------------------------
+
+[[noreturn]] void worker_child(const FleetSpec& spec, const FleetPoint& point,
+                               std::uint64_t seed, int attempt, int fd) {
+  const RunRecord rec = run_fleet_world(spec, point, seed, attempt);
+  std::string out;
+  for (const auto& [name, value] : rec) {
+    out += "m " + name + " " + format_metric(value) + "\n";
+  }
+  out += "end ok\n";
+  write_all(fd, out);
+  // _exit, not exit: the child must not run the parent's atexit chain or
+  // flush its inherited stdio buffers twice.
+  ::_exit(0);
+}
+
+struct Running {
+  pid_t pid = -1;
+  int fd = -1;
+  std::size_t task = 0;
+  int attempt = 0;
+  std::string buf;
+  Clock::time_point deadline;  //!< only meaningful when timed
+  bool timed = false;
+  bool killed = false;
+};
+
+}  // namespace
+
+std::vector<FleetPoint> fleet_points(const FleetSpec& spec) {
+  std::vector<FleetPoint> points;
+  std::size_t total = 1;
+  for (const auto& axis : spec.sweep) {
+    total *= std::max<std::size_t>(axis.values.size(), 1);
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    FleetPoint p;
+    p.index = i;
+    // Mixed-radix decomposition, first axis slowest.
+    std::size_t rem = i, radix = total;
+    for (const auto& axis : spec.sweep) {
+      if (axis.values.empty()) continue;
+      radix /= axis.values.size();
+      const std::size_t vi = rem / radix;
+      rem %= radix;
+      p.params.emplace_back(axis.name, axis.values[vi]);
+      if (!p.label.empty()) p.label += ",";
+      p.label += axis.name + "=" + axis_value_str(axis.values[vi]);
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+bool validate_fleet_spec(const FleetSpec& spec, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  const std::string& sc = spec.scenario;
+  if (sc != "chaos" && sc != "indoor" && sc != "mobile" && sc != "outdoor" &&
+      sc != "selftest") {
+    return fail("unknown scenario '" + sc + "'");
+  }
+  if (spec.seeds_per_point < 1) return fail("seeds_per_point must be >= 1");
+  if (!spec.faults_spec.empty()) {
+    if (sc != "chaos") return fail("faults spec only applies to chaos");
+    ChaosSpec chaos;
+    std::string err;
+    if (!parse_fault_spec(spec.faults_spec, chaos, err)) {
+      return fail("bad faults spec: " + err);
+    }
+  }
+  auto check_name = [&](const std::string& name) {
+    if (sc == "chaos") {
+      ChaosRunConfig cfg;
+      return apply_chaos_param(cfg, name, 0.0);
+    }
+    if (sc == "indoor") {
+      IndoorRunConfig cfg;
+      return apply_indoor_param(cfg, name, 0.0);
+    }
+    if (sc == "mobile") {
+      MobileRunConfig cfg;
+      return apply_mobile_param(cfg, name, 0.0);
+    }
+    if (sc == "outdoor") {
+      OutdoorRunConfig cfg;
+      return apply_outdoor_param(cfg, name, 0.0);
+    }
+    return selftest_param_known(name);
+  };
+  for (const auto& [name, value] : spec.fixed) {
+    (void)value;
+    if (!check_name(name)) {
+      return fail("unknown " + sc + " parameter '" + name + "'");
+    }
+  }
+  for (const auto& axis : spec.sweep) {
+    if (axis.values.empty()) return fail("axis '" + axis.name + "' is empty");
+    if (!check_name(axis.name)) {
+      return fail("unknown " + sc + " parameter '" + axis.name + "'");
+    }
+  }
+  // Erasure geometry is validated per point so a sweep over coded_k/coded_n
+  // cannot smuggle bad geometry past the boundary.
+  if (sc == "chaos") {
+    for (const auto& point : fleet_points(spec)) {
+      const auto params = world_params(spec, point);
+      if (param_or(params, "coded", 0.0) == 0.0) continue;
+      const int k = static_cast<int>(param_or(params, "coded_k", 3.0));
+      const int n = static_cast<int>(param_or(params, "coded_n", 5.0));
+      std::string err;
+      if (!storage::ErasureCodec::validate_geometry(k, n, &err)) {
+        return fail(point.label.empty() ? err : point.label + ": " + err);
+      }
+    }
+  }
+  return true;
+}
+
+RunRecord run_fleet_world(const FleetSpec& spec, const FleetPoint& point,
+                          std::uint64_t seed, int attempt) {
+  const auto params = world_params(spec, point);
+  if (spec.scenario == "selftest") {
+    // The harness' own fault scenario: crash/hang/exit on demand so the
+    // tests can drive the isolation, timeout, and retry paths without a
+    // slow world.
+    if (param_or(params, "crash", 0.0) != 0.0) std::abort();
+    if (const double rc = param_or(params, "exit", 0.0); rc != 0.0) {
+      ::_exit(static_cast<int>(rc));
+    }
+    double hang = param_or(params, "hang_s", 0.0);
+    if (attempt == 0) hang = std::max(hang, param_or(params, "hang_first_s", 0.0));
+    if (hang > 0.0) {
+      ::usleep(static_cast<useconds_t>(hang * 1e6));
+    }
+    RunRecord rec;
+    rec.emplace_back("value",
+                     static_cast<double>(derive_run_seed(seed, 1) % 1000));
+    rec.emplace_back("x", param_or(params, "x", 0.0));
+    rec.emplace_back("y", param_or(params, "y", 0.0));
+    return rec;
+  }
+  if (spec.scenario == "chaos") {
+    ChaosRunConfig cfg;
+    cfg.seed = seed;
+    // Campaign worlds run headless: a per-world trace ring would only cost
+    // time, and a failed invariant is already a first-class metric row.
+    cfg.flight_recorder = false;
+    if (!spec.faults_spec.empty()) {
+      ChaosSpec chaos;
+      std::string err;
+      if (parse_fault_spec(spec.faults_spec, chaos, err)) {
+        cfg.faults = chaos.faults;
+        cfg.burst = chaos.burst;
+        cfg.link_asymmetry_max = chaos.link_asymmetry_max;
+      }
+    }
+    for (const auto& [name, value] : params) {
+      apply_chaos_param(cfg, name, value);
+    }
+    return chaos_run_record(run_chaos(cfg));
+  }
+  if (spec.scenario == "indoor") {
+    IndoorRunConfig cfg;
+    cfg.seed = seed;
+    for (const auto& [name, value] : params) {
+      apply_indoor_param(cfg, name, value);
+    }
+    cfg.sample_period = cfg.horizon;  // final snapshot only
+    return indoor_run_record(run_indoor(cfg));
+  }
+  if (spec.scenario == "mobile") {
+    MobileRunConfig cfg;
+    cfg.seed = seed;
+    for (const auto& [name, value] : params) {
+      apply_mobile_param(cfg, name, value);
+    }
+    return mobile_run_record(run_mobile(cfg));
+  }
+  OutdoorRunConfig cfg;
+  cfg.seed = seed;
+  for (const auto& [name, value] : params) {
+    apply_outdoor_param(cfg, name, value);
+  }
+  return outdoor_run_record(run_outdoor(cfg));
+}
+
+FleetResult run_fleet(const FleetSpec& spec,
+                      const std::string& resume_report) {
+  FleetResult out;
+  if (!validate_fleet_spec(spec, &out.error)) return out;
+
+  const auto points = fleet_points(spec);
+  const int jobs = std::max(spec.jobs, 1);
+  const auto seeds = static_cast<std::size_t>(spec.seeds_per_point);
+  out.worlds = static_cast<int>(points.size() * seeds);
+  out.rows.assign(static_cast<std::size_t>(out.worlds), FleetRow{});
+
+  auto resumed =
+      resume_report.empty()
+          ? std::map<std::pair<std::string, std::uint64_t>, FleetRow>{}
+          : parse_resume_rows(resume_report, spec.scenario);
+
+  // Task t = point * seeds + seed_index; queue in task order (determinism
+  // comes from the sort-merge, this just keeps launch order predictable).
+  struct Pending {
+    std::size_t task;
+    int attempt;
+  };
+  std::deque<Pending> queue;
+  for (std::size_t pi = 0; pi < points.size(); ++pi) {
+    for (std::size_t si = 0; si < seeds; ++si) {
+      const std::size_t t = pi * seeds + si;
+      auto& row = out.rows[t];
+      row.point = pi;
+      row.point_label = points[pi].label;
+      row.seed_index = si;
+      row.seed = derive_run_seed(spec.base_seed, si);
+      const auto prev = resumed.find({row.point_label, si});
+      if (prev != resumed.end() && prev->second.seed == row.seed) {
+        row.status = "ok";
+        row.metrics = prev->second.metrics;
+        ++out.resumed;
+      } else {
+        queue.push_back({t, 0});
+      }
+    }
+  }
+
+  std::vector<Running> running;
+  auto spawn = [&](std::size_t task, int attempt) -> bool {
+    int fds[2];
+    if (::pipe(fds) != 0) return false;
+    const std::size_t pi = task / seeds;
+    const std::uint64_t si = task % seeds;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      return false;
+    }
+    if (pid == 0) {
+      ::close(fds[0]);
+      worker_child(spec, points[pi], derive_run_seed(spec.base_seed, si),
+                   attempt, fds[1]);
+    }
+    ::close(fds[1]);
+    Running r;
+    r.pid = pid;
+    r.fd = fds[0];
+    r.task = task;
+    r.attempt = attempt;
+    if (spec.timeout_s > 0.0) {
+      r.timed = true;
+      r.deadline = Clock::now() + std::chrono::microseconds(static_cast<
+          std::int64_t>(spec.timeout_s * 1e6));
+    }
+    running.push_back(r);
+    ++out.launched;
+    if (attempt > 0) ++out.retried;
+    return true;
+  };
+
+  auto finalize = [&](Running& r) {
+    ::close(r.fd);
+    int status = 0;
+    while (::waitpid(r.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    auto& row = out.rows[r.task];
+    std::vector<std::pair<std::string, std::string>> metrics;
+    const bool exited_clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (exited_clean && parse_worker_output(r.buf, &metrics)) {
+      row.status = "ok";
+      row.metrics = std::move(metrics);
+      return;
+    }
+    if (r.attempt < std::max(spec.retries, 0)) {
+      queue.push_back({r.task, r.attempt + 1});
+      return;
+    }
+    row.status = r.killed ? "timeout" : "crashed";
+    row.metrics.clear();
+    ++out.failed;
+  };
+
+  while (!queue.empty() || !running.empty()) {
+    while (static_cast<int>(running.size()) < jobs && !queue.empty()) {
+      const Pending p = queue.front();
+      queue.pop_front();
+      if (!spawn(p.task, p.attempt)) {
+        // fork/pipe exhaustion: record the world failed rather than wedge.
+        auto& row = out.rows[p.task];
+        row.status = "crashed";
+        ++out.failed;
+      }
+    }
+    if (running.empty()) continue;
+
+    int poll_ms = -1;
+    const auto now = Clock::now();
+    for (const auto& r : running) {
+      if (!r.timed || r.killed) continue;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            r.deadline - now)
+                            .count();
+      const int ms = static_cast<int>(std::max<long long>(left, 0)) + 1;
+      if (poll_ms < 0 || ms < poll_ms) poll_ms = ms;
+    }
+    std::vector<pollfd> fds;
+    fds.reserve(running.size());
+    for (const auto& r : running) {
+      fds.push_back({r.fd, POLLIN, 0});
+    }
+    const int rc = ::poll(fds.data(), fds.size(), poll_ms);
+    if (rc < 0 && errno != EINTR) break;
+
+    // Reap deadline overruns: SIGKILL closes the pipe, so the EOF below
+    // finalizes the attempt as killed.
+    const auto after = Clock::now();
+    for (auto& r : running) {
+      if (r.timed && !r.killed && after >= r.deadline) {
+        ::kill(r.pid, SIGKILL);
+        r.killed = true;
+      }
+    }
+
+    for (std::size_t i = running.size(); i-- > 0;) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      char chunk[4096];
+      const ssize_t n = ::read(running[i].fd, chunk, sizeof chunk);
+      if (n > 0) {
+        running[i].buf.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      finalize(running[i]);
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+
+  build_report(spec, points, &out);
+  return out;
+}
+
+}  // namespace enviromic::core

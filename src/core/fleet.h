@@ -1,0 +1,115 @@
+// Multi-process fleet runner for seeded campaign sweeps.
+//
+// EnviroMic's evaluation is parameter sweeps over many independent seeded
+// worlds (miss ratio vs D_ta, survival vs crash rate, storage contours), and
+// the ROADMAP's "millions of users" shape is many deployments, not one giant
+// one. The fleet runner saturates the machine with one *process* per world:
+// a campaign spec (scenario, parameter grid, seed range, fault config) is
+// expanded into the cross product of parameter points x seeds, each world is
+// forked as its own worker up to `jobs` concurrent processes, and the
+// workers stream flat metric records back over pipes. Process isolation
+// means a worker crash (or a hung chaos world killed by the per-attempt
+// timeout) is a recorded row, never a harness death; each failure is retried
+// `retries` times before being recorded.
+//
+// Determinism by sorting: the merged report is assembled from rows ordered
+// by (parameter point, seed index) — never by arrival — and every number is
+// printed through core::format_metric, so the report bytes are identical
+// regardless of `jobs`, completion order, or whether a worker needed a
+// retry. Resume parses a previous report's ok rows and skips those worlds,
+// producing the same bytes a fresh full run would.
+//
+// Per-world seeds come from core::derive_run_seed(base_seed, seed_index),
+// the same splitmix64 derivation `enviromic_cli --runs` uses, so a fleet
+// world and the equivalent CLI run agree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace enviromic::core {
+
+/// One sweep axis: the campaign runs the cross product of all axes.
+struct FleetAxis {
+  std::string name;
+  std::vector<double> values;
+};
+
+struct FleetSpec {
+  /// chaos | indoor | mobile | outdoor | selftest (selftest is the harness'
+  /// own fault-injection scenario: worlds that crash, hang, or exit on
+  /// demand, used by the tests and nothing else).
+  std::string scenario = "chaos";
+  std::uint64_t base_seed = 7;
+  int seeds_per_point = 8;  //!< worlds per parameter point
+  std::vector<FleetAxis> sweep;  //!< empty -> a single parameter point
+  /// Fixed parameter overrides applied to every world before the axis
+  /// values (an axis with the same name wins). Same name space as the axes.
+  std::vector<std::pair<std::string, double>> fixed;
+  /// Chaos only: parse_fault_spec syntax applied before fixed/axis params.
+  std::string faults_spec;
+  int jobs = 1;           //!< concurrent worker processes (clamped to >= 1)
+  double timeout_s = 0.0; //!< per-attempt wall-clock budget; 0 = none
+  int retries = 1;        //!< extra attempts after a crash/timeout
+};
+
+/// One expanded parameter point of the sweep grid.
+struct FleetPoint {
+  std::size_t index = 0;
+  std::string label;  //!< canonical "name=value,name=value" ("" = no sweep)
+  std::vector<std::pair<std::string, double>> params;
+};
+
+/// One world's outcome. Metric values are kept as the literal strings the
+/// worker printed (format_metric output) so re-emitting them — directly or
+/// through a resume round trip — is byte-stable.
+struct FleetRow {
+  std::size_t point = 0;
+  std::string point_label;
+  std::uint64_t seed_index = 0;
+  std::uint64_t seed = 0;
+  std::string status;  //!< "ok" | "crashed" | "timeout"
+  std::vector<std::pair<std::string, std::string>> metrics;
+};
+
+struct FleetResult {
+  std::vector<FleetRow> rows;  //!< sorted by (point, seed_index)
+  int worlds = 0;
+  int launched = 0;  //!< workers actually forked (excludes resumed rows)
+  int retried = 0;   //!< attempts beyond each world's first
+  int failed = 0;    //!< rows whose final status is not "ok"
+  int resumed = 0;   //!< rows reused from the resume report
+  std::string report_json;  //!< deterministic merged campaign report
+  std::string report_csv;   //!< per-world rows, same ordering rule
+  std::string error;        //!< non-empty when the spec was rejected
+  bool ok() const { return error.empty(); }
+};
+
+/// Expand the sweep axes into the cross product of parameter points (first
+/// axis slowest). An empty sweep yields one unlabeled point.
+std::vector<FleetPoint> fleet_points(const FleetSpec& spec);
+
+/// Check the scenario name, every fixed/axis parameter name, and — when the
+/// campaign selects coded storage — the erasure geometry, without running
+/// anything. Returns false and fills `error` on a bad spec.
+bool validate_fleet_spec(const FleetSpec& spec, std::string* error);
+
+/// The worker entry point: run one world of the campaign in the calling
+/// process and return its flat metric record. The campaign runner calls
+/// this from the forked child; tests call it directly. `attempt` is the
+/// retry ordinal (0 = first try) — the selftest scenario's hang_first_s
+/// fault keys off it.
+RunRecord run_fleet_world(const FleetSpec& spec, const FleetPoint& point,
+                          std::uint64_t seed, int attempt);
+
+/// Run the whole campaign. `resume_report` is a previously produced
+/// report_json whose ok rows are reused instead of re-run (pass "" for a
+/// fresh run). Never throws on worker failure — failed worlds become rows.
+FleetResult run_fleet(const FleetSpec& spec,
+                      const std::string& resume_report = std::string());
+
+}  // namespace enviromic::core

@@ -142,6 +142,27 @@ ErasureCodec::ErasureCodec(unsigned k, unsigned n, std::uint64_t seed)
   }
 }
 
+bool ErasureCodec::validate_geometry(int k, int n, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (k < 1) {
+    return fail("coded-k " + std::to_string(k) +
+                " invalid: need at least 1 data fragment (k >= 1)");
+  }
+  if (n < k) {
+    return fail("coded-n " + std::to_string(n) + " < coded-k " +
+                std::to_string(k) +
+                " invalid: cannot reconstruct from k of n when n < k");
+  }
+  if (n > 255) {
+    return fail("coded-n " + std::to_string(n) +
+                " invalid: GF(2^8) has only 255 evaluation points (n <= 255)");
+  }
+  return true;
+}
+
 std::size_t ErasureCodec::shard_len(std::size_t data_len) const {
   return (data_len + k_ - 1) / k_;
 }

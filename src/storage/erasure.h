@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace enviromic::storage {
@@ -40,6 +41,14 @@ class ErasureCodec {
  public:
   /// Requires 1 <= k <= n <= 255 (clamped if out of range).
   ErasureCodec(unsigned k, unsigned n, std::uint64_t seed = 0);
+
+  /// Checks a k-of-n geometry without clamping: 1 <= k <= n <= 255 (GF(2^8)
+  /// has only 255 nonzero evaluation points, so n cannot exceed 255). The
+  /// CLI boundaries reject bad geometry with this instead of letting the
+  /// constructor's clamp silently change what the user asked for. On
+  /// failure, `error` (when non-null) receives a message naming the
+  /// violated constraint.
+  static bool validate_geometry(int k, int n, std::string* error = nullptr);
 
   unsigned k() const { return k_; }
   unsigned n() const { return n_; }

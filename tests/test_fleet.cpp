@@ -1,0 +1,316 @@
+// Fleet runner: merged-report determinism across -j, worker-crash isolation,
+// timeout/retry semantics, resume, seed derivation, and the strict CLI
+// parsing boundary (library units plus end-to-end binary regressions).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/fleet.h"
+#include "storage/erasure.h"
+#include "util/parse.h"
+
+namespace {
+
+using namespace enviromic;
+using core::FleetSpec;
+
+FleetSpec selftest_spec() {
+  FleetSpec spec;
+  spec.scenario = "selftest";
+  spec.seeds_per_point = 3;
+  spec.sweep.push_back({"x", {1.0, 2.0}});
+  return spec;
+}
+
+// --- Seed derivation ---------------------------------------------------------
+
+TEST(DeriveRunSeed, RunZeroIsTheBaseSeed) {
+  EXPECT_EQ(core::derive_run_seed(7, 0), 7u);
+  EXPECT_EQ(core::derive_run_seed(0, 0), 0u);
+  EXPECT_EQ(core::derive_run_seed(0xdeadbeef, 0), 0xdeadbeefu);
+}
+
+TEST(DeriveRunSeed, AdjacentBaseSeedsShareNoWorlds) {
+  // The old rule (seed + r) made seed 7 run 1 the same world as seed 8
+  // run 0. No pair in a seeds x runs neighbourhood may collide now.
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t base = 7; base < 15; ++base) {
+    for (std::uint64_t r = 0; r < 8; ++r) {
+      seen.push_back(core::derive_run_seed(base, r));
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(DeriveRunSeed, Deterministic) {
+  EXPECT_EQ(core::derive_run_seed(42, 3), core::derive_run_seed(42, 3));
+  EXPECT_NE(core::derive_run_seed(42, 3), core::derive_run_seed(42, 4));
+}
+
+// --- Strict numeric parsing --------------------------------------------------
+
+TEST(StrictParse, U64AcceptsOnlyWholeUnsignedLiterals) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(util::parse_u64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(util::parse_u64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_FALSE(util::parse_u64("", &v));
+  EXPECT_FALSE(util::parse_u64("garbage", &v));
+  EXPECT_FALSE(util::parse_u64("12x", &v));      // trailing junk
+  EXPECT_FALSE(util::parse_u64(" 12", &v));      // leading whitespace
+  EXPECT_FALSE(util::parse_u64("-1", &v));       // sign
+  EXPECT_FALSE(util::parse_u64("+1", &v));
+  EXPECT_FALSE(util::parse_u64("1e3", &v));      // not an integer literal
+  EXPECT_FALSE(util::parse_u64("18446744073709551616", &v));  // 2^64
+}
+
+TEST(StrictParse, IntRangeAndJunk) {
+  int v = 0;
+  EXPECT_TRUE(util::parse_int("-70", &v));
+  EXPECT_EQ(v, -70);
+  EXPECT_TRUE(util::parse_int("2147483647", &v));
+  EXPECT_FALSE(util::parse_int("2147483648", &v));   // > INT_MAX
+  EXPECT_FALSE(util::parse_int("-2147483649", &v));  // < INT_MIN
+  EXPECT_FALSE(util::parse_int("3x", &v));           // atoi accepted this
+  EXPECT_FALSE(util::parse_int("", &v));
+  EXPECT_FALSE(util::parse_int("1.5", &v));
+}
+
+TEST(StrictParse, DoubleRejectsJunkAndNonFinite) {
+  double v = 0.0;
+  EXPECT_TRUE(util::parse_double("2.5", &v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_TRUE(util::parse_double("-1e-3", &v));
+  EXPECT_FALSE(util::parse_double("", &v));
+  EXPECT_FALSE(util::parse_double("abc", &v));
+  EXPECT_FALSE(util::parse_double("2.5s", &v));  // atof accepted this
+  EXPECT_FALSE(util::parse_double(" 2.5", &v));
+  EXPECT_FALSE(util::parse_double("inf", &v));
+  EXPECT_FALSE(util::parse_double("nan", &v));
+  EXPECT_FALSE(util::parse_double("1e999", &v));  // overflows to inf
+}
+
+// --- Erasure geometry validation ---------------------------------------------
+
+TEST(ErasureGeometry, ValidateNamesTheConstraint) {
+  std::string err;
+  EXPECT_TRUE(storage::ErasureCodec::validate_geometry(3, 5, &err));
+  EXPECT_TRUE(storage::ErasureCodec::validate_geometry(1, 1, &err));
+  EXPECT_TRUE(storage::ErasureCodec::validate_geometry(255, 255, &err));
+
+  EXPECT_FALSE(storage::ErasureCodec::validate_geometry(0, 5, &err));
+  EXPECT_NE(err.find("k >= 1"), std::string::npos) << err;
+  EXPECT_FALSE(storage::ErasureCodec::validate_geometry(6, 4, &err));
+  EXPECT_NE(err.find("n < k"), std::string::npos) << err;
+  EXPECT_FALSE(storage::ErasureCodec::validate_geometry(3, 300, &err));
+  EXPECT_NE(err.find("GF(2^8)"), std::string::npos) << err;
+}
+
+// --- Spec expansion and validation -------------------------------------------
+
+TEST(FleetSpecTest, PointsAreTheCrossProductFirstAxisSlowest) {
+  FleetSpec spec;
+  spec.sweep.push_back({"a", {1.0, 2.0}});
+  spec.sweep.push_back({"b", {10.0, 20.0, 30.0}});
+  const auto points = core::fleet_points(spec);
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_EQ(points[0].label, "a=1,b=10");
+  EXPECT_EQ(points[1].label, "a=1,b=20");
+  EXPECT_EQ(points[3].label, "a=2,b=10");
+  EXPECT_EQ(points[5].label, "a=2,b=30");
+}
+
+TEST(FleetSpecTest, RejectsUnknownScenarioAndParameters) {
+  FleetSpec spec;
+  std::string err;
+  spec.scenario = "bogus";
+  EXPECT_FALSE(core::validate_fleet_spec(spec, &err));
+
+  spec.scenario = "chaos";
+  spec.sweep.push_back({"not_a_knob", {1.0}});
+  EXPECT_FALSE(core::validate_fleet_spec(spec, &err));
+  EXPECT_NE(err.find("not_a_knob"), std::string::npos) << err;
+
+  spec.sweep.clear();
+  spec.fixed.emplace_back("crash", 0.2);
+  EXPECT_TRUE(core::validate_fleet_spec(spec, &err));
+}
+
+TEST(FleetSpecTest, RejectsBadCodedGeometryInASweep) {
+  FleetSpec spec;
+  spec.scenario = "chaos";
+  spec.fixed.emplace_back("coded", 1.0);
+  spec.fixed.emplace_back("coded_k", 3.0);
+  spec.sweep.push_back({"coded_n", {5.0, 2.0}});  // n=2 < k=3 at one point
+  std::string err;
+  EXPECT_FALSE(core::validate_fleet_spec(spec, &err));
+  EXPECT_NE(err.find("n < k"), std::string::npos) << err;
+}
+
+// --- Campaign determinism and failure semantics ------------------------------
+
+TEST(FleetRun, ReportBytesIdenticalAcrossJobCounts) {
+  FleetSpec spec = selftest_spec();
+  spec.jobs = 1;
+  const auto r1 = core::run_fleet(spec);
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  spec.jobs = 8;
+  const auto r8 = core::run_fleet(spec);
+  ASSERT_TRUE(r8.ok()) << r8.error;
+  EXPECT_EQ(r1.report_json, r8.report_json);
+  EXPECT_EQ(r1.report_csv, r8.report_csv);
+  EXPECT_EQ(r1.failed, 0);
+  EXPECT_EQ(r8.failed, 0);
+  EXPECT_EQ(r1.worlds, 6);
+}
+
+TEST(FleetRun, WorkerCrashIsARecordedRowNotAHarnessDeath) {
+  FleetSpec spec;
+  spec.scenario = "selftest";
+  spec.seeds_per_point = 2;
+  spec.fixed.emplace_back("crash", 1.0);
+  spec.retries = 1;
+  const auto res = core::run_fleet(spec);
+  ASSERT_TRUE(res.ok()) << res.error;
+  EXPECT_EQ(res.failed, 2);
+  EXPECT_EQ(res.retried, 2);  // each world got its one retry
+  ASSERT_EQ(res.rows.size(), 2u);
+  for (const auto& row : res.rows) {
+    EXPECT_EQ(row.status, "crashed");
+    EXPECT_TRUE(row.metrics.empty());
+  }
+}
+
+TEST(FleetRun, TimeoutKillsAndRecordsAfterRetries) {
+  FleetSpec spec;
+  spec.scenario = "selftest";
+  spec.seeds_per_point = 1;
+  spec.fixed.emplace_back("hang_s", 30.0);
+  spec.timeout_s = 0.2;
+  spec.retries = 0;
+  const auto res = core::run_fleet(spec);
+  ASSERT_TRUE(res.ok()) << res.error;
+  ASSERT_EQ(res.rows.size(), 1u);
+  EXPECT_EQ(res.rows[0].status, "timeout");
+  EXPECT_EQ(res.failed, 1);
+}
+
+TEST(FleetRun, RetryRecoversAWorldThatOnlyHangsOnItsFirstAttempt) {
+  FleetSpec spec;
+  spec.scenario = "selftest";
+  spec.seeds_per_point = 2;
+  spec.fixed.emplace_back("hang_first_s", 30.0);
+  spec.timeout_s = 0.3;
+  spec.retries = 1;
+  const auto res = core::run_fleet(spec);
+  ASSERT_TRUE(res.ok()) << res.error;
+  EXPECT_EQ(res.failed, 0);
+  EXPECT_EQ(res.retried, 2);
+  for (const auto& row : res.rows) EXPECT_EQ(row.status, "ok");
+
+  // A retried campaign still produces the same bytes as an untroubled one.
+  FleetSpec clean = spec;
+  clean.fixed.clear();
+  const auto ref = core::run_fleet(clean);
+  EXPECT_EQ(res.report_json, ref.report_json);
+}
+
+TEST(FleetRun, ResumeSkipsCompletedWorldsAndKeepsTheBytes) {
+  FleetSpec spec = selftest_spec();
+  const auto fresh = core::run_fleet(spec);
+  ASSERT_TRUE(fresh.ok()) << fresh.error;
+
+  const auto resumed = core::run_fleet(spec, fresh.report_json);
+  ASSERT_TRUE(resumed.ok()) << resumed.error;
+  EXPECT_EQ(resumed.resumed, fresh.worlds);
+  EXPECT_EQ(resumed.launched, 0);
+  EXPECT_EQ(resumed.report_json, fresh.report_json);
+  EXPECT_EQ(resumed.report_csv, fresh.report_csv);
+}
+
+TEST(FleetRun, ResumeRerunsOnlyTheMissingPoints) {
+  // Produce a report for half the grid, then resume the full grid: only
+  // the new point's worlds launch and the merged bytes equal a fresh full
+  // run's.
+  FleetSpec half = selftest_spec();
+  half.sweep[0].values = {1.0};
+  const auto partial = core::run_fleet(half);
+  ASSERT_TRUE(partial.ok()) << partial.error;
+
+  FleetSpec full = selftest_spec();
+  const auto resumed = core::run_fleet(full, partial.report_json);
+  ASSERT_TRUE(resumed.ok()) << resumed.error;
+  EXPECT_EQ(resumed.resumed, 3);
+  EXPECT_EQ(resumed.launched, 3);
+
+  const auto fresh = core::run_fleet(full);
+  EXPECT_EQ(resumed.report_json, fresh.report_json);
+}
+
+TEST(FleetRun, ChaosCampaignIsByteIdenticalAcrossJobCounts) {
+  FleetSpec spec;
+  spec.scenario = "chaos";
+  spec.seeds_per_point = 2;
+  spec.faults_spec = "crash=0.3,downtime=30";
+  spec.fixed.emplace_back("horizon", 120.0);
+  spec.jobs = 1;
+  const auto r1 = core::run_fleet(spec);
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  EXPECT_EQ(r1.failed, 0);
+  spec.jobs = 2;
+  const auto r2 = core::run_fleet(spec);
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_EQ(r1.report_json, r2.report_json);
+  // The record carries the invariant verdict as a metric.
+  EXPECT_NE(r1.report_json.find("\"invariants_hold\": 1"), std::string::npos);
+}
+
+// --- Binary-level regressions (strict argument rejection, end to end) --------
+
+int run_binary(const std::string& cmd) {
+  const int status = std::system((cmd + " >/dev/null 2>&1").c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(CliRejection, GarbageNumericArgumentsExitTwo) {
+  const std::string cli = ENVIROMIC_CLI_PATH;
+  EXPECT_EQ(run_binary(cli + " --seed garbage"), 2);
+  EXPECT_EQ(run_binary(cli + " --seed -1"), 2);
+  EXPECT_EQ(run_binary(cli + " --seed 1e3"), 2);
+  EXPECT_EQ(run_binary(cli + " --scenario mobile --runs 3x"), 2);
+  EXPECT_EQ(run_binary(cli + " --beta nope"), 2);
+  EXPECT_EQ(run_binary(cli + " --horizon 10s"), 2);
+  EXPECT_EQ(run_binary(cli + " --dta 70ms"), 2);
+}
+
+TEST(CliRejection, BadErasureGeometryExitsTwo) {
+  const std::string cli = ENVIROMIC_CLI_PATH;
+  EXPECT_EQ(run_binary(cli + " --coded-k 0"), 2);
+  EXPECT_EQ(run_binary(cli + " --coded-n 300"), 2);
+  EXPECT_EQ(run_binary(cli + " --coded-k 6 --coded-n 4"), 2);
+}
+
+TEST(CliRejection, FleetBinaryRejectsBadArguments) {
+  const std::string fleet = ENVIROMIC_FLEET_PATH;
+  EXPECT_EQ(run_binary(fleet + " --seed garbage"), 2);
+  EXPECT_EQ(run_binary(fleet + " --seeds 0"), 2);
+  EXPECT_EQ(run_binary(fleet + " --scenario bogus"), 2);
+  EXPECT_EQ(run_binary(fleet + " --scenario chaos --sweep bogus=1,2"), 2);
+  EXPECT_EQ(run_binary(fleet + " --sweep crash=0.1,x2"), 2);
+  EXPECT_EQ(run_binary(fleet + " --coded-k 0 --coded-n 5"), 2);
+  EXPECT_EQ(run_binary(fleet + " --coded-k 4 --coded-n 2"), 2);
+}
+
+TEST(CliRejection, ValidArgumentsStillRun) {
+  const std::string fleet = ENVIROMIC_FLEET_PATH;
+  EXPECT_EQ(run_binary(fleet + " --scenario selftest --seeds 2 -j 2"), 0);
+}
+
+}  // namespace

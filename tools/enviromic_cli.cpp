@@ -15,6 +15,8 @@
 #include <string>
 
 #include "enviromic.h"
+#include "storage/erasure.h"
+#include "util/parse.h"
 
 using namespace enviromic;
 
@@ -40,7 +42,39 @@ struct Args {
   core::ChaosSpec chaos;
   std::string trace_path;
   double trace_sample_s = 0.0;
+  std::string json_path;
 };
+
+// Strict flag-value parsers: reject non-numeric, trailing-junk, and
+// out-of-range input with a diagnostic naming the flag, then exit 2 (the
+// same status parse() failures produce). `--seed garbage` used to be seed 0.
+std::uint64_t flag_u64(const char* flag, const char* value) {
+  std::uint64_t v = 0;
+  if (!util::parse_u64(value, &v)) {
+    std::fprintf(stderr, "bad %s '%s': expected an unsigned integer\n", flag,
+                 value);
+    std::exit(2);
+  }
+  return v;
+}
+
+int flag_int(const char* flag, const char* value) {
+  int v = 0;
+  if (!util::parse_int(value, &v)) {
+    std::fprintf(stderr, "bad %s '%s': expected an integer\n", flag, value);
+    std::exit(2);
+  }
+  return v;
+}
+
+double flag_double(const char* flag, const char* value) {
+  double v = 0.0;
+  if (!util::parse_double(value, &v)) {
+    std::fprintf(stderr, "bad %s '%s': expected a number\n", flag, value);
+    std::exit(2);
+  }
+  return v;
+}
 
 void usage() {
   std::puts(
@@ -57,6 +91,8 @@ void usage() {
       "  --trc <seconds>  --dta <ms>              mobile scenario knobs\n"
       "  --runs <n>                               repetitions (mobile)\n"
       "  --csv                                    CSV time series output\n"
+      "  --json <path|->                          append one JSON record per\n"
+      "      run ({\"scenario\",\"seed\",\"metrics\"}; - = stdout)\n"
       "  --contours                               storage contour at end\n"
       "  --log-level off|error|warn|info|debug|trace\n"
       "  --trace <path>                           record a protocol trace;\n"
@@ -89,7 +125,7 @@ bool parse(int argc, char** argv, Args& args) {
       else if (m == "full") args.mode = core::Mode::kFull;
       else return false;
     } else if (a == "--beta") {
-      args.beta = std::atof(next("--beta"));
+      args.beta = flag_double("--beta", next("--beta"));
     } else if (a == "--gossip") {
       args.gossip = true;
     } else if (a == "--storage-policy") {
@@ -101,29 +137,25 @@ bool parse(int argc, char** argv, Args& args) {
         return false;
       }
     } else if (a == "--coded-k") {
-      args.coded_k = std::atoi(next("--coded-k"));
-      if (args.coded_k < 1 || args.coded_k > 255) {
-        std::fprintf(stderr, "bad --coded-k %d (need 1..255)\n", args.coded_k);
-        return false;
-      }
+      args.coded_k = flag_int("--coded-k", next("--coded-k"));
     } else if (a == "--coded-n") {
-      args.coded_n = std::atoi(next("--coded-n"));
-      if (args.coded_n < 1 || args.coded_n > 255) {
-        std::fprintf(stderr, "bad --coded-n %d (need 1..255)\n", args.coded_n);
+      args.coded_n = flag_int("--coded-n", next("--coded-n"));
+    } else if (a == "--seed") {
+      args.seed = flag_u64("--seed", next("--seed"));
+    } else if (a == "--horizon") {
+      args.horizon_s = flag_double("--horizon", next("--horizon"));
+    } else if (a == "--sample") {
+      args.sample_s = flag_double("--sample", next("--sample"));
+    } else if (a == "--trc") {
+      args.trc_s = flag_double("--trc", next("--trc"));
+    } else if (a == "--dta") {
+      args.dta_ms = flag_int("--dta", next("--dta"));
+    } else if (a == "--runs") {
+      args.runs = flag_int("--runs", next("--runs"));
+      if (args.runs < 1) {
+        std::fprintf(stderr, "bad --runs %d (need >= 1)\n", args.runs);
         return false;
       }
-    } else if (a == "--seed") {
-      args.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
-    } else if (a == "--horizon") {
-      args.horizon_s = std::atof(next("--horizon"));
-    } else if (a == "--sample") {
-      args.sample_s = std::atof(next("--sample"));
-    } else if (a == "--trc") {
-      args.trc_s = std::atof(next("--trc"));
-    } else if (a == "--dta") {
-      args.dta_ms = std::atoi(next("--dta"));
-    } else if (a == "--runs") {
-      args.runs = std::atoi(next("--runs"));
     } else if (a == "--faults") {
       std::string err;
       if (!core::parse_fault_spec(next("--faults"), args.chaos, err)) {
@@ -145,8 +177,11 @@ bool parse(int argc, char** argv, Args& args) {
       }
     } else if (a == "--trace") {
       args.trace_path = next("--trace");
+    } else if (a == "--json") {
+      args.json_path = next("--json");
     } else if (a == "--trace-sample-interval") {
-      args.trace_sample_s = std::atof(next("--trace-sample-interval"));
+      args.trace_sample_s =
+          flag_double("--trace-sample-interval", next("--trace-sample-interval"));
       if (args.trace_sample_s <= 0.0) {
         std::fprintf(stderr, "bad --trace-sample-interval %g (need > 0)\n",
                      args.trace_sample_s);
@@ -164,12 +199,31 @@ bool parse(int argc, char** argv, Args& args) {
       return false;
     }
   }
-  if (args.coded_k > args.coded_n) {
-    std::fprintf(stderr, "bad erasure geometry: --coded-k %d > --coded-n %d\n",
-                 args.coded_k, args.coded_n);
+  std::string geom_err;
+  if (!storage::ErasureCodec::validate_geometry(args.coded_k, args.coded_n,
+                                                &geom_err)) {
+    std::fprintf(stderr, "bad erasure geometry: %s\n", geom_err.c_str());
     return false;
   }
   return true;
+}
+
+/// Append one run's machine-readable record to --json PATH ("-" = stdout).
+void emit_json_record(const Args& args, const std::string& scenario,
+                      std::uint64_t seed, const core::RunRecord& rec) {
+  if (args.json_path.empty()) return;
+  const std::string line = core::run_record_json(scenario, seed, rec) + "\n";
+  if (args.json_path == "-") {
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    return;
+  }
+  std::FILE* f = std::fopen(args.json_path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open --json %s\n", args.json_path.c_str());
+    return;
+  }
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fclose(f);
 }
 
 int run_indoor_cli(const Args& args) {
@@ -206,6 +260,7 @@ int run_indoor_cli(const Args& args) {
     return 0;
   }
   const auto res = core::run_indoor(cfg);
+  emit_json_record(args, "indoor", cfg.seed, core::indoor_run_record(res));
   if (args.csv) {
     util::Table t({"t_s", "miss", "redundancy", "messages"});
     for (const auto& s : res.series) {
@@ -237,10 +292,15 @@ int run_mobile_cli(const Args& args) {
   std::vector<double> misses;
   for (int r = 0; r < args.runs; ++r) {
     core::MobileRunConfig cfg;
-    cfg.seed = args.seed + static_cast<std::uint64_t>(r);
+    // Run 0 stays on the base seed; later runs are splitmix64-derived so
+    // adjacent base seeds never share worlds (seed 7 run 1 used to be the
+    // same world as seed 8 run 0 under the old `seed + r` rule).
+    cfg.seed = core::derive_run_seed(args.seed, static_cast<std::uint64_t>(r));
     cfg.task_period = sim::Time::seconds(args.trc_s);
     cfg.task_assign_delay = sim::Time::millis(args.dta_ms);
-    misses.push_back(core::run_mobile(cfg).miss_ratio);
+    const auto res = core::run_mobile(cfg);
+    emit_json_record(args, "mobile", cfg.seed, core::mobile_run_record(res));
+    misses.push_back(res.miss_ratio);
   }
   std::printf("mobile[Trc=%.1fs Dta=%dms] runs=%d miss=%.3f ci90=%.3f\n",
               args.trc_s, args.dta_ms, args.runs, util::mean(misses),
@@ -254,6 +314,7 @@ int run_outdoor_cli(const Args& args) {
   cfg.horizon = sim::Time::seconds(args.horizon_s);
   cfg.beta_max = args.beta;
   const auto res = core::run_outdoor(cfg);
+  emit_json_record(args, "outdoor", cfg.seed, core::outdoor_run_record(res));
   if (args.csv) {
     util::Table t({"minute", "recorded_s"});
     for (std::size_t m = 0; m < res.recorded_seconds_per_minute.size(); ++m) {
@@ -272,6 +333,7 @@ int run_voice_cli(const Args& args) {
   core::VoiceRunConfig cfg;
   cfg.seed = args.seed;
   const auto res = core::run_voice(cfg);
+  emit_json_record(args, "voice", cfg.seed, core::voice_run_record(res));
   std::printf("voice coverage=%.1f%% envelope_correlation=%.3f\n",
               res.stitched_coverage * 100.0, res.envelope_correlation);
   return 0;
@@ -299,6 +361,7 @@ int run_chaos_cli(const Args& args) {
     cfg.burst.enabled = true;
   }
   const auto res = core::run_chaos(cfg);
+  emit_json_record(args, "chaos", cfg.seed, core::chaos_run_record(res));
   const auto& f = res.final_snapshot.faults;
   std::printf("chaos[seed=%llu] nodes=%zu chunks=%llu miss=%.3f\n",
               static_cast<unsigned long long>(args.seed), res.nodes,
