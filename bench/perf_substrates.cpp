@@ -736,6 +736,77 @@ int main(int argc, char** argv) {
         coded.ms);
   }
 
+  // 5b. Retrieval plane: spanning-tree drains from the grid corners under
+  // the standard chaos storm — the same 200-node world as the gated chaos
+  // leg, with 1/2/4 sinks flooding "/chunks/all" at the horizon and hauling
+  // the field home through an extended grace tail. Reports wall clock,
+  // simulated drain span, and the drain miss ratio per sink count; the
+  // 2-sink leg runs twice on one seed as the repeat-determinism check and
+  // retrieval_drain_2_ms joins the regression gate. Runs the same size in
+  // quick and full mode so the gated number stays comparable with the
+  // committed full-run baseline.
+  {
+    auto drain_cfg = [](int sinks) {
+      auto cfg = chaos_config(20, 10, 300.0, /*indexed=*/true);
+      cfg.grace = sim::Time::seconds_i(300);
+      cfg.drain_sinks = sinks;
+      cfg.drain_hops = 30;  // corner-to-corner on the 20x10 grid
+      return cfg;
+    };
+    auto timed_drain = [&](int sinks) {
+      ChaosTimed out;
+      const auto t0 = Clock::now();
+      out.result = core::run_chaos(drain_cfg(sinks));
+      out.ms = ms_since(t0);
+      return out;
+    };
+    std::map<int, ChaosTimed> legs;
+    for (int sinks : {1, 2, 4}) {
+      legs[sinks] = timed_drain(sinks);
+      const auto& r = legs[sinks].result;
+      const std::string tag = "retrieval_drain_" + std::to_string(sinks);
+      results[tag + "_ms"] = legs[sinks].ms;
+      results[tag + "_span_s"] = r.retrieval_drain_span.to_seconds();
+      results["retrieval_miss_" + std::to_string(sinks)] =
+          r.retrieval_miss_ratio;
+      if (!r.invariants_hold()) {
+        determinism_ok = false;
+        std::fprintf(stderr, "FAIL: retrieval drain (%d sinks) invariants\n",
+                     sinks);
+      }
+      if (r.retrieval_collected == 0 ||
+          r.final_snapshot.retrieval_chunks_relayed == 0) {
+        determinism_ok = false;
+        std::fprintf(stderr,
+                     "FAIL: retrieval drain (%d sinks) collected %llu, "
+                     "relayed %u — the pipeline never ran\n",
+                     sinks,
+                     static_cast<unsigned long long>(r.retrieval_collected),
+                     r.final_snapshot.retrieval_chunks_relayed);
+      }
+      std::printf(
+          "retrieval drain %d sink%s: %.1f ms wall, %.1f sim s span, "
+          "%llu/%llu collected (miss %.3f), %u relayed, %llu double\n",
+          sinks, sinks == 1 ? " " : "s", legs[sinks].ms,
+          r.retrieval_drain_span.to_seconds(),
+          static_cast<unsigned long long>(r.retrieval_collected),
+          static_cast<unsigned long long>(r.retrieval_eligible),
+          r.retrieval_miss_ratio, r.final_snapshot.retrieval_chunks_relayed,
+          static_cast<unsigned long long>(r.retrieval_double_uploads));
+    }
+    results["retrieval_double_uploads"] =
+        static_cast<double>(legs[2].result.retrieval_double_uploads);
+    const auto rep = timed_drain(2);
+    if (!chaos_runs_identical(legs[2].result, rep.result) ||
+        legs[2].result.retrieval_collected != rep.result.retrieval_collected ||
+        legs[2].result.retrieval_double_uploads !=
+            rep.result.retrieval_double_uploads ||
+        legs[2].result.retrieval_drain_span != rep.result.retrieval_drain_span) {
+      determinism_ok = false;
+      std::fprintf(stderr, "DIVERGENCE: retrieval drain repeat-seed run\n");
+    }
+  }
+
   // 6. Fleet scaling: the same 16-world chaos campaign (2 crash-rate points
   // x 8 seeds) through the multi-process fleet runner at -j1 and -jN
   // (N = hardware threads). The merged reports must be byte-identical —
@@ -823,7 +894,8 @@ int main(int argc, char** argv) {
   // comparable with the committed full-run trajectory point.
   if (!baseline_text.empty()) {
     for (const char* key :
-         {"chaos_200_ms", "migrate_windowed_ms", "coded_chaos_ms"}) {
+         {"chaos_200_ms", "migrate_windowed_ms", "coded_chaos_ms",
+          "retrieval_drain_2_ms"}) {
       double base = 0.0;
       if (!json_number(baseline_text, key, &base) || base <= 0.0) {
         std::printf("regression gate: no usable %s baseline, skipping\n", key);

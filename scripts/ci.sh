@@ -19,8 +19,9 @@ done
 
 echo "== perf smoke (regression gate vs committed baseline)"
 # Fails on indexed/linear or repeat-seed divergence (exit 2) or when a gated
-# scenario — the 200-node chaos soak or the windowed migration drain
-# (migrate_windowed_ms) — regresses more than 25% against the committed
+# scenario — the 200-node chaos soak, the windowed migration drain
+# (migrate_windowed_ms), the coded chaos leg, or the 2-sink retrieval drain
+# (retrieval_drain_2_ms) — regresses more than 25% against the committed
 # trajectory point (exit 3). Writes the quick-mode numbers next to the
 # committed full-mode trajectory point, never over it (only
 # scripts/run_bench.sh updates that).
@@ -79,7 +80,9 @@ rc=0
 # Strict numeric parsing: non-numeric, trailing-junk, and out-of-range
 # arguments exit 2 with a diagnostic (atoll/atof silently accepted these).
 for bad in "--seed garbage" "--seed 1e3" "--runs 3x" "--beta nope" \
-    "--coded-k 0" "--coded-n 300" "--coded-k 6 --coded-n 4"; do
+    "--coded-k 0" "--coded-n 300" "--coded-k 6 --coded-n 4" \
+    "--drain-sinks 9" "--drain-sinks x" "--drain-hops 0" \
+    "--drain-resource /chunks/bogus"; do
   rc=0
   # shellcheck disable=SC2086
   ./build/tools/enviromic_cli $bad > /dev/null 2>&1 || rc=$?
@@ -105,6 +108,42 @@ echo "== coded chaos smoke"
 grep -E 'payloads\[coded\]: total=[0-9]+ reconstructible=[1-9]' \
   build/coded_smoke.txt > /dev/null \
   || { echo "FAIL: coded smoke reconstructed nothing"; exit 1; }
+
+echo "== retrieval drain smoke"
+# Two corner sinks flood tree queries and drain the field through the chaos
+# storm: the end-state invariant gate still applies (nonzero exit on
+# violation), the printed retrieval line must report collected chunks, and
+# the JSON record must carry the retrieval_* accounting keys.
+rm -f build/retrieval_smoke.jsonl
+./build/tools/enviromic_cli --faults crash=0.3,downtime=45,burst=1 \
+  --horizon 300 --seed 11 --drain-sinks 2 --drain-hops 10 \
+  --json build/retrieval_smoke.jsonl | tee build/retrieval_smoke.txt
+grep -E 'retrieval\[/chunks/all sinks=2 hops=10\]: eligible=[0-9]+ collected=[1-9]' \
+  build/retrieval_smoke.txt > /dev/null \
+  || { echo "FAIL: retrieval smoke collected nothing"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json, sys
+rec = json.loads(open("build/retrieval_smoke.jsonl").readline())
+m = rec["metrics"]
+need = ["retrieval_sinks", "retrieval_eligible", "retrieval_collected",
+        "retrieval_double_uploads", "retrieval_miss_ratio",
+        "retrieval_drain_span_s", "retrieval_chunks_relayed",
+        "retrieval_descriptor_acks"]
+missing = [k for k in need if k not in m]
+if missing:
+    sys.exit(f"FAIL: retrieval record missing {missing}")
+if m["retrieval_sinks"] != 2 or m["retrieval_collected"] <= 0:
+    sys.exit(f"FAIL: retrieval record sinks={m['retrieval_sinks']} "
+             f"collected={m['retrieval_collected']}")
+if not 0.0 <= m["retrieval_miss_ratio"] <= 1.0:
+    sys.exit(f"FAIL: miss ratio {m['retrieval_miss_ratio']} out of [0,1]")
+print(f"retrieval smoke OK: {m['retrieval_collected']:.0f}"
+      f"/{m['retrieval_eligible']:.0f} chunks, "
+      f"miss {m['retrieval_miss_ratio']:.3f}, "
+      f"span {m['retrieval_drain_span_s']:.1f}s")
+EOF
+fi
 
 echo "== fleet smoke"
 # Small campaign through the multi-process runner: the merged report must

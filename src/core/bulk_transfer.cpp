@@ -45,7 +45,9 @@ void BulkTransfer::start_session(net::NodeId to, int max_chunks) {
 }
 
 void BulkTransfer::start_push(net::NodeId to, storage::Chunk chunk,
-                              std::function<void(bool)> done) {
+                              std::function<void(bool)> done,
+                              net::NodeId drain_sink,
+                              std::uint32_t drain_query) {
   if (tx_) {
     if (done) done(false);
     return;
@@ -56,6 +58,8 @@ void BulkTransfer::start_push(net::NodeId to, storage::Chunk chunk,
   tx_->push_mode = true;
   tx_->push_chunk = std::move(chunk);
   tx_->push_done = std::move(done);
+  tx_->drain_sink = drain_sink;
+  tx_->drain_query = drain_query;
   last_tx_activity_ = node_.sched().now();
   ++stats_.sessions;
   sim::trace_begin(node_.sched().now(), sim::TraceEvent::kBulkSession,
@@ -228,6 +232,8 @@ bool BulkTransfer::send_fragment(std::uint32_t frag, bool ack_request) {
     d.ec_k = meta.ec_k;
     d.ec_n = meta.ec_n;
     d.ec_orig_bytes = meta.ec_orig_bytes;
+    d.drain_sink = tx_->drain_sink;
+    d.drain_query = tx_->drain_query;
   }
   if (!tx_->current->payload.empty() && off < tx_->current->payload.size()) {
     const auto len = std::min<std::size_t>(
@@ -389,6 +395,8 @@ void BulkTransfer::handle(const net::TransferData& m) {
     st.meta.ec_k = m.ec_k;
     st.meta.ec_n = m.ec_n;
     st.meta.ec_orig_bytes = m.ec_orig_bytes;
+    st.drain_sink = m.drain_sink;
+    st.drain_query = m.drain_query;
   }
   if (!m.payload.empty()) {
     // Place the payload at the SENDER's byte offset: the two nodes may be
@@ -422,8 +430,16 @@ void BulkTransfer::handle(const net::TransferData& m) {
   c.payload = std::move(st.payload);
   const std::uint32_t bytes = st.meta.bytes;
   const std::uint32_t frag_count = st.frag_count;
+  const net::NodeId drain_sink = st.drain_sink;
+  const std::uint32_t drain_query = st.drain_query;
   rx_.erase(m.chunk_key);
-  if (!node_.store().append(std::move(c))) {
+  // A drain-routed chunk goes to the retrieval plane (delivered at the sink
+  // or queued for the next hop); its overflow path — and every ordinary
+  // migration — lands in the store.
+  const bool consumed =
+      drain_sink != net::kInvalidNode &&
+      node_.retrieval().on_drain_chunk(drain_sink, drain_query, m.sender, c);
+  if (!consumed && !node_.store().append(std::move(c))) {
     // No room after all (we filled up since granting); stay silent so the
     // sender keeps the chunk and eventually aborts.
     return;

@@ -64,8 +64,14 @@ class BulkTransfer {
   /// chunk, `done(false)` on any other outcome (busy, no grant, too small a
   /// grant, retries exhausted). The callback is dropped without being
   /// invoked when the node crashes mid-push (reset()).
+  ///
+  /// A push with `drain_sink` set is a retrieval-drain hop: the sink/query
+  /// pair rides fragment 0, and the receiver hands the completed chunk to
+  /// its RetrievalService (deliver or relay upstream) instead of storing it.
   void start_push(net::NodeId to, storage::Chunk chunk,
-                  std::function<void(bool)> done);
+                  std::function<void(bool)> done,
+                  net::NodeId drain_sink = net::kInvalidNode,
+                  std::uint32_t drain_query = 0);
 
   void handle(const net::TransferOffer& m);
   void handle(const net::TransferGrant& m);
@@ -125,6 +131,10 @@ class BulkTransfer {
     std::optional<storage::Chunk> push_chunk;  //!< not yet in flight
     bool push_delivered = false;
     std::function<void(bool)> push_done;
+    /// Retrieval-drain routing carried on fragment 0 (kInvalidNode for a
+    /// plain migration or dispersal push).
+    net::NodeId drain_sink = net::kInvalidNode;
+    std::uint32_t drain_query = 0;
   };
 
   struct RecvState {
@@ -135,6 +145,8 @@ class BulkTransfer {
     std::set<std::uint32_t> got;
     std::vector<std::uint8_t> payload;
     sim::Time last_activity;
+    net::NodeId drain_sink = net::kInvalidNode;
+    std::uint32_t drain_query = 0;
   };
 
   std::uint32_t window() const;

@@ -190,6 +190,29 @@ struct ProtocolConfig {
 
   // --- Retrieval -----------------------------------------------------------
   sim::Time reply_spacing = sim::Time::millis(5);
+  /// Soft-state budget for flooded queries (seen-set entries, spanning-tree
+  /// parents). Entries expire after retrieval_query_ttl; the hard cap (4x
+  /// this value, enforced oldest-first) only backstops a query storm faster
+  /// than the TTL can age entries out — it never evicts a young live query.
+  std::size_t retrieval_max_queries = 64;
+  sim::Time retrieval_query_ttl = sim::Time::seconds_i(30);
+  /// A sink re-floods its drain query on this cadence (mule-style keepalive:
+  /// serving nodes pause uploads for sinks they stopped hearing).
+  sim::Time drain_requery = sim::Time::seconds_i(2);
+  /// Serving nodes end a drain session when the sink's query goes stale for
+  /// this long; sinks end a drain after this long without a new chunk.
+  sim::Time drain_timeout = sim::Time::seconds_i(10);
+  /// Back-off before re-attempting a drain step that could not run (node
+  /// recording, radio off, bulk-transfer pipe busy, push not granted).
+  sim::Time drain_retry = sim::Time::millis(500);
+  /// Relay RAM queue bound per node for pipelined drains; overflow falls
+  /// back to absorbing the chunk into the local store (data preserved, the
+  /// drain re-serves it on a later re-flood).
+  std::size_t drain_relay_queue_max = 16;
+  /// A relay chunk whose upstream push keeps failing falls back to the
+  /// local store after this many attempts (the parent died; re-flooding
+  /// re-routes around it).
+  int drain_relay_max_failures = 4;
 };
 
 }  // namespace enviromic::core

@@ -329,6 +329,45 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
                                                world.rng().fork("faults"));
   world.apply_faults(plan);
 
+  // Retrieval drain leg: at the horizon, up to four grid-corner sinks flood
+  // drain queries and haul the field's chunks home through the grace tail.
+  // drain_sinks == 0 schedules nothing at all, so the RNG streams of a
+  // drain-free run stay bit-identical to a pre-retrieval build.
+  std::vector<std::size_t> sink_idx;
+  std::uint64_t drain_eligible = 0;
+  const sim::Time drain_started_at = cfg.horizon;
+  if (cfg.drain_sinks > 0) {
+    const ResourceSelector sel =
+        parse_resource(cfg.drain_resource).value_or(ResourceSelector::all());
+    std::vector<std::size_t> corners = {
+        0, static_cast<std::size_t>(cfg.grid_nx) * cfg.grid_ny - 1,
+        static_cast<std::size_t>(cfg.grid_nx) - 1,
+        static_cast<std::size_t>(cfg.grid_ny - 1) * cfg.grid_nx};
+    corners.resize(std::min<std::size_t>(cfg.drain_sinks, corners.size()));
+    world.sched().at(cfg.horizon, [&world, &sink_idx, &drain_eligible, corners,
+                                   sel, hops = cfg.drain_hops] {
+      std::set<std::uint64_t> eligible;
+      for (std::size_t i = 0; i < world.node_count(); ++i) {
+        Node& n = world.node(i);
+        if (n.failed() || n.down()) continue;
+        n.store().for_each([&](const storage::ChunkMeta& m) {
+          if (sel.matches(m)) eligible.insert(m.key);
+        });
+      }
+      drain_eligible = eligible.size();
+      for (std::size_t idx : corners) {
+        if (idx >= world.node_count()) continue;
+        Node& n = world.node(idx);
+        if (n.failed() || n.down()) continue;  // a dead sink misses its drain
+        DrainOptions opts;
+        opts.selector = sel;
+        opts.hops = static_cast<std::uint8_t>(hops);
+        n.retrieval().start_drain(opts);
+        sink_idx.push_back(idx);
+      }
+    });
+  }
+
   // Flight recorder: keep a small trace ring for the post-mortem dump unless
   // the caller already has tracing on (then its ring serves the same role).
   const bool fr_owns_trace =
@@ -509,7 +548,42 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
     r.drained_bytes = drained.bytes_collected;
   }
 
-  r.final_snapshot = world.snapshot();
+  // Retrieval drain accounting: union the sinks' hauls, count keys that were
+  // physically uploaded to more than one sink (overlap resolution should have
+  // descriptor-acked those), and fold the collected chunks into the final
+  // snapshot so coverage still counts what the drain hauled off the motes.
+  std::vector<storage::ChunkMeta> drained_metas;
+  if (cfg.drain_sinks > 0) {
+    r.retrieval_eligible = drain_eligible;
+    std::map<std::uint64_t, int> sink_copies;
+    sim::Time last_arrival = sim::Time::zero();
+    for (std::size_t idx : sink_idx) {
+      Node& n = world.node(idx);
+      ++r.retrieval_sinks;
+      for (const auto& c : n.retrieval().collected()) {
+        ++sink_copies[c.meta.key];
+        drained_metas.push_back(c.meta);
+      }
+      last_arrival = std::max(last_arrival, n.retrieval().last_collected_at());
+    }
+    r.retrieval_collected = sink_copies.size();
+    for (const auto& [key, cnt] : sink_copies) {
+      (void)key;
+      if (cnt > 1) r.retrieval_double_uploads += cnt - 1;
+    }
+    if (r.retrieval_eligible != 0) {
+      // Chunks recorded after the eligibility census can still be collected
+      // by later flood rounds, so clamp at zero.
+      r.retrieval_miss_ratio = std::max(
+          0.0, 1.0 - static_cast<double>(r.retrieval_collected) /
+                         static_cast<double>(r.retrieval_eligible));
+    }
+    if (last_arrival > drain_started_at)
+      r.retrieval_drain_span = last_arrival - drain_started_at;
+  }
+
+  r.final_snapshot = cfg.drain_sinks > 0 ? world.snapshot_with(drained_metas)
+                                         : world.snapshot();
   r.channel_stats = world.channel().stats();
   const auto& f = r.final_snapshot.faults;
   r.counters_consistent = f.crashes == f.reboots + r.nodes_down_at_end;
@@ -597,6 +671,25 @@ RunRecord chaos_run_record(const ChaosRunResult& r) {
   put("coded_chunks", r.coded.chunks_coded);
   put("coded_fragments_placed", r.coded.fragments_placed);
   put("coded_fragments_failed", r.coded.fragments_failed);
+  put("retrieval_queries_served",
+      static_cast<double>(s.retrieval_queries_served));
+  put("retrieval_chunks_uploaded",
+      static_cast<double>(s.retrieval_chunks_uploaded));
+  put("retrieval_chunks_relayed",
+      static_cast<double>(s.retrieval_chunks_relayed));
+  put("retrieval_relay_fallbacks",
+      static_cast<double>(s.retrieval_relay_fallbacks));
+  put("retrieval_descriptor_acks",
+      static_cast<double>(s.retrieval_descriptor_acks));
+  if (r.retrieval_sinks > 0) {
+    put("retrieval_sinks", static_cast<double>(r.retrieval_sinks));
+    put("retrieval_eligible", static_cast<double>(r.retrieval_eligible));
+    put("retrieval_collected", static_cast<double>(r.retrieval_collected));
+    put("retrieval_double_uploads",
+        static_cast<double>(r.retrieval_double_uploads));
+    put("retrieval_miss_ratio", r.retrieval_miss_ratio);
+    put("retrieval_drain_span_s", r.retrieval_drain_span.to_seconds());
+  }
   put("executed_events", static_cast<double>(r.executed_events));
   put("live_events_at_end", static_cast<double>(r.live_events_at_end));
   put("stuck_tx_sessions", r.stuck_tx_sessions);

@@ -197,6 +197,16 @@ struct ChaosRunConfig {
   /// Recording replicas (the coded-survival bench's matched-overhead
   /// replication leg; 1 = the protocol default).
   int recording_replicas = 1;
+  /// Retrieval plane: number of sink nodes (grid corners) that start a
+  /// spanning-tree drain at the horizon and run it through the grace tail.
+  /// 0 disables the drain leg entirely — no event is even scheduled, so the
+  /// RNG streams match a pre-retrieval run bit for bit.
+  int drain_sinks = 0;
+  int drain_hops = 4;  //!< flood depth of the drain queries
+  /// Resource selector for the drain, in the CoAP-style path syntax
+  /// understood by parse_resource() ("/chunks/all", "/chunks/time/A-B",
+  /// "/chunks/source/N").
+  std::string drain_resource = "/chunks/all";
 };
 
 struct ChaosRunResult {
@@ -266,6 +276,21 @@ struct ChaosRunResult {
   std::uint64_t drained_bytes = 0;  //!< raw bytes hauled off the motes
   /// Coded-dispersal counters summed over all nodes.
   CodedStats coded;
+
+  // --- Retrieval drain leg (config.drain_sinks > 0) ---
+  std::uint32_t retrieval_sinks = 0;  //!< drains actually started
+  /// Distinct selector-matching chunk keys held by reachable (up, not
+  /// failed) nodes at drain start — what a perfect drain could collect.
+  std::uint64_t retrieval_eligible = 0;
+  /// Distinct keys delivered to any sink by the end of the run.
+  std::uint64_t retrieval_collected = 0;
+  /// Keys physically uploaded to more than one sink (the overlap-resolution
+  /// invariant wants this at 0: a second sink gets a descriptor ack).
+  std::uint64_t retrieval_double_uploads = 0;
+  /// 1 - collected/eligible (0 when nothing was eligible).
+  double retrieval_miss_ratio = 0.0;
+  /// Simulated time from drain start until the last chunk reached a sink.
+  sim::Time retrieval_drain_span;
 
   bool invariants_hold() const {
     return stores_recoverable && retrieval_exact_once &&

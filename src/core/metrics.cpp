@@ -94,6 +94,14 @@ Metrics::Snapshot Metrics::compute(
           std::max(s.transfer_max_in_flight, view.transfer->max_in_flight);
     }
 
+    if (view.retrieval) {
+      s.retrieval_queries_served += view.retrieval->queries_served;
+      s.retrieval_chunks_uploaded += view.retrieval->chunks_uploaded;
+      s.retrieval_chunks_relayed += view.retrieval->chunks_relayed;
+      s.retrieval_relay_fallbacks += view.retrieval->relay_fallbacks;
+      s.retrieval_descriptor_acks += view.retrieval->descriptor_acks;
+    }
+
     if (view.radio) {
       const auto& ms = view.radio->messages_sent;
       for (std::size_t i = 0; i < net::kMessageTypeCount; ++i) {

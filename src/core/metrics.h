@@ -15,6 +15,7 @@
 
 #include "core/bulk_transfer.h"
 #include "core/ground_truth.h"
+#include "core/retrieval.h"
 #include "net/radio.h"
 #include "storage/chunk_store.h"
 
@@ -97,6 +98,7 @@ class Metrics {
     const storage::ChunkStore* store;  //!< null when the mote's data is lost
     const net::RadioStats* radio;
     const TransferStats* transfer = nullptr;
+    const RetrievalStats* retrieval = nullptr;
   };
 
   struct Snapshot {
@@ -123,6 +125,12 @@ class Metrics {
     std::uint32_t transfer_fragments_retried = 0;
     std::uint32_t transfer_window_stalls = 0;  //!< pacing pump parked on window
     std::uint32_t transfer_max_in_flight = 0;  //!< peak over all nodes
+    // Retrieval plane, summed over views.
+    std::uint32_t retrieval_queries_served = 0;
+    std::uint32_t retrieval_chunks_uploaded = 0;
+    std::uint32_t retrieval_chunks_relayed = 0;
+    std::uint32_t retrieval_relay_fallbacks = 0;
+    std::uint32_t retrieval_descriptor_acks = 0;
   };
 
   /// `collected` optionally adds chunks that left the network but were

@@ -1,6 +1,7 @@
-// Data retrieval (paper §II-C).
+// Data retrieval (paper §II-C): the retrieval plane.
 //
-// Both designs the paper discusses are implemented:
+// Both designs the paper discusses are implemented, generalized to several
+// concurrent collection points:
 //
 //  * `hops` = 1 — the final single-hop scheme: a user (the "data mule")
 //    broadcasts a query; nodes in range stream back chunk descriptors, and
@@ -11,17 +12,42 @@
 //    as its tree parent, replies route hop by hop up the tree to the sink,
 //    and "if gaps are observed in retrieved files, their IDs are flooded
 //    until all parts are retrieved successfully" (see `find_gap_windows`).
+//
+// On top of the flood, three mechanisms make this a usable drain plane
+// rather than a one-shot query primitive (DESIGN.md §13):
+//
+//  * Per-sink serve sessions. A node uploads to any number of concurrent
+//    sinks, one session per sink keyed by the sink's latest flood round.
+//    A chunk already streamed into one sink's drain is descriptor-acked
+//    (`QueryReply::collected_by`) — never re-uploaded — to a second.
+//
+//  * Pipelined upstream streaming. Harvest uploads ride the windowed
+//    bulk-transfer pipeline (`BulkTransfer::start_push`) hop by hop toward
+//    the tree parent, so multi-hop drains inherit cumulative+SACK acking,
+//    fast retransmit, and crash-clean teardown. Intermediate nodes relay
+//    from a bounded RAM queue and fall back to absorbing a chunk into their
+//    own store when the route dies (data is preserved; a later re-flood
+//    re-serves it).
+//
+//  * CoAP-style resource addressing. Queries name the chunks they want —
+//    `/chunks/all`, `/chunks/time/<from>-<to>`, `/chunks/source/<id>` —
+//    resolved against each store's chunk metadata (see ResourceSelector).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "core/config.h"
 #include "net/message.h"
 #include "sim/time.h"
+#include "storage/chunk.h"
 #include "storage/file_index.h"
 
 namespace enviromic::core {
@@ -32,6 +58,48 @@ class Node;
 /// file, to be re-flooded "until all parts are retrieved successfully".
 std::vector<std::pair<sim::Time, sim::Time>> find_gap_windows(
     const storage::FileIndex& index);
+
+// --- Resource addressing ----------------------------------------------------
+
+/// What a query asks for, CoAP-style: a path names a set of stored chunks,
+/// resolved against ChunkMeta at every node the flood reaches.
+///
+///   /chunks/all                 every stored chunk
+///   /chunks/time/<from>-<to>    chunks overlapping [from, to) seconds
+///   /chunks/source/<id>         chunks recorded by node <id>
+struct ResourceSelector {
+  enum class Kind : std::uint8_t { kTime = 0, kSource = 1 };
+
+  Kind kind = Kind::kTime;
+  sim::Time from;                          //!< kTime
+  sim::Time to = sim::Time::max();         //!< kTime (exclusive)
+  net::NodeId source = net::kInvalidNode;  //!< kSource
+
+  static ResourceSelector all() { return {}; }
+  static ResourceSelector time_range(sim::Time from, sim::Time to) {
+    ResourceSelector s;
+    s.from = from;
+    s.to = to;
+    return s;
+  }
+  static ResourceSelector by_source(net::NodeId id) {
+    ResourceSelector s;
+    s.kind = Kind::kSource;
+    s.source = id;
+    return s;
+  }
+
+  bool matches(const storage::ChunkMeta& m) const {
+    if (kind == Kind::kSource) return m.recorded_by == source;
+    return m.end > from && m.start < to;
+  }
+
+  std::string path() const;
+};
+
+/// Parses a resource path; nullopt on malformed input (unknown prefix,
+/// non-numeric bounds, empty or inverted time window).
+std::optional<ResourceSelector> parse_resource(const std::string& path);
 
 // --- Decode-on-drain (coded dispersal) --------------------------------------
 
@@ -47,7 +115,7 @@ struct DecodeDrainStats {
   std::uint64_t groups_reconstructed = 0;  //!< >= k fragments, decoded
   std::uint64_t groups_redundant = 0;      //!< a whole copy also survived
   std::uint64_t groups_partial = 0;        //!< < k fragments, no whole copy
-  std::uint64_t fragments_consumed = 0;
+  std::uint64_t fragments_consumed = 0;    //!< distinct (group, index) pairs
   std::uint64_t decode_failures = 0;       //!< codec rejected the set
   /// Every reconstruction with a surviving whole copy to compare against
   /// matched it byte for byte (vacuously true without payloads).
@@ -62,24 +130,72 @@ struct DecodeDrainStats {
 std::vector<storage::Chunk> decode_collected(
     const std::vector<CollectedChunk>& collected, DecodeDrainStats* stats);
 
+// --- The service ------------------------------------------------------------
+
 struct RetrievalStats {
-  std::uint32_t queries_served = 0;
+  std::uint32_t queries_served = 0;   //!< remote queries actually served
   std::uint32_t replies_sent = 0;
   std::uint32_t queries_forwarded = 0;
   std::uint32_t replies_relayed = 0;  //!< routed up the spanning tree
-  std::uint32_t chunks_uploaded = 0;  //!< harvested by a data mule
+  std::uint32_t chunks_uploaded = 0;  //!< streamed into a sink's drain
+  std::uint32_t chunks_relayed = 0;   //!< drain chunks forwarded upstream
+  std::uint32_t relay_fallbacks = 0;  //!< relay absorbed to local store
+  std::uint32_t descriptor_acks = 0;  //!< overlap collected_by acks sent
+};
+
+/// How a sink drains the field.
+struct DrainOptions {
+  ResourceSelector selector = ResourceSelector::all();
+  std::uint8_t hops = 4;
+  /// Stream chunk data over the bulk-transfer pipeline toward the tree
+  /// parent (multi-hop); false reproduces the single-hop mule scheme where
+  /// each chunk is a direct QueryReply to the sink.
+  bool pipelined = true;
 };
 
 class RetrievalService {
  public:
   using ReplyHandler = std::function<void(const net::QueryReply&)>;
+  using ChunkHandler = std::function<void(const CollectedChunk&)>;
 
   explicit RetrievalService(Node& node);
 
-  /// Sink side: broadcast a query; matching replies arriving at this node
-  /// are passed to `on_reply`. Returns the query id.
+  /// Sink side, descriptor queries: broadcast a query; matching replies
+  /// arriving at this node are passed to `on_reply`. Returns the query id.
+  /// Concurrent queries are independent — each keeps its handler until the
+  /// query soft-state TTL expires it.
   std::uint32_t start_query(sim::Time from, sim::Time to, std::uint8_t hops,
                             ReplyHandler on_reply);
+
+  /// Sink side, data drains: flood a harvest query and keep re-flooding
+  /// (every cfg.drain_requery, fresh query id each round, mule-style) until
+  /// no chunk has arrived for cfg.drain_timeout. Chunks stream in over the
+  /// spanning tree; each newly collected chunk fires `on_chunk`. Returns a
+  /// drain id for stop_drain / drain_active.
+  std::uint32_t start_drain(const DrainOptions& opts,
+                            ChunkHandler on_chunk = nullptr);
+  void stop_drain(std::uint32_t drain_id);
+  bool drain_active(std::uint32_t drain_id) const {
+    return drains_.count(drain_id) != 0;
+  }
+  std::size_t active_drains() const { return drains_.size(); }
+
+  /// Everything this node has collected while acting as a sink, in arrival
+  /// order (duplicates already dropped). Soft state: lost if the sink
+  /// crashes mid-drain, and accounted as misses.
+  const std::vector<CollectedChunk>& collected() const { return collected_; }
+  const std::set<std::uint64_t>& collected_keys() const {
+    return collected_keys_;
+  }
+  /// Simulated time the most recent chunk reached this sink; zero until the
+  /// first delivery. Survives stop_drain, so a harness can measure drain
+  /// span after the sessions wind down.
+  sim::Time last_collected_at() const { return last_collected_at_; }
+
+  /// Keys some serving node reported as already drained by another sink.
+  const std::set<std::uint64_t>& noted_elsewhere() const {
+    return elsewhere_keys_;
+  }
 
   /// `from` is the radio-level sender (the flood hop we heard the query
   /// from); it becomes this node's spanning-tree parent for the query.
@@ -88,35 +204,108 @@ class RetrievalService {
   /// relays a tree-routed reply further (everyone overhears it).
   void handle(const net::QueryReply& m, net::NodeId dst);
 
+  /// Bulk-transfer hand-off: a completed incoming chunk carried a drain
+  /// descriptor. Returns true when the retrieval plane consumed the chunk
+  /// (delivered to a local drain, or queued for upstream relay) — the
+  /// caller must then NOT append it to the store. Returns false when the
+  /// relay queue is full or the node is not on this drain's tree; the chunk
+  /// is then absorbed into the local store like a migration (data is
+  /// preserved, a later re-flood re-serves it).
+  bool on_drain_chunk(net::NodeId sink, std::uint32_t query,
+                      net::NodeId from, storage::Chunk& chunk);
+
   const RetrievalStats& stats() const { return stats_; }
+  /// Serve sessions currently streaming chunks out of this node.
+  std::size_t active_serves() const { return serving_.size(); }
+  /// Soft-state entries held for flooded queries (seen-set + tree parents).
+  std::size_t query_state_size() const { return query_state_.size(); }
+  /// Chunks parked in the upstream relay queue.
+  std::size_t relay_backlog() const { return relay_.size(); }
 
   /// Drop all query soft state — the node crashed or rebooted. The query-id
   /// counter survives so a rebooted sink cannot reuse a live query id.
-  void reset() {
-    seen_.clear();
-    parent_.clear();
-    last_harvest_.clear();
-    harvesting_ = false;
-    active_query_ = 0;
-    on_reply_ = nullptr;
-  }
+  void reset();
 
  private:
+  struct QueryState {
+    net::NodeId parent = net::kInvalidNode;  //!< invalid for own queries
+    sim::Time heard;
+  };
+  /// One outgoing drain this node serves, per sink.
+  struct ServeSession {
+    std::uint32_t query_id = 0;  //!< the sink's latest flood round
+    ResourceSelector sel;
+    bool pipelined = false;
+    sim::Time last_heard;
+    std::uint64_t gen = 0;
+    std::uint32_t uploaded = 0;
+    /// Keys descriptor-acked to this sink already (overlap with another
+    /// sink's drain), so re-floods do not re-ack.
+    std::set<std::uint64_t> acked;
+  };
+  /// One drain this node runs as a sink.
+  struct SinkDrain {
+    DrainOptions opts;
+    ChunkHandler on_chunk;
+    sim::Time last_progress;
+    std::uint64_t gen = 0;
+    std::vector<std::uint32_t> qids;  //!< flood rounds minted for this drain
+  };
+  struct RelayChunk {
+    net::NodeId sink;
+    std::uint32_t query;
+    storage::Chunk chunk;
+    int failures = 0;
+  };
+
   void serve(const net::QueryRequest& q);
-  void harvest_drain(net::NodeId sink, std::uint32_t query_id);
+  void serve_descriptors(const net::QueryRequest& q);
+  /// One pump step of the per-sink serve session (gen-guarded).
+  void drain_step(net::NodeId sink, std::uint64_t gen);
+  void finish_serve(net::NodeId sink);
+  /// Upstream next hop for a drain: exact (sink, query) tree parent, else
+  /// the freshest parent known for that sink, else the sink itself.
+  net::NodeId route_to(net::NodeId sink, std::uint32_t query) const;
+  /// Pops every store-head chunk already drained into some sink.
+  void pop_uploaded_heads();
+  void note_uploaded(std::uint64_t key, net::NodeId sink);
+  /// Sink side: mint a fresh query id, flood one round, serve own store.
+  void flood_round(std::uint32_t drain_id);
+  void drain_tick(std::uint32_t drain_id, std::uint64_t gen);
+  void collect_local(SinkDrain& d);
+  void deliver(net::NodeId from, const storage::ChunkMeta& meta,
+               std::vector<std::uint8_t> payload, std::uint32_t query);
+  void pump_relay();
+  /// Inserts (sink, query) soft state; returns false on a duplicate. Ages
+  /// out expired entries and enforces the storm backstop cap.
+  bool remember_query(net::NodeId sink, std::uint32_t query,
+                      net::NodeId parent);
+  bool query_protected(const std::pair<net::NodeId, std::uint32_t>& k) const;
 
   Node& node_;
-  std::set<std::pair<net::NodeId, std::uint32_t>> seen_;
-  /// Spanning-tree parent per flooded query: the hop we first heard it
-  /// from (soft state; queries are short-lived).
-  std::map<std::pair<net::NodeId, std::uint32_t>, net::NodeId> parent_;
-  /// Last harvest query heard per sink: uploads pause when the mule has
-  /// moved on (otherwise popped chunks would vanish into dead air).
-  std::map<net::NodeId, sim::Time> last_harvest_;
-  bool harvesting_ = false;
+  /// Flood soft state: seen-set and spanning-tree parent per (sink, query),
+  /// TTL-expired, insertion order tracked for the storm backstop.
+  std::map<std::pair<net::NodeId, std::uint32_t>, QueryState> query_state_;
+  std::deque<std::pair<net::NodeId, std::uint32_t>> query_order_;
+  std::map<net::NodeId, ServeSession> serving_;
+  /// Chunk key -> sink it was drained into. Consulted for overlap
+  /// resolution; purged of keys no longer stored when it grows.
+  std::map<std::uint64_t, net::NodeId> uploaded_;
+  std::deque<RelayChunk> relay_;
+  bool relay_armed_ = false;
+  std::uint64_t relay_gen_ = 0;
+  std::uint64_t next_gen_ = 1;
+  // Sink side.
   std::uint32_t next_query_id_ = 1;
-  std::uint32_t active_query_ = 0;
-  ReplyHandler on_reply_;
+  std::uint32_t next_drain_id_ = 1;
+  std::map<std::uint32_t, SinkDrain> drains_;
+  std::map<std::uint32_t, std::uint32_t> qid_drain_;  //!< query id -> drain
+  std::map<std::uint32_t, ReplyHandler> legacy_;      //!< descriptor queries
+  std::deque<std::uint32_t> legacy_order_;
+  std::vector<CollectedChunk> collected_;
+  std::set<std::uint64_t> collected_keys_;
+  std::set<std::uint64_t> elsewhere_keys_;
+  sim::Time last_collected_at_;
   RetrievalStats stats_;
 };
 

@@ -139,8 +139,8 @@ Metrics::Snapshot World::snapshot_with(
   for (const auto& n : nodes_) {
     views.push_back(Metrics::StoreView{n->id(),
                                        n->data_lost() ? nullptr : &n->store(),
-                                       &n->radio().stats(),
-                                       &n->bulk().stats()});
+                                       &n->radio().stats(), &n->bulk().stats(),
+                                       &n->retrieval().stats()});
   }
   return metrics_.compute(sched_.now(), views, &collected);
 }
@@ -154,8 +154,8 @@ Metrics::Snapshot World::snapshot() {
   for (const auto& n : nodes_) {
     views.push_back(Metrics::StoreView{n->id(),
                                        n->data_lost() ? nullptr : &n->store(),
-                                       &n->radio().stats(),
-                                       &n->bulk().stats()});
+                                       &n->radio().stats(), &n->bulk().stats(),
+                                       &n->retrieval().stats()});
   }
   return metrics_.compute(sched_.now(), views);
 }

@@ -29,14 +29,23 @@ struct SizeVisitor {
     // at the sender's layout. A coded fragment's descriptor adds the
     // erasure-coding identity (group key 8, index/k/n 3, original size 4);
     // plain chunks pay nothing, so non-coded runs keep their exact airtime.
-    return 21 + d.payload_bytes + (d.ec_k != 0 ? 15 : 0);
+    // A drain-routed chunk's descriptor adds the sink id (4) and query id
+    // (4); balancing migrations pay nothing.
+    return 21 + d.payload_bytes + (d.ec_k != 0 ? 15 : 0) +
+           (d.drain_sink != kInvalidNode ? 8 : 0);
   }
   // Cumulative index (4) + SACK bitmap (4) on top of the old 14-byte ack.
   std::uint32_t operator()(const TransferAck&) const { return 22; }
   std::uint32_t operator()(const TimeSyncBeacon&) const { return 16; }
-  std::uint32_t operator()(const QueryRequest&) const { return 16; }
+  std::uint32_t operator()(const QueryRequest& q) const {
+    // The pipelined bit packs into the existing flags byte; a source
+    // selector adds its kind byte + node id. Time-window queries keep the
+    // seed's exact 16-byte airtime.
+    return 16 + (q.sel_kind != 0 ? 5 : 0);
+  }
   std::uint32_t operator()(const QueryReply& r) const {
-    return 26 + (r.ec_k != 0 ? 15 : 0);
+    return 26 + (r.ec_k != 0 ? 15 : 0) +
+           (r.collected_by != kInvalidNode ? 4 : 0);
   }
 };
 

@@ -176,6 +176,12 @@ struct TransferData {
   std::uint8_t ec_k = 0;
   std::uint8_t ec_n = 0;
   std::uint32_t ec_orig_bytes = 0;
+  /// Retrieval-drain routing (frag_index == 0 only): the chunk is part of a
+  /// pipelined drain toward this sink; intermediate tree nodes relay it
+  /// upstream instead of storing it. kInvalidNode (the default) marks an
+  /// ordinary balancing migration and pays nothing on the wire.
+  NodeId drain_sink = kInvalidNode;
+  std::uint32_t drain_query = 0;
   /// Actual audio bytes when the experiment stores payloads (not counted in
   /// wire size beyond payload_bytes, which it mirrors).
   std::vector<std::uint8_t> payload;
@@ -218,8 +224,18 @@ struct QueryRequest {
   std::uint8_t hops_left = 1;
   std::uint32_t query_id = 0;
   /// Data-mule harvest: the node uploads (and frees) its stored chunks to
-  /// the sink instead of only describing them. Implies the full time range.
+  /// the sink instead of only describing them.
   bool harvest = false;
+  /// Harvest uploads stream over the windowed bulk-transfer pipeline toward
+  /// the spanning-tree parent (multi-hop drains) instead of as per-chunk
+  /// QueryReply descriptors to the sink (the single-hop mule scheme). Packs
+  /// into the same flags byte as `harvest`, so it costs nothing on the wire.
+  bool pipelined = false;
+  /// CoAP-style resource selector kind (ResourceSelector::Kind): 0 selects
+  /// by the [from, to) time window above, 1 by recording node. Only the
+  /// source form pays extra wire bytes.
+  std::uint8_t sel_kind = 0;
+  NodeId source = kInvalidNode;  //!< sel_kind == 1: /chunks/source/<id>
 };
 
 /// Metadata for one chunk matching a query (data itself is then pulled over
@@ -242,6 +258,11 @@ struct QueryReply {
   std::uint8_t ec_k = 0;
   std::uint8_t ec_n = 0;
   std::uint32_t ec_orig_bytes = 0;
+  /// Overlap resolution between concurrent sinks: the described chunk was
+  /// already streamed into this sink's drain, so the queried node answers
+  /// with a descriptor ack instead of re-uploading the data. kInvalidNode
+  /// (the default) pays nothing on the wire.
+  NodeId collected_by = kInvalidNode;
 };
 
 // ---------------------------------------------------------------------------

@@ -19,6 +19,7 @@ const char* trace_event_name(TraceEvent e) {
     case TraceEvent::kPrelude: return "prelude";
     case TraceEvent::kBulkSession: return "bulk_session";
     case TraceEvent::kCodedDisperse: return "coded_disperse";
+    case TraceEvent::kDrainSession: return "drain_session";
     case TraceEvent::kLeader: return "leader";
     case TraceEvent::kResign: return "resign";
     case TraceEvent::kWatchdog: return "watchdog";
@@ -43,6 +44,8 @@ const char* trace_event_name(TraceEvent e) {
     case TraceEvent::kNodeSample: return "node_sample";
     case TraceEvent::kCodedEncode: return "coded_encode";
     case TraceEvent::kCodedDecode: return "coded_decode";
+    case TraceEvent::kDrainChunk: return "drain_chunk";
+    case TraceEvent::kDrainAck: return "drain_ack";
   }
   return "unknown";
 }
@@ -172,7 +175,7 @@ void Trace::export_chrome_trace(std::ostream& out) const {
 
   std::map<std::pair<std::uint32_t, std::uint8_t>, std::vector<TraceRecord>>
       open_spans;
-  // node -> bitmask of tids used: bits 0..5 the event/span tracks, bit 6 the
+  // node -> bitmask of tids used: bits 0..6 the event/span tracks, bit 7 the
   // counter track (rendered as tid 63).
   std::map<std::uint32_t, std::uint32_t> tracks_used;
   std::int64_t last_ticks = 0;
@@ -184,6 +187,7 @@ void Trace::export_chrome_trace(std::ostream& out) const {
       case TraceEvent::kPrelude: return 3;
       case TraceEvent::kBulkSession: return 4;
       case TraceEvent::kCodedDisperse: return 5;
+      case TraceEvent::kDrainSession: return 6;
       case TraceEvent::kNodeSample: return 63;
       default: return 0;
     }
@@ -207,7 +211,7 @@ void Trace::export_chrome_trace(std::ostream& out) const {
   for_each([&](const TraceRecord& r) {
     last_ticks = r.t_ticks;
     int tid = tid_for(r.event);
-    tracks_used[r.node] |= 1u << (tid == 63 ? 6 : tid);
+    tracks_used[r.node] |= 1u << (tid == 63 ? 7 : tid);
     if (r.phase == TracePhase::kBegin) {
       open_spans[{r.node, static_cast<std::uint8_t>(r.event)}].push_back(r);
       return;
@@ -244,15 +248,16 @@ void Trace::export_chrome_trace(std::ostream& out) const {
     for (const auto& b : stack) emit_span(b, last_ticks, 0, 0, 0.0);
 
   // Metadata: readable process (node) and thread (track) names.
-  static const char* kTrackNames[] = {"events",    "leadership", "task",
-                                      "prelude",   "migration",  "coded"};
+  static const char* kTrackNames[] = {"events",  "leadership", "task",
+                                      "prelude", "migration",  "coded",
+                                      "drain"};
   for (const auto& [node, mask] : tracks_used) {
     std::snprintf(buf, sizeof(buf),
                   "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
                   "\"args\":{\"name\":\"node %u\"}}",
                   node, node);
     emit(buf);
-    for (int tid = 0; tid < 6; ++tid) {
+    for (int tid = 0; tid < 7; ++tid) {
       if (!(mask & (1u << tid))) continue;
       std::snprintf(buf, sizeof(buf),
                     "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,"
@@ -260,7 +265,7 @@ void Trace::export_chrome_trace(std::ostream& out) const {
                     node, tid, kTrackNames[tid]);
       emit(buf);
     }
-    if (mask & (1u << 6)) {
+    if (mask & (1u << 7)) {
       std::snprintf(buf, sizeof(buf),
                     "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,"
                     "\"tid\":63,\"args\":{\"name\":\"samples\"}}",

@@ -41,6 +41,8 @@ enum class TraceEvent : std::uint8_t {
   kCodedDisperse = 4,  // coded dispersal of one chunk; a = original key,
                        // b = fragments placed (end), x = 1 if the original
                        // was kept (end)
+  kDrainSession = 5,   // retrieval drain serve session; a = sink,
+                       // b = query id (begin) / chunks uploaded (end)
   // --- instants ---
   kLeader = 16,        // became leader; a = event seq, b = 1 if handoff
   kResign = 17,        // resigned leadership; a = event seq, b = successor
@@ -70,6 +72,10 @@ enum class TraceEvent : std::uint8_t {
   kCodedDecode = 39,  // decode-on-drain summary; a = groups reconstructed,
                       // b = groups partial, x = fragments consumed,
                       // y = 0 if a redundant cross-check mismatched
+  kDrainChunk = 40,   // drain chunk landed at its sink; a = sender,
+                      // b = chunk key
+  kDrainAck = 41,     // overlap descriptor-ack sent; a = sink asked,
+                      // b = chunk key (already held by another sink)
 
 };
 

@@ -22,9 +22,10 @@ storage::Chunk chunk_at(Node& n, net::EventId ev, double start_s,
   return c;
 }
 
-std::unique_ptr<World> line_world(std::uint64_t seed, int n) {
+std::unique_ptr<World> line_world(std::uint64_t seed, int n,
+                                  Mode mode = Mode::kCooperativeOnly) {
   WorldBuilder b;
-  b.mode(Mode::kCooperativeOnly).seed(seed).lossless_radio();
+  b.mode(mode).seed(seed).lossless_radio();
   auto world = std::make_unique<World>(b.cfg);
   for (int i = 0; i < n; ++i) world->add_node({3.0 * i, 0.0});
   return world;
@@ -150,6 +151,143 @@ TEST(TreeRetrieval, GapReQueryRetrievesTheMissingChunk) {
   fetched.deduplicate();
   EXPECT_EQ(fetched.chunk_count(), 3u);
   EXPECT_TRUE(find_gap_windows(fetched).empty());
+}
+
+TEST(TreeRetrieval, PipelinedDrainStreamsChunksMultiHop) {
+  // A pipelined drain hauls chunk *data* (not just descriptors) across the
+  // tree: chunks hop the spanning tree over the bulk-transfer pipeline,
+  // relayed store-and-forward at intermediate nodes, and land at the sink.
+  auto world = line_world(281, 5, Mode::kFull);
+  for (std::size_t i = 1; i < world->node_count(); ++i) {
+    auto& n = world->node(i);
+    n.store().append(chunk_at(n, {n.id(), 1}, i * 10.0, i * 10.0 + 2.0));
+  }
+  world->start();
+  auto& sink = world->node(0);
+  DrainOptions opts;
+  opts.hops = 8;
+  const auto id = sink.retrieval().start_drain(opts);
+  world->run_for(sim::Time::seconds_i(60));
+  EXPECT_EQ(sink.retrieval().collected_keys().size(), world->node_count() - 1);
+  // Every field store is empty — the data moved, it wasn't copied.
+  for (std::size_t i = 1; i < world->node_count(); ++i) {
+    EXPECT_EQ(world->node(i).store().chunk_count(), 0u) << i;
+  }
+  // Intermediate nodes actually relayed chunk data upstream.
+  std::uint32_t relayed = 0;
+  for (std::size_t i = 0; i < world->node_count(); ++i) {
+    relayed += world->node(i).retrieval().stats().chunks_relayed;
+  }
+  EXPECT_GE(relayed, 2u);
+  // The drain wound itself down after the field ran dry.
+  EXPECT_FALSE(sink.retrieval().drain_active(id));
+}
+
+TEST(TreeRetrieval, DrainSelectorFiltersBySource) {
+  // /chunks/source/<id>: only the named recorder's chunks leave the field.
+  auto world = line_world(282, 4, Mode::kFull);
+  auto& n1 = world->node(1);
+  auto& n2 = world->node(2);
+  n1.store().append(chunk_at(n1, {n1.id(), 1}, 10, 12));
+  n2.store().append(chunk_at(n2, {n2.id(), 1}, 20, 22));
+  world->start();
+  auto& sink = world->node(0);
+  DrainOptions opts;
+  opts.hops = 8;
+  opts.selector = ResourceSelector::by_source(n2.id());
+  sink.retrieval().start_drain(opts);
+  world->run_for(sim::Time::seconds_i(30));
+  ASSERT_EQ(sink.retrieval().collected().size(), 1u);
+  EXPECT_EQ(sink.retrieval().collected()[0].meta.recorded_by, n2.id());
+  EXPECT_EQ(n1.store().chunk_count(), 1u);  // unselected chunk stays put
+  EXPECT_EQ(n2.store().chunk_count(), 0u);
+}
+
+TEST(TreeRetrieval, QueryStormCannotEvictLiveDrainTreeState) {
+  // Regression: the seed's soft-state cap evicted by lowest map key, so a
+  // storm of >cap queries threw away a live drain's tree parent and the
+  // drain's replies fell off the tree. Eviction now protects entries with
+  // an active serve session and ages the rest by TTL.
+  auto world = line_world(283, 4, Mode::kFull);
+  for (std::size_t i = 1; i < world->node_count(); ++i) {
+    auto& n = world->node(i);
+    for (int c = 0; c < 4; ++c) {
+      n.store().append(
+          chunk_at(n, {n.id(), 1}, i * 100.0 + c * 10.0, i * 100.0 + c * 10.0 + 2.0));
+    }
+  }
+  world->start();
+  auto& sink = world->node(0);
+  DrainOptions opts;
+  opts.hops = 8;
+  sink.retrieval().start_drain(opts);
+  // Let the drain build its tree and start streaming...
+  world->run_for(sim::Time::millis(500));
+  // ...then blast every relay with far more flooded queries than the
+  // soft-state cap holds, directly into the handler (a hostile or merely
+  // busy network — no radio round-trips, maximum eviction pressure).
+  for (std::size_t i = 1; i < world->node_count(); ++i) {
+    auto& n = world->node(i);
+    net::QueryRequest q;
+    q.sink = 999;
+    q.hops_left = 1;
+    q.from = sim::Time::zero();
+    q.to = sim::Time::max();
+    for (std::uint32_t id = 1; id <= 4 * n.cfg().retrieval_max_queries + 50;
+         ++id) {
+      q.query_id = id;
+      n.retrieval().handle(q, 999);
+    }
+  }
+  world->run_for(sim::Time::seconds_i(60));
+  // The live drain still routed everything home.
+  EXPECT_EQ(sink.retrieval().collected_keys().size(),
+            (world->node_count() - 1) * 4);
+}
+
+TEST(TreeRetrieval, MultiSinkChaosDrainIsAccountedAndDeterministic) {
+  // Two corner sinks drain a faulty grid. The run must keep the chaos
+  // invariants, account every eligible chunk as collected or missed, keep
+  // physical double-uploads within the replicas aborted transfers created,
+  // and reproduce bit-identically on the same seed with tracing on or off.
+  core::ChaosRunConfig cfg;
+  cfg.seed = 21;
+  cfg.horizon = sim::Time::seconds_i(240);
+  cfg.faults.crash_probability = 0.3;
+  cfg.faults.downtime_mean = sim::Time::seconds_i(45);
+  cfg.flight_recorder = false;
+  cfg.payload_census = false;
+  cfg.drain_sinks = 2;
+  cfg.drain_hops = 10;
+  const auto r = core::run_chaos(cfg);
+  EXPECT_TRUE(r.invariants_hold());
+  EXPECT_EQ(r.retrieval_sinks, 2u);
+  EXPECT_GT(r.retrieval_eligible, 0u);
+  EXPECT_GT(r.retrieval_collected, 0u);
+  // Misses are accounted, not silently dropped.
+  EXPECT_GE(r.retrieval_miss_ratio, 0.0);
+  EXPECT_LE(r.retrieval_miss_ratio, 1.0);
+  // A chunk lands at two sinks only via distinct physical replicas (one
+  // node can't double-upload); replicas come from aborted transfers.
+  EXPECT_LE(r.retrieval_double_uploads, r.duplicate_risks_counted);
+
+  const auto r2 = core::run_chaos(cfg);
+  EXPECT_EQ(r.retrieval_collected, r2.retrieval_collected);
+  EXPECT_EQ(r.retrieval_eligible, r2.retrieval_eligible);
+  EXPECT_EQ(r.retrieval_double_uploads, r2.retrieval_double_uploads);
+  EXPECT_EQ(r.retrieval_drain_span, r2.retrieval_drain_span);
+  EXPECT_EQ(r.final_snapshot.total_messages, r2.final_snapshot.total_messages);
+  EXPECT_EQ(r.executed_events, r2.executed_events);
+
+  // Tracing must observe, never steer: the traced run is bit-identical.
+  sim::Trace::instance().enable(4096);
+  const auto r3 = core::run_chaos(cfg);
+  sim::Trace::instance().disable();
+  sim::Trace::instance().clear();
+  EXPECT_EQ(r.retrieval_collected, r3.retrieval_collected);
+  EXPECT_EQ(r.retrieval_drain_span, r3.retrieval_drain_span);
+  EXPECT_EQ(r.final_snapshot.total_messages, r3.final_snapshot.total_messages);
+  EXPECT_EQ(r.executed_events, r3.executed_events);
 }
 
 }  // namespace

@@ -40,6 +40,9 @@ struct Args {
   int coded_n = 5;
   bool have_faults = false;
   core::ChaosSpec chaos;
+  int drain_sinks = 0;
+  int drain_hops = 4;
+  std::string drain_resource = "/chunks/all";
   std::string trace_path;
   double trace_sample_s = 0.0;
   std::string json_path;
@@ -103,7 +106,12 @@ void usage() {
       "  --faults k=v[,k=v...]                    fault plan; implies chaos\n"
       "      keys: crash downtime permanent lose_data brownout brownout_len\n"
       "            clockstep clockstep_max burst pgb pbg loss_bad loss_good\n"
-      "            asym   (e.g. --faults crash=0.3,downtime=60,burst=1)\n");
+      "            asym   (e.g. --faults crash=0.3,downtime=60,burst=1)\n"
+      "  --drain-sinks <0..4>                     chaos scenario: corner sinks\n"
+      "      that flood spanning-tree drain queries at the horizon (0 = off)\n"
+      "  --drain-hops <n>                         drain flood depth (4)\n"
+      "  --drain-resource <path>                  what the sinks ask for:\n"
+      "      /chunks/all | /chunks/time/<from>-<to> | /chunks/source/<id>\n");
 }
 
 bool parse(int argc, char** argv, Args& args) {
@@ -163,6 +171,29 @@ bool parse(int argc, char** argv, Args& args) {
         return false;
       }
       args.have_faults = true;
+    } else if (a == "--drain-sinks") {
+      args.drain_sinks = flag_int("--drain-sinks", next("--drain-sinks"));
+      if (args.drain_sinks < 0 || args.drain_sinks > 4) {
+        std::fprintf(stderr, "bad --drain-sinks %d (need 0..4)\n",
+                     args.drain_sinks);
+        return false;
+      }
+    } else if (a == "--drain-hops") {
+      args.drain_hops = flag_int("--drain-hops", next("--drain-hops"));
+      if (args.drain_hops < 1 || args.drain_hops > 255) {
+        std::fprintf(stderr, "bad --drain-hops %d (need 1..255)\n",
+                     args.drain_hops);
+        return false;
+      }
+    } else if (a == "--drain-resource") {
+      args.drain_resource = next("--drain-resource");
+      if (!core::parse_resource(args.drain_resource)) {
+        std::fprintf(stderr,
+                     "bad --drain-resource '%s': expected /chunks/all, "
+                     "/chunks/time/<from>-<to>, or /chunks/source/<id>\n",
+                     args.drain_resource.c_str());
+        return false;
+      }
     } else if (a == "--log-level") {
       const std::string lv = next("--log-level");
       if (lv == "off") sim::set_log_level(sim::LogLevel::kOff);
@@ -350,6 +381,9 @@ int run_chaos_cli(const Args& args) {
   cfg.storage_policy = args.policy;
   cfg.coded_k = args.coded_k;
   cfg.coded_n = args.coded_n;
+  cfg.drain_sinks = args.drain_sinks;
+  cfg.drain_hops = args.drain_hops;
+  cfg.drain_resource = args.drain_resource;
   if (args.have_faults) {
     cfg.faults = args.chaos.faults;
     cfg.burst = args.chaos.burst;
@@ -402,6 +436,20 @@ int run_chaos_cli(const Args& args) {
       static_cast<unsigned long long>(res.payloads_total),
       static_cast<unsigned long long>(res.payloads_reconstructible),
       static_cast<unsigned long long>(res.payloads_lost_to_death), overhead);
+  if (res.retrieval_sinks > 0) {
+    std::printf(
+        "  retrieval[%s sinks=%u hops=%d]: eligible=%llu collected=%llu "
+        "miss=%.3f span=%.1fs double_uploads=%llu relayed=%u "
+        "descriptor_acks=%u relay_fallbacks=%u\n",
+        args.drain_resource.c_str(), res.retrieval_sinks, args.drain_hops,
+        static_cast<unsigned long long>(res.retrieval_eligible),
+        static_cast<unsigned long long>(res.retrieval_collected),
+        res.retrieval_miss_ratio, res.retrieval_drain_span.to_seconds(),
+        static_cast<unsigned long long>(res.retrieval_double_uploads),
+        res.final_snapshot.retrieval_chunks_relayed,
+        res.final_snapshot.retrieval_descriptor_acks,
+        res.final_snapshot.retrieval_relay_fallbacks);
+  }
   if (args.policy == core::StoragePolicy::kCoded) {
     std::printf(
         "  coded[k=%d n=%d]: chunks=%u frags_placed=%u frags_failed=%u "
