@@ -22,6 +22,12 @@
 //      k-of-n survival win and its redundancy overhead are committed
 //      trajectory numbers too.
 //
+// The gated 200-node chaos scenario also runs once with the telemetry
+// series recorder lit at 1 s cadence: telemetry_overhead_pct is the wall
+// cost of the sampling plane, and the lit run must stay bit-identical to
+// the dark one. The fleet leg samples series in every world and byte-
+// compares the merged percentile bands across -j1 and -jN.
+//
 // Every indexed/linear pair is also checked for bit-identical results: the
 // spatial index must be a pure acceleration, so diverging channel counters
 // or metrics fail the run (exit 2). The migration drain doubles as a
@@ -533,6 +539,57 @@ int main(int argc, char** argv) {
     std::printf("chaos 200 scalar fan-out: %.1f ms (%.1fx)\n", c200_scalar.ms,
                 results["chaos_200_batch_speedup"]);
 
+    // 3c. Telemetry plane overhead: the gated 200-node scenario again with
+    // the series recorder lit at the 1 s default cadence, against the dark
+    // c200 run above. Sampling must be a pure observer — the lit run has to
+    // match the dark run bit for bit — and the committed overhead target is
+    // <= 10% (DESIGN §10); the pct is a trajectory number, not a gate, so a
+    // loaded box can't false-fail the bench on timing noise alone.
+    {
+      // Best-of-2 on both sides (the dark side reuses the gated c200 run as
+      // one of its repeats): the overhead is a ratio of two ~60 ms runs, so
+      // single-run scheduler noise on a loaded box would swamp the signal.
+      std::uint64_t samples = 0;
+      auto timed_lit = [&] {
+        auto tcfg = chaos_config(20, 10, 600.0, true);
+        tcfg.series_interval = sim::Time::seconds_i(1);
+        sim::Telemetry::instance().clear();
+        sim::Telemetry::instance().enable();
+        ChaosTimed out;
+        const auto t0 = Clock::now();
+        out.result = core::run_chaos(tcfg);
+        out.ms = ms_since(t0);
+        samples = sim::Telemetry::instance().sample_count();
+        sim::Telemetry::instance().disable();
+        sim::Telemetry::instance().clear();
+        return out;
+      };
+      const auto lit1 = timed_lit();
+      const auto lit2 = timed_lit();
+      const auto dark2 = timed_chaos(20, 10, 600.0, true);
+      const double lit_ms = std::min(lit1.ms, lit2.ms);
+      const double dark_ms = std::min(c200.ms, dark2.ms);
+      const double overhead_pct =
+          dark_ms > 0 ? (lit_ms / dark_ms - 1.0) * 100.0 : 0.0;
+      results["telemetry_chaos_200_ms"] = lit_ms;
+      results["telemetry_samples"] = static_cast<double>(samples);
+      results["telemetry_overhead_pct"] = overhead_pct;
+      if (!chaos_runs_identical(c200.result, lit1.result) ||
+          !chaos_runs_identical(c200.result, lit2.result)) {
+        determinism_ok = false;
+        std::fprintf(stderr, "DIVERGENCE: chaos 200 telemetry-on vs dark\n");
+      }
+      if (samples == 0) {
+        determinism_ok = false;
+        std::fprintf(stderr, "FAIL: telemetry leg took no samples\n");
+      }
+      std::printf(
+          "chaos 200 telemetry @1s: %.1f ms vs dark %.1f ms "
+          "(%llu samples, %+.1f%% overhead)\n",
+          lit_ms, dark_ms, static_cast<unsigned long long>(samples),
+          overhead_pct);
+    }
+
     if (!quick) {
       const auto c500 = timed_chaos(25, 20, chaos_s, true);
       results["chaos_500_ms"] = c500.ms;
@@ -822,6 +879,11 @@ int main(int argc, char** argv) {
     spec.sweep.push_back({"crash", {0.2, 0.4}});
     spec.fixed.emplace_back("horizon", quick ? 60.0 : 120.0);
     spec.fixed.emplace_back("downtime", 30.0);
+    // Telemetry series ride along in every world: the merged percentile
+    // bands must come out byte-identical at -j1 and -jN too (the workers
+    // sample in-process, the parent merges in (point, seed) order).
+    spec.series_interval_s = 10.0;
+    spec.series_dir = "/tmp/enviromic_bench_series";
     const int n_jobs = std::max(1u, std::thread::hardware_concurrency());
 
     spec.jobs = 1;
@@ -841,6 +903,12 @@ int main(int argc, char** argv) {
       determinism_ok = false;
       std::fprintf(stderr,
                    "DIVERGENCE: fleet -j1 vs -j%d report bytes\n", n_jobs);
+    }
+    if (j1.series_report.empty() || j1.series_report != jn.series_report) {
+      determinism_ok = false;
+      std::fprintf(stderr,
+                   "DIVERGENCE: fleet -j1 vs -j%d merged series bands\n",
+                   n_jobs);
     }
     const double speedup = jn_ms > 0 ? j1_ms / jn_ms : 0.0;
     const double ideal = std::min<double>(n_jobs, j1.worlds);

@@ -199,6 +199,48 @@ print(f"trace smoke OK: {len(evs)} events, phases {sorted(kinds)}")
 EOF
 fi
 
+echo "== telemetry series smoke"
+# Series-enabled chaos run: the telemetry plane lands as a columnar CSV
+# whose rows all match the header arity and whose timestamps are strictly
+# monotone; an unreachable health probe must not trip (nonzero exit if it
+# does). The telemetry-off cost is already bounded by the chaos_200 gates
+# above — the series recorder is dark in every timed run.
+./build/tools/enviromic_cli --faults crash=0.3,downtime=60,burst=1 \
+  --horizon 600 --seed 5 --log-level off \
+  --series build/series_smoke.csv --series-interval 5 \
+  --probe battery_floor=1 > /dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import sys
+rows = [l.rstrip("\n").split(",") for l in open("build/series_smoke.csv")]
+header, body = rows[0], rows[1:]
+if header[0] != "t_s" or "flash_used_bytes" not in header:
+    sys.exit(f"FAIL: series header starts {header[:3]}")
+bad = [r for r in body if len(r) != len(header)]
+if not body or bad:
+    sys.exit(f"FAIL: {len(bad)} series rows mismatch header arity "
+             f"{len(header)} ({len(body)} rows)")
+ts = [float(r[0]) for r in body]
+if ts != sorted(ts) or len(set(ts)) != len(ts):
+    sys.exit("FAIL: series timestamps not strictly monotone")
+print(f"series smoke OK: {len(body)} samples x {len(header) - 1} series")
+EOF
+fi
+# Bad sampling intervals and probe specs get the usage exit code, like the
+# trace-sample-interval rows above; a fleet series interval without a
+# directory (or vice versa) is rejected the same way.
+for bad in "--series-interval 0" "--series-interval -5" \
+    "--series-interval fast" "--probe nope=1" "--probe battery_floor=low"; do
+  rc=0
+  # shellcheck disable=SC2086
+  ./build/tools/enviromic_cli $bad > /dev/null 2>&1 || rc=$?
+  [ "$rc" -eq 2 ] || { echo "FAIL: '$bad' should exit 2, got $rc"; exit 1; }
+done
+rc=0
+./build/tools/enviromic_fleet --scenario chaos --series-interval 1 \
+  > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "FAIL: fleet series without dir should exit 2, got $rc"; exit 1; }
+
 echo "== asan/ubsan build + fault tests"
 cmake -B build-asan -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug \

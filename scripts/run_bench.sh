@@ -5,11 +5,13 @@
 # the migration drain (windowed bulk-transfer pipeline vs the stop-and-wait
 # window=1 degenerate), plus the scheduler-profiled chaos runs whose
 # per-component wall-time attribution (prof_chaos_*_pct keys) answers
-# ROADMAP's "is the event queue >15%?" question, and the fleet scaling leg
+# ROADMAP's "is the event queue >15%?" question, the telemetry overhead leg
+# (telemetry_* keys: the gated chaos_200 with the series recorder lit at 1 s
+# cadence, bit-compared against the dark run), and the fleet scaling leg
 # (fleet_* keys: a 16-world chaos campaign at -j1 vs -jN with byte-compared
-# reports). Pass --quick for the CI smoke lane (shorter horizons, no
-# 500-node linear soak, no 500-node attribution run); any further args go
-# straight through to perf_substrates.
+# reports and merged series bands). Pass --quick for the CI smoke lane
+# (shorter horizons, no 500-node linear soak, no 500-node attribution run);
+# any further args go straight through to perf_substrates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

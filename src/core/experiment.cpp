@@ -375,15 +375,39 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
   if (fr_owns_trace) sim::Trace::instance().enable(cfg.flight_recorder_capacity);
   if (cfg.profile) world.sched().profiler().enable();
 
+  // Telemetry plane: sample the standard probes on the series cadence when
+  // the recorder is on. Health probes force sampling (at a 1 s default
+  // cadence if none was set), enabling the recorder for the run's duration
+  // if the caller left it dark — mirroring fr_owns_trace above.
+  const bool tel_owns =
+      !cfg.health_probes.empty() && !sim::Telemetry::instance().enabled();
+  if (tel_owns) sim::Telemetry::instance().enable();
+  sim::Time series_every = cfg.series_interval;
+  if (series_every == sim::Time::zero() && !cfg.health_probes.empty())
+    series_every = sim::Time::seconds_i(1);
+  const bool series_sampling = series_every > sim::Time::zero() &&
+                               sim::Telemetry::instance().enabled();
+  TelemetryProbes probes;
+  if (series_sampling) {
+    TelemetryProbes::Options popts;
+    for (const auto& p : cfg.health_probes)
+      if (p.gauge == "miss_ratio") popts.miss_ratio = true;
+    probes.bind(popts);
+  }
+  std::vector<HealthTrip> health_trips;
+  std::set<std::string> tripped_names;
+
   world.start();
   // The grace tail lets reboots land and in-flight sessions drain before the
-  // invariants are checked. With tracing on and a sampling cadence set, step
-  // the run on that cadence and append per-node timeseries records at each
+  // invariants are checked. With a sampling cadence set (trace and/or
+  // telemetry), step the run on the merged cadence and sample at each
   // boundary — run_until stepping executes the same events in the same order,
   // so the seeded RNG streams are untouched.
   const sim::Time end_at = cfg.horizon + cfg.grace;
-  if (sim::g_trace_enabled && cfg.trace_sample_interval > sim::Time::zero()) {
-    auto sample = [&world] {
+  const bool trace_sampling =
+      sim::g_trace_enabled && cfg.trace_sample_interval > sim::Time::zero();
+  if (trace_sampling || series_sampling) {
+    auto trace_sample = [&world] {
       const sim::Time now = world.sched().now();
       for (std::size_t i = 0; i < world.node_count(); ++i) {
         Node& n = world.node(i);
@@ -396,18 +420,60 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
                                   : 0.0);
       }
     };
-    for (sim::Time t = cfg.trace_sample_interval; t < end_at;
-         t += cfg.trace_sample_interval) {
+    auto series_sample = [&](sim::Time t) {
+      probes.sample(world, t);
+      for (auto& trip : evaluate_health_probes(cfg.health_probes, t)) {
+        // First trip per probe only: a gauge that stays past its threshold
+        // would otherwise dump the recorder once per sample.
+        if (!tripped_names.insert(trip.probe).second) continue;
+        auto& tel = sim::Telemetry::instance();
+        std::cerr << "health probe '" << trip.probe << "' tripped at t="
+                  << trip.at.to_seconds() << "s: " << trip.gauge << " = "
+                  << trip.value << " vs threshold " << trip.threshold << "\n";
+        const auto win = tel.window(tel.find(trip.gauge), 0, 16);
+        for (const auto& [wt, wv] : win)
+          std::cerr << "  " << trip.gauge << " @" << wt.to_seconds()
+                    << "s = " << wv << "\n";
+        if (sim::Trace::instance().enabled()) {
+          std::cerr << "flight recorder tail (" << cfg.flight_recorder_dump
+                    << " of " << sim::Trace::instance().total_recorded()
+                    << " records)\n";
+          sim::Trace::instance().dump_tail(cfg.flight_recorder_dump,
+                                           std::cerr);
+          if (!cfg.flight_recorder_path.empty()) {
+            std::ofstream out(cfg.flight_recorder_path);
+            if (out)
+              sim::Trace::instance().dump_tail(cfg.flight_recorder_dump, out);
+          }
+        }
+        health_trips.push_back(std::move(trip));
+      }
+    };
+    const sim::Time never = end_at + sim::Time::seconds_i(1);
+    sim::Time next_trace = trace_sampling ? cfg.trace_sample_interval : never;
+    sim::Time next_series = series_sampling ? series_every : never;
+    while (true) {
+      const sim::Time t = std::min(next_trace, next_series);
+      if (t >= end_at) break;
       world.run_until(t);
-      sample();
+      if (t == next_trace) {
+        trace_sample();
+        next_trace += cfg.trace_sample_interval;
+      }
+      if (t == next_series) {
+        series_sample(t);
+        next_series += series_every;
+      }
     }
     world.run_until(end_at);
-    sample();
+    if (trace_sampling) trace_sample();
+    if (series_sampling) series_sample(end_at);
   } else {
     world.run_until(end_at);
   }
 
   ChaosRunResult r;
+  r.health_trips = std::move(health_trips);
   r.nodes = world.node_count();
   r.live_events_bound = cfg.live_events_per_node_bound;
   r.executed_events = world.sched().executed();
@@ -603,6 +669,10 @@ ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
   if (fr_owns_trace) {
     sim::Trace::instance().disable();
     sim::Trace::instance().clear();
+  }
+  if (tel_owns) {
+    sim::Telemetry::instance().disable();
+    sim::Telemetry::instance().clear();
   }
   return r;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/metrics.h"
+#include "core/telemetry_probes.h"
 #include "core/workload.h"
 #include "core/world.h"
 #include "sim/profiler.h"
@@ -172,6 +173,19 @@ struct ChaosRunConfig {
   /// many simulated seconds; zero disables sampling. Implemented by stepping
   /// run_until on the sampling cadence, which is RNG-stream neutral.
   sim::Time trace_sample_interval = sim::Time::zero();
+  /// Telemetry plane (sim::Telemetry): when telemetry is enabled and this is
+  /// non-zero, bind the standard probes (core/telemetry_probes.h) and sample
+  /// them every this many simulated seconds, again by stepping run_until on
+  /// the cadence — RNG-stream neutral, so a sampled run is bit-identical to
+  /// a dark one. Zero disables sampling.
+  sim::Time series_interval = sim::Time::zero();
+  /// Declarative health probes evaluated at every telemetry sample. When
+  /// non-empty and series_interval is zero, sampling runs at a 1 s default
+  /// cadence; when telemetry is off, the runner enables it for the duration
+  /// of the run (the recorder is process-global, like the trace ring). A
+  /// trip dumps the flight-recorder tail plus the offending gauge's recent
+  /// window, and lands in ChaosRunResult::health_trips.
+  std::vector<HealthProbe> health_probes;
   /// Chaos flight recorder: keep a small trace ring during the run (when
   /// tracing is not already on) and dump its tail to stderr — and to
   /// flight_recorder_path when set — if the end-state invariants fail.
@@ -255,6 +269,9 @@ struct ChaosRunResult {
   /// Scheduler wall-time attribution (valid when the config set `profile`).
   bool profiled = false;
   sim::Profiler::Report profile;
+  /// Health-probe trips observed during the run (first trip per probe only;
+  /// a probe that stays tripped does not spam one entry per sample).
+  std::vector<HealthTrip> health_trips;
 
   // --- Payload survival census (coded dispersal) ---
   /// Distinct original payloads ever stored, counted over every node

@@ -2,6 +2,7 @@
 
 #include <poll.h>
 #include <signal.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -13,11 +14,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "core/faults.h"
+#include "sim/telemetry.h"
 #include "storage/erasure.h"
+#include "util/csv.h"
 
 namespace enviromic::core {
 
@@ -190,17 +195,7 @@ bool parse_worker_output(
 // --- Report building ---------------------------------------------------------
 
 void csv_field(std::string& out, const std::string& s) {
-  if (s.find(',') != std::string::npos ||
-      s.find('"') != std::string::npos) {
-    out += '"';
-    for (char c : s) {
-      if (c == '"') out += '"';
-      out += c;
-    }
-    out += '"';
-  } else {
-    out += s;
-  }
+  out += util::csv_escape(s);
 }
 
 double percentile(const std::vector<double>& sorted, double p) {
@@ -403,11 +398,123 @@ std::map<std::pair<std::string, std::uint64_t>, FleetRow> parse_resume_rows(
   return rows;
 }
 
+// --- Telemetry series collection ---------------------------------------------
+
+bool fleet_series_enabled(const FleetSpec& spec) {
+  return spec.series_interval_s > 0.0 && !spec.series_dir.empty() &&
+         spec.scenario == "chaos";
+}
+
+std::string series_world_path(const FleetSpec& spec, std::size_t point,
+                              std::uint64_t seed_index) {
+  return spec.series_dir + "/world_p" + std::to_string(point) + "_s" +
+         std::to_string(seed_index) + ".csv";
+}
+
+/// One per-world series file, parsed back: the header cells and the raw
+/// value literals per row (empty literal = gauge missing at that sample).
+struct ParsedSeries {
+  std::vector<std::string> header;  //!< header[0] == "t_s"
+  std::vector<std::vector<std::string>> rows;
+};
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  // Telemetry series cells are gauge names and number literals — never
+  // quoted — so a plain comma split round-trips them exactly.
+  std::vector<std::string> cells;
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    auto comma = line.find(',', pos);
+    if (comma == std::string::npos) comma = line.size();
+    cells.push_back(line.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return cells;
+}
+
+bool load_series_file(const std::string& path, ParsedSeries* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  out->header = split_csv_line(line);
+  if (out->header.empty() || out->header[0] != "t_s") return false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto cells = split_csv_line(line);
+    if (cells.size() != out->header.size()) return false;
+    out->rows.push_back(std::move(cells));
+  }
+  return true;
+}
+
+/// Merge the per-world series files into cross-seed percentile bands:
+/// one row per (point, sample, gauge) with nearest-rank p10/p50/p90 over
+/// the seeds that recorded a value there. Deterministic by construction:
+/// inputs are read in (point, seed index) order off the filesystem, so the
+/// bytes never depend on jobs or completion order.
+void build_series_report(const FleetSpec& spec,
+                         const std::vector<FleetPoint>& points,
+                         FleetResult* out) {
+  if (!fleet_series_enabled(spec)) return;
+  std::string& c = out->series_report;
+  c = "point,t_s,series,p10,p50,p90,n\n";
+  const auto seeds = static_cast<std::size_t>(spec.seeds_per_point);
+  for (std::size_t pi = 0; pi < points.size(); ++pi) {
+    std::vector<ParsedSeries> files;
+    for (std::size_t si = 0; si < seeds; ++si) {
+      const auto& row = out->rows[pi * seeds + si];
+      if (row.status != "ok") continue;
+      ParsedSeries ps;
+      if (!load_series_file(series_world_path(spec, pi, si), &ps)) continue;
+      // Every seed of a point runs the same cadence over the same node
+      // count, so the headers must agree; drop a stray mismatch (e.g. a
+      // stale file from an earlier spec) rather than mis-align columns.
+      if (!files.empty() && ps.header != files.front().header) continue;
+      files.push_back(std::move(ps));
+    }
+    if (files.empty()) continue;
+    std::size_t nrows = files.front().rows.size();
+    for (const auto& f : files) nrows = std::min(nrows, f.rows.size());
+    const auto& header = files.front().header;
+    for (std::size_t r = 0; r < nrows; ++r) {
+      const std::string& t = files.front().rows[r][0];
+      for (std::size_t col = 1; col < header.size(); ++col) {
+        std::vector<double> v;
+        for (const auto& f : files) {
+          const std::string& cell = f.rows[r][col];
+          if (!cell.empty()) v.push_back(std::strtod(cell.c_str(), nullptr));
+        }
+        std::sort(v.begin(), v.end());
+        csv_field(c, points[pi].label);
+        c += "," + t + "," + header[col] + "," +
+             format_metric(percentile(v, 10.0)) + "," +
+             format_metric(percentile(v, 50.0)) + "," +
+             format_metric(percentile(v, 90.0)) + "," +
+             std::to_string(v.size()) + "\n";
+      }
+    }
+  }
+}
+
 // --- The forked worker -------------------------------------------------------
 
 [[noreturn]] void worker_child(const FleetSpec& spec, const FleetPoint& point,
-                               std::uint64_t seed, int attempt, int fd) {
+                               std::uint64_t seed_index, std::uint64_t seed,
+                               int attempt, int fd) {
+  const bool series = fleet_series_enabled(spec);
+  if (series) {
+    // The child owns a fresh process image, so enabling the global recorder
+    // here cannot leak into the parent or sibling worlds.
+    sim::Telemetry::instance().clear();
+    sim::Telemetry::instance().enable();
+  }
   const RunRecord rec = run_fleet_world(spec, point, seed, attempt);
+  if (series) {
+    sim::Telemetry::instance().disable();
+    sim::Telemetry::instance().export_csv(
+        series_world_path(spec, point.index, seed_index));
+  }
   std::string out;
   for (const auto& [name, value] : rec) {
     out += "m " + name + " " + format_metric(value) + "\n";
@@ -468,6 +575,16 @@ bool validate_fleet_spec(const FleetSpec& spec, std::string* error) {
     return fail("unknown scenario '" + sc + "'");
   }
   if (spec.seeds_per_point < 1) return fail("seeds_per_point must be >= 1");
+  if (spec.series_interval_s < 0.0) {
+    return fail("series_interval_s must be > 0");
+  }
+  if ((spec.series_interval_s > 0.0) != !spec.series_dir.empty()) {
+    return fail("series collection needs both series_interval_s and "
+                "series_dir");
+  }
+  if (spec.series_interval_s > 0.0 && sc != "chaos") {
+    return fail("series collection only applies to chaos");
+  }
   if (!spec.faults_spec.empty()) {
     if (sc != "chaos") return fail("faults spec only applies to chaos");
     ChaosSpec chaos;
@@ -565,6 +682,12 @@ RunRecord run_fleet_world(const FleetSpec& spec, const FleetPoint& point,
     for (const auto& [name, value] : params) {
       apply_chaos_param(cfg, name, value);
     }
+    // Sampling itself only happens when the recorder is on (the forked
+    // worker enables it when the campaign collects series), so setting the
+    // cadence here costs a dark in-process caller nothing.
+    if (spec.series_interval_s > 0.0) {
+      cfg.series_interval = sim::Time::seconds(spec.series_interval_s);
+    }
     return chaos_run_record(run_chaos(cfg));
   }
   if (spec.scenario == "indoor") {
@@ -596,6 +719,11 @@ FleetResult run_fleet(const FleetSpec& spec,
                       const std::string& resume_report) {
   FleetResult out;
   if (!validate_fleet_spec(spec, &out.error)) return out;
+  if (fleet_series_enabled(spec) &&
+      ::mkdir(spec.series_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    out.error = "cannot create series_dir " + spec.series_dir;
+    return out;
+  }
 
   const auto points = fleet_points(spec);
   const int jobs = std::max(spec.jobs, 1);
@@ -648,8 +776,8 @@ FleetResult run_fleet(const FleetSpec& spec,
     }
     if (pid == 0) {
       ::close(fds[0]);
-      worker_child(spec, points[pi], derive_run_seed(spec.base_seed, si),
-                   attempt, fds[1]);
+      worker_child(spec, points[pi], si,
+                   derive_run_seed(spec.base_seed, si), attempt, fds[1]);
     }
     ::close(fds[1]);
     Running r;
@@ -746,6 +874,7 @@ FleetResult run_fleet(const FleetSpec& spec,
   }
 
   build_report(spec, points, &out);
+  build_series_report(spec, points, &out);
   return out;
 }
 

@@ -55,6 +55,16 @@ struct FleetSpec {
   int jobs = 1;           //!< concurrent worker processes (clamped to >= 1)
   double timeout_s = 0.0; //!< per-attempt wall-clock budget; 0 = none
   int retries = 1;        //!< extra attempts after a crash/timeout
+  /// Telemetry series collection (chaos only). When series_interval_s > 0
+  /// each worker samples the standard probes on this cadence and writes its
+  /// series to <series_dir>/world_p<point>_s<seed_index>.csv; the parent
+  /// merges them into FleetResult::series_report (cross-seed p10/p50/p90
+  /// bands per sample per gauge). Both fields must be set together. The
+  /// per-world files persist, so --resume reuses them; the merged report is
+  /// byte-identical whatever `jobs` or the completion order, because the
+  /// merge reads files keyed by (point, seed index), never by arrival.
+  double series_interval_s = 0.0;
+  std::string series_dir;
 };
 
 /// One expanded parameter point of the sweep grid.
@@ -85,6 +95,10 @@ struct FleetResult {
   int resumed = 0;   //!< rows reused from the resume report
   std::string report_json;  //!< deterministic merged campaign report
   std::string report_csv;   //!< per-world rows, same ordering rule
+  /// Merged telemetry percentile bands (spec.series_interval_s > 0):
+  /// "point,t_s,series,p10,p50,p90,n" rows ordered by (point, sample,
+  /// gauge column). Empty when series collection is off.
+  std::string series_report;
   std::string error;        //!< non-empty when the spec was rejected
   bool ok() const { return error.empty(); }
 };

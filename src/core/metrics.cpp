@@ -1,7 +1,11 @@
 #include "core/metrics.h"
 
 #include <algorithm>
+#include <limits>
 #include <set>
+
+#include "energy/energy_model.h"
+#include "storage/flash.h"
 
 namespace enviromic::core {
 
@@ -81,6 +85,10 @@ Metrics::Snapshot Metrics::compute(
     auto it_rec = recorded_bytes_by_node_.find(view.id);
     s.per_node_recorded_bytes.push_back(
         it_rec == recorded_bytes_by_node_.end() ? 0 : it_rec->second);
+    s.per_node_wear_max.push_back(view.flash ? view.flash->max_wear() : 0);
+    s.per_node_wear_min.push_back(view.flash ? view.flash->min_wear() : 0);
+    s.per_node_battery_j.push_back(
+        view.energy ? view.energy->battery().remaining_joules() : 0.0);
 
     if (view.store) view.store->for_each(account_chunk);
 
@@ -117,6 +125,30 @@ Metrics::Snapshot Metrics::compute(
       }
     }
   }
+  std::uint64_t wmin = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t wmax = 0;
+  bool any_flash = false;
+  double bmin = std::numeric_limits<double>::infinity();
+  bool any_energy = false;
+  for (const auto& view : views) {
+    if (view.flash) {
+      any_flash = true;
+      wmin = std::min(wmin, view.flash->min_wear());
+      wmax = std::max(wmax, view.flash->max_wear());
+    }
+    if (view.energy) {
+      any_energy = true;
+      const double j = view.energy->battery().remaining_joules();
+      s.battery_total_j += j;
+      bmin = std::min(bmin, j);
+    }
+  }
+  if (any_flash) {
+    s.wear_min = wmin;
+    s.wear_max = wmax;
+    s.wear_spread = wmax - wmin;
+  }
+  if (any_energy) s.battery_min_j = bmin;
   s.control_messages = s.total_messages - s.transfer_messages;
 
   for (const auto& [group, idx] : frag_groups) {

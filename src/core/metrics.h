@@ -19,6 +19,13 @@
 #include "net/radio.h"
 #include "storage/chunk_store.h"
 
+namespace enviromic::storage {
+class Flash;
+}
+namespace enviromic::energy {
+class EnergyModel;
+}
+
 namespace enviromic::core {
 
 /// Fault-injection bookkeeping, aggregated over the whole run.
@@ -99,6 +106,10 @@ class Metrics {
     const net::RadioStats* radio;
     const TransferStats* transfer = nullptr;
     const RetrievalStats* retrieval = nullptr;
+    /// Physical flash: wear history survives crashes and data loss, so this
+    /// stays non-null even when `store` is hidden.
+    const storage::Flash* flash = nullptr;
+    const energy::EnergyModel* energy = nullptr;
   };
 
   struct Snapshot {
@@ -118,6 +129,17 @@ class Metrics {
     std::vector<std::uint64_t> per_node_used_bytes;   //!< by view order
     std::vector<std::uint64_t> per_node_packets_sent;
     std::vector<std::uint64_t> per_node_recorded_bytes;  //!< by recorder
+    // Wear/energy views (by view order; zero when the view lacks the
+    // corresponding pointer). Battery reads are last-advance values — no
+    // projection to `t` — so computing a snapshot never perturbs drain.
+    std::vector<std::uint64_t> per_node_wear_max;
+    std::vector<std::uint64_t> per_node_wear_min;
+    std::vector<double> per_node_battery_j;
+    std::uint64_t wear_min = 0;   //!< min over views with flash
+    std::uint64_t wear_max = 0;   //!< max over views with flash
+    std::uint64_t wear_spread = 0;  //!< wear_max - wear_min
+    double battery_total_j = 0.0;   //!< summed over views with energy
+    double battery_min_j = 0.0;     //!< min over views with energy
     FaultCounters faults;
     std::uint32_t transfer_aborts = 0;           //!< summed over views
     std::uint32_t transfer_duplicate_risks = 0;

@@ -140,7 +140,8 @@ Metrics::Snapshot World::snapshot_with(
     views.push_back(Metrics::StoreView{n->id(),
                                        n->data_lost() ? nullptr : &n->store(),
                                        &n->radio().stats(), &n->bulk().stats(),
-                                       &n->retrieval().stats()});
+                                       &n->retrieval().stats(), &n->flash(),
+                                       &n->energy()});
   }
   return metrics_.compute(sched_.now(), views, &collected);
 }
@@ -155,7 +156,8 @@ Metrics::Snapshot World::snapshot() {
     views.push_back(Metrics::StoreView{n->id(),
                                        n->data_lost() ? nullptr : &n->store(),
                                        &n->radio().stats(), &n->bulk().stats(),
-                                       &n->retrieval().stats()});
+                                       &n->retrieval().stats(), &n->flash(),
+                                       &n->energy()});
   }
   return metrics_.compute(sched_.now(), views);
 }

@@ -15,7 +15,20 @@ void EnergyModel::advance(sim::Time now) {
   if (now <= last_) return;
   const double dt = (now - last_).to_seconds();
   battery_.drain(dt * base_power_w());
+  if (radio_on_) radio_on_s_ += dt;
   last_ = now;
+}
+
+double EnergyModel::remaining_joules_at(sim::Time now) const {
+  double j = battery_.remaining_joules();
+  if (now > last_) j -= (now - last_).to_seconds() * base_power_w();
+  return j > 0.0 ? j : 0.0;
+}
+
+double EnergyModel::radio_on_seconds_at(sim::Time now) const {
+  double s = radio_on_s_;
+  if (radio_on_ && now > last_) s += (now - last_).to_seconds();
+  return s;
 }
 
 void EnergyModel::set_radio_on(sim::Time now, bool on) {

@@ -37,6 +37,17 @@ class EnergyModel {
   void set_radio_on(sim::Time now, bool on);
   void set_sampling(sim::Time now, bool sampling);
 
+  /// Battery joules projected to `now` WITHOUT accruing state: the pending
+  /// segment since the last advance() is subtracted read-only. Telemetry
+  /// probes use this instead of advance() so a sampled run drains the
+  /// battery in exactly the same float-add order as a dark run.
+  double remaining_joules_at(sim::Time now) const;
+
+  /// Cumulative radio-on seconds projected to `now`, also read-only; the
+  /// duty-cycle gauge is this over elapsed time. Accrual itself happens in
+  /// advance(), which the simulation already calls on every transition.
+  double radio_on_seconds_at(sim::Time now) const;
+
   /// Charge radio air time (seconds on the air), from the radio callbacks.
   void charge_airtime(double seconds, bool is_tx);
 
@@ -59,6 +70,7 @@ class EnergyModel {
   sim::Time last_ = sim::Time::zero();
   bool radio_on_ = true;
   bool sampling_ = false;
+  double radio_on_s_ = 0.0;  //!< accrued radio-on time, advance()-driven
 };
 
 }  // namespace enviromic::energy

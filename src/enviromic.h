@@ -37,6 +37,7 @@
 #include "core/recorder.h"
 #include "core/retrieval.h"
 #include "core/tasking.h"
+#include "core/telemetry_probes.h"
 #include "core/timesync.h"
 #include "core/workload.h"
 #include "core/world.h"
@@ -51,6 +52,7 @@
 #include "sim/profiler.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
+#include "sim/telemetry.h"
 #include "sim/time.h"
 #include "sim/trace.h"
 #include "storage/chunk.h"

@@ -485,6 +485,7 @@ void Channel::begin_transmission(Radio& from, Packet packet) {
     bucket.push_back(tx);
   }
   ++stats_.transmissions;
+  stats_.busy_ticks += static_cast<std::uint64_t>((end - start).raw_ticks());
   from.note_sent(packet, tx_bytes, start, end);
   sim::trace_instant(start, sim::TraceEvent::kChannelSend, from.id(),
                      packet.dst, tx_bytes);

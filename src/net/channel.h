@@ -86,6 +86,11 @@ struct ChannelStats {
   std::uint64_t losses_collision = 0;
   std::uint64_t losses_radio_off = 0;
   std::uint64_t losses_burst = 0;  //!< Gilbert–Elliott bad-state losses
+  /// Summed transmission air time in ticks. Overlapping transmissions each
+  /// count in full, so busy_ticks / elapsed_ticks can exceed 1 under heavy
+  /// contention — the telemetry busy-fraction gauge reports exactly that
+  /// offered-load number.
+  std::uint64_t busy_ticks = 0;
 };
 
 namespace detail {

@@ -82,6 +82,11 @@ class Flash {
   FlashConfig cfg_;
   std::uint32_t block_count_;
   std::vector<std::uint64_t> wear_;
+  // Cached wear extrema (telemetry reads them every sample on every node);
+  // write_block keeps them current, min via a count of floor-wear blocks.
+  std::uint64_t max_wear_ = 0;
+  std::uint64_t min_wear_ = 0;
+  std::uint32_t min_count_;
   std::vector<std::optional<BlockTag>> tags_;
   std::vector<std::vector<std::uint8_t>> payloads_;  //!< empty unless stored
   std::uint64_t total_writes_ = 0;

@@ -1,0 +1,18 @@
+#include "util/csv.h"
+
+namespace enviromic::util {
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace enviromic::util

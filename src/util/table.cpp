@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <iomanip>
 
+#include "util/csv.h"
+
 namespace enviromic::util {
 
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
@@ -37,19 +39,9 @@ void Table::print(std::ostream& os) const {
 }
 
 void Table::print_csv(std::ostream& os) const {
-  auto quote = [](const std::string& s) {
-    if (s.find_first_of(",\"\n") == std::string::npos) return s;
-    std::string out = "\"";
-    for (char ch : s) {
-      if (ch == '"') out += "\"\"";
-      else out += ch;
-    }
-    out += '"';
-    return out;
-  };
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      os << quote(row[c]);
+      os << csv_escape(row[c]);
       if (c + 1 < row.size()) os << ',';
     }
     os << '\n';

@@ -42,6 +42,12 @@ void expect_identical(const Metrics::Snapshot& a, const Metrics::Snapshot& b) {
   EXPECT_EQ(a.per_node_used_bytes, b.per_node_used_bytes);
   EXPECT_EQ(a.per_node_packets_sent, b.per_node_packets_sent);
   EXPECT_EQ(a.per_node_recorded_bytes, b.per_node_recorded_bytes);
+  EXPECT_EQ(a.per_node_wear_max, b.per_node_wear_max);
+  EXPECT_EQ(a.per_node_wear_min, b.per_node_wear_min);
+  EXPECT_EQ(a.per_node_battery_j, b.per_node_battery_j);
+  EXPECT_EQ(a.wear_spread, b.wear_spread);
+  EXPECT_EQ(a.battery_total_j, b.battery_total_j);
+  EXPECT_EQ(a.battery_min_j, b.battery_min_j);
   EXPECT_EQ(a.faults.crashes, b.faults.crashes);
   EXPECT_EQ(a.faults.permanent_failures, b.faults.permanent_failures);
   EXPECT_EQ(a.faults.reboots, b.faults.reboots);
@@ -62,6 +68,7 @@ void expect_identical(const net::ChannelStats& a, const net::ChannelStats& b) {
   EXPECT_EQ(a.losses_collision, b.losses_collision);
   EXPECT_EQ(a.losses_radio_off, b.losses_radio_off);
   EXPECT_EQ(a.losses_burst, b.losses_burst);
+  EXPECT_EQ(a.busy_ticks, b.busy_ticks);
 }
 
 TEST(Determinism, RepeatedSeededChaosRunsAreBitIdentical) {
@@ -167,6 +174,40 @@ TEST(Determinism, TracingAndProfilingDoNotPerturbSeededChaosRuns) {
   EXPECT_GT(recorded, 0u);
   EXPECT_TRUE(b.profiled);
   EXPECT_GT(b.profile.fires, 0u);
+}
+
+TEST(Determinism, TelemetrySamplingDoesNotPerturbSeededChaosRuns) {
+  // The telemetry recorder samples gauges by stepping run_until on the
+  // series cadence and reads component state through const projections
+  // (EnergyModel::remaining_joules_at keeps the drain's float-add order
+  // untouched) — so a series-on run with health probes armed must stay
+  // bit-identical to a dark run, down to the executed-event count.
+  ChaosRunConfig dark = probe(17);
+  dark.flight_recorder = false;
+  const auto a = run_chaos(dark);
+
+  ChaosRunConfig lit = probe(17);
+  lit.flight_recorder = false;
+  lit.series_interval = sim::Time::seconds_i(5);
+  HealthProbe hp;
+  std::string err;
+  ASSERT_TRUE(parse_health_probe("miss_ratio_max=2", &hp, &err)) << err;
+  lit.health_probes.push_back(hp);  // arms the miss_ratio gauge too
+  sim::Telemetry::instance().clear();
+  sim::Telemetry::instance().enable();
+  const auto b = run_chaos(lit);
+  sim::Telemetry::instance().disable();
+  const auto samples = sim::Telemetry::instance().sample_count();
+  sim::Telemetry::instance().clear();
+
+  expect_identical(a.final_snapshot, b.final_snapshot);
+  expect_identical(a.channel_stats, b.channel_stats);
+  EXPECT_EQ(a.live_chunks, b.live_chunks);
+  EXPECT_EQ(a.live_events_at_end, b.live_events_at_end);
+  EXPECT_EQ(a.executed_events, b.executed_events);
+  // The lit leg really sampled, and the impossible probe never tripped.
+  EXPECT_GT(samples, 0u);
+  EXPECT_TRUE(b.health_trips.empty());
 }
 
 TEST(Determinism, CodedDispersalIsBitIdenticalAcrossRepeats) {

@@ -272,6 +272,57 @@ TEST(FleetRun, ChaosCampaignIsByteIdenticalAcrossJobCounts) {
   EXPECT_NE(r1.report_json.find("\"invariants_hold\": 1"), std::string::npos);
 }
 
+TEST(FleetRun, SeriesBandsAreByteIdenticalAcrossJobCounts) {
+  // Telemetry series collection: every chaos worker samples on the same
+  // cadence into its own per-world file, and the parent's merged percentile
+  // bands must be byte-identical whatever -j (files are keyed by point and
+  // seed index, never by arrival).
+  char dir1[] = "/tmp/enviromic_series1_XXXXXX";
+  char dir2[] = "/tmp/enviromic_series2_XXXXXX";
+  ASSERT_NE(mkdtemp(dir1), nullptr);
+  ASSERT_NE(mkdtemp(dir2), nullptr);
+  FleetSpec spec;
+  spec.scenario = "chaos";
+  spec.seeds_per_point = 2;
+  spec.fixed.emplace_back("horizon", 40.0);
+  spec.fixed.emplace_back("grace", 20.0);
+  spec.fixed.emplace_back("grid_nx", 3.0);
+  spec.fixed.emplace_back("grid_ny", 2.0);
+  spec.fixed.emplace_back("census", 0.0);
+  spec.series_interval_s = 10.0;
+  spec.series_dir = dir1;
+  spec.jobs = 1;
+  const auto r1 = core::run_fleet(spec);
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  ASSERT_EQ(r1.failed, 0);
+  spec.series_dir = dir2;
+  spec.jobs = 2;
+  const auto r2 = core::run_fleet(spec);
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_FALSE(r1.series_report.empty());
+  EXPECT_EQ(r1.series_report, r2.series_report);
+  // Header plus one row per (sample, gauge); all seeds contributed.
+  EXPECT_EQ(r1.series_report.compare(0, 31, "point,t_s,series,p10,p50,p90,n\n"),
+            0);
+  EXPECT_NE(r1.series_report.find(",flash_used_bytes,"), std::string::npos);
+  EXPECT_NE(r1.series_report.find(",2\n"), std::string::npos);
+}
+
+TEST(FleetSpecTest, RejectsBadSeriesSpecs) {
+  FleetSpec spec;
+  spec.scenario = "chaos";
+  spec.series_interval_s = 1.0;  // interval without a directory
+  std::string err;
+  EXPECT_FALSE(core::validate_fleet_spec(spec, &err));
+  spec.series_dir = "/tmp";
+  EXPECT_TRUE(core::validate_fleet_spec(spec, &err)) << err;
+  spec.scenario = "selftest";
+  EXPECT_FALSE(core::validate_fleet_spec(spec, &err));
+  spec.scenario = "chaos";
+  spec.series_interval_s = 0.0;  // directory without an interval
+  EXPECT_FALSE(core::validate_fleet_spec(spec, &err));
+}
+
 // --- Binary-level regressions (strict argument rejection, end to end) --------
 
 int run_binary(const std::string& cmd) {
@@ -288,6 +339,11 @@ TEST(CliRejection, GarbageNumericArgumentsExitTwo) {
   EXPECT_EQ(run_binary(cli + " --beta nope"), 2);
   EXPECT_EQ(run_binary(cli + " --horizon 10s"), 2);
   EXPECT_EQ(run_binary(cli + " --dta 70ms"), 2);
+  EXPECT_EQ(run_binary(cli + " --series-interval 0"), 2);
+  EXPECT_EQ(run_binary(cli + " --series-interval -5"), 2);
+  EXPECT_EQ(run_binary(cli + " --series-interval fast"), 2);
+  EXPECT_EQ(run_binary(cli + " --probe nope=1"), 2);
+  EXPECT_EQ(run_binary(cli + " --probe battery_floor=low"), 2);
 }
 
 TEST(CliRejection, BadErasureGeometryExitsTwo) {
@@ -306,6 +362,12 @@ TEST(CliRejection, FleetBinaryRejectsBadArguments) {
   EXPECT_EQ(run_binary(fleet + " --sweep crash=0.1,x2"), 2);
   EXPECT_EQ(run_binary(fleet + " --coded-k 0 --coded-n 5"), 2);
   EXPECT_EQ(run_binary(fleet + " --coded-k 4 --coded-n 2"), 2);
+  EXPECT_EQ(run_binary(fleet + " --series-interval 0"), 2);
+  EXPECT_EQ(run_binary(fleet + " --series-interval 1"), 2);  // no --series-dir
+  EXPECT_EQ(run_binary(fleet +
+                       " --scenario selftest --series-interval 1 "
+                       "--series-dir /tmp"),
+            2);
 }
 
 TEST(CliRejection, ValidArgumentsStillRun) {

@@ -4,6 +4,7 @@
 
 #include "sim/geometry.h"
 #include "util/contour.h"
+#include "util/csv.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -91,6 +92,22 @@ TEST(Table, CsvQuotesSpecials) {
   const std::string out = os.str();
   EXPECT_NE(out.find("\"x,y\""), std::string::npos);
   EXPECT_NE(out.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Csv, EscapePassesPlainFieldsThrough) {
+  EXPECT_EQ(util::csv_escape(""), "");
+  EXPECT_EQ(util::csv_escape("plain"), "plain");
+  EXPECT_EQ(util::csv_escape("with space"), "with space");
+  EXPECT_EQ(util::csv_escape("1.5e-3"), "1.5e-3");
+}
+
+TEST(Csv, EscapeQuotesSpecials) {
+  EXPECT_EQ(util::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(util::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(util::csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(util::csv_escape("cr\rhere"), "\"cr\rhere\"");
+  EXPECT_EQ(util::csv_escape("\""), "\"\"\"\"");
+  EXPECT_EQ(util::csv_escape(","), "\",\"");
 }
 
 TEST(Table, FmtHelpers) {

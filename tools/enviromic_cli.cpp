@@ -45,6 +45,9 @@ struct Args {
   std::string drain_resource = "/chunks/all";
   std::string trace_path;
   double trace_sample_s = 0.0;
+  std::string series_path;
+  double series_interval_s = 0.0;
+  std::vector<core::HealthProbe> probes;
   std::string json_path;
 };
 
@@ -103,6 +106,15 @@ void usage() {
       "      Chrome-trace JSON (open in Perfetto / chrome://tracing)\n"
       "  --trace-sample-interval <seconds>        per-node counter samples\n"
       "      in the trace (chaos scenario; > 0, off by default)\n"
+      "  --series <path>                          telemetry time series\n"
+      "      (chaos scenario); .jsonl extension dumps JSONL, anything else\n"
+      "      CSV (one column per gauge, per-node gauges as name[node])\n"
+      "  --series-interval <seconds>              telemetry sampling cadence\n"
+      "      (> 0; default 1 when --series is given)\n"
+      "  --probe <name>=<value>                   declarative health probe,\n"
+      "      repeatable; a trip dumps the flight-recorder tail and exits 1.\n"
+      "      names: wear_spread_max miss_ratio_max battery_floor\n"
+      "             window_stalls_max channel_busy_max\n"
       "  --faults k=v[,k=v...]                    fault plan; implies chaos\n"
       "      keys: crash downtime permanent lose_data brownout brownout_len\n"
       "            clockstep clockstep_max burst pgb pbg loss_bad loss_good\n"
@@ -218,6 +230,24 @@ bool parse(int argc, char** argv, Args& args) {
                      args.trace_sample_s);
         return false;
       }
+    } else if (a == "--series") {
+      args.series_path = next("--series");
+    } else if (a == "--series-interval") {
+      args.series_interval_s =
+          flag_double("--series-interval", next("--series-interval"));
+      if (args.series_interval_s <= 0.0) {
+        std::fprintf(stderr, "bad --series-interval %g (need > 0)\n",
+                     args.series_interval_s);
+        return false;
+      }
+    } else if (a == "--probe") {
+      core::HealthProbe p;
+      std::string err;
+      if (!core::parse_health_probe(next("--probe"), &p, &err)) {
+        std::fprintf(stderr, "bad --probe: %s\n", err.c_str());
+        return false;
+      }
+      args.probes.push_back(std::move(p));
     } else if (a == "--csv") {
       args.csv = true;
     } else if (a == "--contours") {
@@ -378,6 +408,12 @@ int run_chaos_cli(const Args& args) {
   if (args.trace_sample_s > 0.0) {
     cfg.trace_sample_interval = sim::Time::seconds(args.trace_sample_s);
   }
+  if (args.series_interval_s > 0.0) {
+    cfg.series_interval = sim::Time::seconds(args.series_interval_s);
+  } else if (!args.series_path.empty()) {
+    cfg.series_interval = sim::Time::seconds_i(1);
+  }
+  cfg.health_probes = args.probes;
   cfg.storage_policy = args.policy;
   cfg.coded_k = args.coded_k;
   cfg.coded_n = args.coded_n;
@@ -424,6 +460,12 @@ int run_chaos_cli(const Args& args) {
       res.final_snapshot.transfer_fragments_retried,
       res.final_snapshot.transfer_window_stalls,
       res.final_snapshot.transfer_max_in_flight);
+  std::printf(
+      "  wear[min=%llu max=%llu spread=%llu] energy[total=%.1fJ min=%.1fJ]\n",
+      static_cast<unsigned long long>(res.final_snapshot.wear_min),
+      static_cast<unsigned long long>(res.final_snapshot.wear_max),
+      static_cast<unsigned long long>(res.final_snapshot.wear_spread),
+      res.final_snapshot.battery_total_j, res.final_snapshot.battery_min_j);
   const double overhead =
       res.census_original_bytes > 0
           ? static_cast<double>(res.census_stored_bytes) /
@@ -466,7 +508,12 @@ int run_chaos_cli(const Args& args) {
       res.stores_recoverable ? 1 : 0, res.retrieval_exact_once ? 1 : 0,
       res.counters_consistent ? 1 : 0,
       res.invariants_hold() ? "OK" : "VIOLATED");
-  return res.invariants_hold() ? 0 : 1;
+  for (const auto& t : res.health_trips) {
+    std::printf("  health trip: %s (%s = %g vs threshold %g) at t=%.1fs\n",
+                t.probe.c_str(), t.gauge.c_str(), t.value, t.threshold,
+                t.at.to_seconds());
+  }
+  return res.invariants_hold() && res.health_trips.empty() ? 0 : 1;
 }
 
 }  // namespace
@@ -487,24 +534,52 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  if (args.trace_path.empty()) return dispatch(args);
+  if (args.trace_path.empty() && args.series_path.empty())
+    return dispatch(args);
 
-  sim::Trace::instance().enable();
-  const int rc = dispatch(args);
-  auto& trace = sim::Trace::instance();
-  trace.disable();
-  const bool jsonl =
-      args.trace_path.size() >= 6 &&
-      args.trace_path.compare(args.trace_path.size() - 6, 6, ".jsonl") == 0;
-  const bool ok = jsonl ? trace.export_jsonl(args.trace_path)
-                        : trace.export_chrome_trace(args.trace_path);
-  if (!ok) {
-    std::fprintf(stderr, "failed to write trace to %s\n",
-                 args.trace_path.c_str());
-    return rc == 0 ? 1 : rc;
+  auto ends_with_jsonl = [](const std::string& p) {
+    return p.size() >= 6 && p.compare(p.size() - 6, 6, ".jsonl") == 0;
+  };
+  if (!args.trace_path.empty()) sim::Trace::instance().enable();
+  if (!args.series_path.empty()) {
+    // Start the run with a cold recorder so the export holds exactly this
+    // run's samples. (Health probes without --series enable/clear inside
+    // run_chaos instead; nothing to export.)
+    sim::Telemetry::instance().clear();
+    sim::Telemetry::instance().enable();
   }
-  std::fprintf(stderr, "trace: %llu records (%zu kept) -> %s\n",
-               static_cast<unsigned long long>(trace.total_recorded()),
-               trace.size(), args.trace_path.c_str());
+  int rc = dispatch(args);
+  if (!args.trace_path.empty()) {
+    auto& trace = sim::Trace::instance();
+    trace.disable();
+    const bool ok = ends_with_jsonl(args.trace_path)
+                        ? trace.export_jsonl(args.trace_path)
+                        : trace.export_chrome_trace(args.trace_path);
+    if (!ok) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   args.trace_path.c_str());
+      if (rc == 0) rc = 1;
+    } else {
+      std::fprintf(stderr, "trace: %llu records (%zu kept) -> %s\n",
+                   static_cast<unsigned long long>(trace.total_recorded()),
+                   trace.size(), args.trace_path.c_str());
+    }
+  }
+  if (!args.series_path.empty()) {
+    auto& tel = sim::Telemetry::instance();
+    tel.disable();
+    const bool ok = ends_with_jsonl(args.series_path)
+                        ? tel.export_jsonl(args.series_path)
+                        : tel.export_csv(args.series_path);
+    if (!ok) {
+      std::fprintf(stderr, "failed to write series to %s\n",
+                   args.series_path.c_str());
+      if (rc == 0) rc = 1;
+    } else {
+      std::fprintf(stderr, "series: %zu samples x %zu series -> %s\n",
+                   tel.sample_count(), tel.series_count(),
+                   args.series_path.c_str());
+    }
+  }
   return rc;
 }

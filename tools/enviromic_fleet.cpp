@@ -49,6 +49,13 @@ void usage() {
       "  --out <path|->            write the merged JSON report (default -)\n"
       "  --csv <path>              also write the per-world CSV rows\n"
       "  --resume <path>           reuse ok rows from a previous JSON report\n"
+      "  --series-interval <s>     chaos only: sample telemetry every <s>\n"
+      "      simulated seconds in every world (> 0; needs --series-dir)\n"
+      "  --series-dir <dir>        per-world series files land here as\n"
+      "      world_p<point>_s<seed_index>.csv (kept for --resume)\n"
+      "  --series-out <path>       write the merged cross-seed percentile\n"
+      "      bands (point,t_s,series,p10,p50,p90,n); default\n"
+      "      <series-dir>/merged_bands.csv\n"
       "\n"
       "exit: 0 all worlds ok, 1 some world failed, 2 bad arguments\n"
       "\n"
@@ -126,6 +133,7 @@ int main(int argc, char** argv) {
   std::string out_path = "-";
   std::string csv_path;
   std::string resume_path;
+  std::string series_out_path;
   int coded_k = 3, coded_n = 5;
   bool coded = false, have_geometry = false;
 
@@ -188,6 +196,16 @@ int main(int argc, char** argv) {
       csv_path = next("--csv");
     } else if (a == "--resume") {
       resume_path = next("--resume");
+    } else if (a == "--series-interval") {
+      spec.series_interval_s =
+          flag_double("--series-interval", next("--series-interval"));
+      if (spec.series_interval_s <= 0.0) {
+        die("bad --series-interval: need > 0");
+      }
+    } else if (a == "--series-dir") {
+      spec.series_dir = next("--series-dir");
+    } else if (a == "--series-out") {
+      series_out_path = next("--series-out");
     } else if (a == "--help" || a == "-h") {
       usage();
       return 0;
@@ -236,6 +254,14 @@ int main(int argc, char** argv) {
     std::ofstream out(csv_path, std::ios::trunc);
     if (!out) die("cannot write --csv " + csv_path);
     out << result.report_csv;
+  }
+  if (!result.series_report.empty()) {
+    if (series_out_path.empty()) {
+      series_out_path = spec.series_dir + "/merged_bands.csv";
+    }
+    std::ofstream out(series_out_path, std::ios::trunc);
+    if (!out) die("cannot write --series-out " + series_out_path);
+    out << result.series_report;
   }
   std::fprintf(stderr,
                "fleet: %d worlds (%d resumed), %d launched, %d retried, "
